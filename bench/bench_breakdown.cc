@@ -1,0 +1,85 @@
+// E10 (Figure 7 / Section VI-B7 / Appendix D): DynaMast overhead
+// breakdown on the uniform 50/50 YCSB workload —
+//  (a) average write-transaction time split into routing (incl.
+//      remastering), network, begin, stored-procedure logic and commit;
+//  (b) remastering frequency (% of transactions that required it);
+//  (c) network traffic by class (propagation vs remastering metadata vs
+//      client requests).
+//
+// Paper headline: routing <1% (amortized), network ~40%, logic ~45%,
+// begin <1%, commit ~1%; <1-3% of transactions remaster; remastering
+// traffic is a tiny sliver (3 MB/s) next to refresh propagation
+// (155 MB/s).
+
+#include "bench/bench_common.h"
+
+#include "core/dynamast_system.h"
+#include "workloads/ycsb.h"
+
+using namespace dynamast;
+using namespace dynamast::bench;
+using namespace dynamast::workloads;
+
+int main(int argc, char** argv) {
+  BenchConfig config;
+  config.clients = 48;
+  config.seconds = 4.0;
+  ParseFlags(argc, argv, &config);
+  PrintHeader("E10 / Fig 7: DynaMast latency breakdown & overheads", config);
+
+  YcsbWorkload::Options wopts;
+  wopts.num_keys = static_cast<uint64_t>(100000 * config.scale);
+  wopts.rmw_pct = 50;
+  wopts.seed = config.seed;
+  YcsbWorkload workload(wopts);
+  DeploymentOptions deployment = Deployment(config);
+  deployment.weights = selector::StrategyWeights::Ycsb();
+  RunResult run = RunOne(SystemKind::kDynaMast, deployment, workload,
+                         DriverOptions(config, config.clients));
+  auto* system = static_cast<core::DynaMastSystem*>(run.system.get());
+
+  const core::PhaseStats& phases = system->phase_stats();
+  const double routing = phases.routing.MeanMicros();
+  const double network = phases.network.MeanMicros();
+  const double queueing = phases.queueing.MeanMicros();
+  const double begin = phases.begin.MeanMicros();
+  const double logic = phases.logic.MeanMicros();
+  const double commit = phases.commit.MeanMicros();
+  const double total = routing + network + queueing + begin + logic + commit;
+  std::printf("write transaction phase breakdown (avg, n=%llu):\n",
+              static_cast<unsigned long long>(phases.logic.count()));
+  auto row = [&](const char* name, double micros) {
+    std::printf("  %-24s %10.3f ms  %5.1f%%\n", name, micros / 1000.0,
+                total > 0 ? 100.0 * micros / total : 0.0);
+  };
+  row("routing (+remastering)", routing);
+  row("network", network);
+  row("queueing (slot wait)", queueing);
+  row("begin (locks+session)", begin);
+  row("transaction logic", logic);
+  row("commit", commit);
+
+  const auto& counters = system->site_selector().counters();
+  std::printf("\nremastering: %llu of %llu routed writes (%.2f%%), "
+              "%llu partitions moved\n",
+              static_cast<unsigned long long>(counters.remastered_txns.load()),
+              static_cast<unsigned long long>(counters.write_routes.load()),
+              100.0 * counters.RemasterFraction(),
+              static_cast<unsigned long long>(
+                  counters.partitions_remastered.load()));
+
+  std::printf("\nnetwork traffic by class:\n%s",
+              system->cluster().network().ReportCounters().c_str());
+  const double propagation_mb =
+      static_cast<double>(system->cluster().network().ByteCount(
+          net::TrafficClass::kPropagation)) /
+      (1024.0 * 1024.0);
+  const double remaster_mb =
+      static_cast<double>(system->cluster().network().ByteCount(
+          net::TrafficClass::kRemastering)) /
+      (1024.0 * 1024.0);
+  std::printf("\nremastering bytes / propagation bytes = %.4f\n",
+              propagation_mb > 0 ? remaster_mb / propagation_mb : 0.0);
+  run.system->Shutdown();
+  return 0;
+}

@@ -1,0 +1,191 @@
+#ifndef DYNAMAST_BENCH_BENCH_COMMON_H_
+#define DYNAMAST_BENCH_BENCH_COMMON_H_
+
+// Shared harness for the per-figure benchmark binaries. Every binary
+// accepts the same flags and prints the rows/series of its paper figure;
+// EXPERIMENTS.md records the measured values against the paper's.
+//
+// Flags (all optional):
+//   --seconds=N     measurement window per point      (default 2)
+//   --warmup=N      warmup seconds per point          (default 1)
+//   --clients=N     concurrent clients                (default per bench)
+//   --sites=N       data sites                        (default per bench)
+//   --scale=F       data-size multiplier              (default 1.0)
+//   --latency_us=N  one-way simulated network latency (default 250)
+//   --read_us=N     per-read service time             (default 10)
+//   --write_us=N    per-write service time            (default 500)
+//   --apply_us=N    per-applied-write refresh cost    (default 100)
+//   --slots=N       worker slots per site             (default 4)
+//   --systems=a,b   comma-separated subset of systems (default: all)
+//   --seed=N        RNG seed                          (default 31)
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/latency_recorder.h"
+#include "workloads/driver.h"
+#include "workloads/system_factory.h"
+#include "workloads/workload.h"
+
+namespace dynamast::bench {
+
+struct BenchConfig {
+  double seconds = 2.0;
+  double warmup = 1.0;
+  uint32_t clients = 24;
+  uint32_t sites = 4;
+  double scale = 1.0;
+  uint32_t latency_us = 250;
+  uint32_t read_us = 10;
+  uint32_t write_us = 500;
+  uint32_t apply_us = 100;
+  uint32_t slots = 4;
+  uint64_t seed = 31;
+  std::vector<workloads::SystemKind> systems = workloads::AllSystems();
+};
+
+inline workloads::SystemKind ParseSystem(const std::string& name) {
+  for (workloads::SystemKind kind : workloads::AllSystems()) {
+    if (name == workloads::SystemKindName(kind)) return kind;
+  }
+  std::fprintf(stderr, "unknown system '%s'\n", name.c_str());
+  std::exit(2);
+}
+
+/// Parses the common flags; exits on malformed input. Bench-specific
+/// defaults should be set on `config` before calling.
+inline void ParseFlags(int argc, char** argv, BenchConfig* config) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* prefix) -> const char* {
+      const size_t len = std::strlen(prefix);
+      return arg.compare(0, len, prefix) == 0 ? arg.c_str() + len : nullptr;
+    };
+    if (const char* v = value("--seconds=")) {
+      config->seconds = std::atof(v);
+    } else if (const char* v = value("--warmup=")) {
+      config->warmup = std::atof(v);
+    } else if (const char* v = value("--clients=")) {
+      config->clients = static_cast<uint32_t>(std::atoi(v));
+    } else if (const char* v = value("--sites=")) {
+      config->sites = static_cast<uint32_t>(std::atoi(v));
+    } else if (const char* v = value("--scale=")) {
+      config->scale = std::atof(v);
+    } else if (const char* v = value("--latency_us=")) {
+      config->latency_us = static_cast<uint32_t>(std::atoi(v));
+    } else if (const char* v = value("--read_us=")) {
+      config->read_us = static_cast<uint32_t>(std::atoi(v));
+    } else if (const char* v = value("--write_us=")) {
+      config->write_us = static_cast<uint32_t>(std::atoi(v));
+    } else if (const char* v = value("--apply_us=")) {
+      config->apply_us = static_cast<uint32_t>(std::atoi(v));
+    } else if (const char* v = value("--slots=")) {
+      config->slots = static_cast<uint32_t>(std::atoi(v));
+    } else if (const char* v = value("--seed=")) {
+      config->seed = static_cast<uint64_t>(std::atoll(v));
+    } else if (const char* v = value("--systems=")) {
+      config->systems.clear();
+      std::string list = v;
+      size_t pos = 0;
+      while (pos != std::string::npos) {
+        const size_t comma = list.find(',', pos);
+        const std::string name =
+            list.substr(pos, comma == std::string::npos ? comma : comma - pos);
+        if (!name.empty()) config->systems.push_back(ParseSystem(name));
+        pos = comma == std::string::npos ? comma : comma + 1;
+      }
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("see bench/bench_common.h for flags\n");
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+}
+
+inline workloads::DeploymentOptions Deployment(const BenchConfig& config) {
+  workloads::DeploymentOptions options;
+  options.num_sites = config.sites;
+  options.worker_slots = config.slots;
+  options.read_op_cost = std::chrono::microseconds(config.read_us);
+  options.write_op_cost = std::chrono::microseconds(config.write_us);
+  options.apply_op_cost = std::chrono::microseconds(config.apply_us);
+  options.one_way_latency = std::chrono::microseconds(config.latency_us);
+  options.charge_network = true;
+  options.seed = config.seed;
+  return options;
+}
+
+inline workloads::Driver::Options DriverOptions(const BenchConfig& config,
+                                                uint32_t clients) {
+  workloads::Driver::Options options;
+  options.num_clients = clients;
+  options.warmup = std::chrono::milliseconds(
+      static_cast<int64_t>(config.warmup * 1000));
+  options.measure = std::chrono::milliseconds(
+      static_cast<int64_t>(config.seconds * 1000));
+  options.seed = config.seed;
+  return options;
+}
+
+/// Loads `workload` into a freshly built `kind` system and runs the
+/// driver. The returned report plus the system pointer (for counters).
+struct RunResult {
+  workloads::Driver::Report report;
+  std::unique_ptr<core::SystemInterface> system;
+};
+
+inline RunResult RunOne(workloads::SystemKind kind,
+                        const workloads::DeploymentOptions& deployment,
+                        workloads::Workload& workload,
+                        const workloads::Driver::Options& driver_options) {
+  RunResult result;
+  result.system =
+      workloads::MakeSystem(kind, deployment, workload.partitioner());
+  Status s = workload.Load(*result.system);
+  if (!s.ok()) {
+    std::fprintf(stderr, "load failed for %s: %s\n", result.system->name().c_str(),
+                 s.ToString().c_str());
+    std::exit(1);
+  }
+  result.system->Seal();
+  workloads::Driver driver(driver_options);
+  result.report = driver.Run(*result.system, workload);
+  return result;
+}
+
+inline void PrintHeader(const char* title, const BenchConfig& config) {
+  std::printf("=== %s ===\n", title);
+  std::printf(
+      "sites=%u clients=%u measure=%.1fs warmup=%.1fs scale=%.2f "
+      "latency=%uus read=%uus write=%uus apply=%uus slots=%u\n\n",
+      config.sites, config.clients, config.seconds, config.warmup,
+      config.scale, config.latency_us, config.read_us, config.write_us,
+      config.apply_us, config.slots);
+}
+
+inline void PrintLatencyRow(const char* system, const char* txn_type,
+                            const LatencyRecorder* latency) {
+  if (latency == nullptr || latency->count() == 0) {
+    std::printf("%-16s %-14s (no samples)\n", system, txn_type);
+    return;
+  }
+  std::printf("%-16s %-14s avg=%8.2fms p50=%8.2fms p90=%8.2fms p99=%8.2fms "
+              "n=%llu\n",
+              system, txn_type, latency->MeanMicros() / 1000.0,
+              latency->PercentileMicros(0.5) / 1000.0,
+              latency->PercentileMicros(0.9) / 1000.0,
+              latency->PercentileMicros(0.99) / 1000.0,
+              static_cast<unsigned long long>(latency->count()));
+}
+
+}  // namespace dynamast::bench
+
+#endif  // DYNAMAST_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,64 @@
+// E11 (Figure 6b, Appendix E): DynaMast throughput as the database grows
+// 6x (the paper grows 5 GB -> 30 GB; here the scaled key count grows 6x),
+// for four YCSB variants: uniform 50/50, uniform 90/10, write-only
+// uniform, and skewed 90/10.
+//
+// Paper headline: little change for the uniform mixes (slight dip for the
+// write-intensive one from larger selector state); the skewed mix
+// *improves* with size because the skew spreads over more items,
+// decreasing contention.
+
+#include "bench/bench_common.h"
+
+#include "workloads/ycsb.h"
+
+using namespace dynamast;
+using namespace dynamast::bench;
+using namespace dynamast::workloads;
+
+int main(int argc, char** argv) {
+  BenchConfig config;
+  config.clients = 48;
+  ParseFlags(argc, argv, &config);
+  PrintHeader("E11 / Fig 6b: DynaMast throughput vs database size", config);
+
+  struct Variant {
+    const char* name;
+    uint32_t rmw_pct;
+    bool zipfian;
+  };
+  const std::vector<Variant> variants = {
+      {"50-50U", 50, false},
+      {"90-10U", 90, false},
+      {"100-0U", 100, false},
+      {"90-10S", 90, true},
+  };
+  const std::vector<double> size_multipliers = {1.0, 6.0};
+
+  std::printf("%-10s %10s %14s %12s\n", "variant", "size", "tput(txn/s)",
+              "remaster%");
+  for (const Variant& variant : variants) {
+    for (double mult : size_multipliers) {
+      YcsbWorkload::Options wopts;
+      wopts.num_keys =
+          static_cast<uint64_t>(100000 * config.scale * mult);
+      wopts.rmw_pct = variant.rmw_pct;
+      wopts.zipfian = variant.zipfian;
+      wopts.seed = config.seed;
+      YcsbWorkload workload(wopts);
+      DeploymentOptions deployment = Deployment(config);
+      deployment.weights = selector::StrategyWeights::Ycsb();
+      RunResult run = RunOne(SystemKind::kDynaMast, deployment, workload,
+                             DriverOptions(config, config.clients));
+      const double remaster_pct =
+          run.report.committed > 0
+              ? 100.0 * static_cast<double>(run.report.remastered_txns) /
+                    static_cast<double>(run.report.committed)
+              : 0.0;
+      std::printf("%-10s %9.0fx %14.1f %11.2f%%\n", variant.name, mult,
+                  run.report.Throughput(), remaster_pct);
+      run.system->Shutdown();
+    }
+  }
+  return 0;
+}

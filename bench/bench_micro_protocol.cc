@@ -1,0 +1,172 @@
+// E17: protocol micro-benchmarks (google-benchmark) backing the
+// "remastering is a lightweight metadata-only operation" claim —
+// version-vector operations, redo-record serialization, MVCC
+// install/read, write-lock acquisition, local commit, and a full
+// release+grant remastering cycle (no simulated network so the numbers
+// are pure protocol cost).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common/partitioner.h"
+#include "common/version_vector.h"
+#include "log/durable_log.h"
+#include "log/log_record.h"
+#include "site/site_manager.h"
+#include "storage/storage_engine.h"
+
+namespace dynamast {
+namespace {
+
+void BM_VersionVectorMax(benchmark::State& state) {
+  VersionVector a(static_cast<size_t>(state.range(0)));
+  VersionVector b(static_cast<size_t>(state.range(0)));
+  for (size_t i = 0; i < b.size(); ++i) b[i] = i;
+  for (auto _ : state) {
+    VersionVector m = VersionVector::ElementwiseMax(a, b);
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_VersionVectorMax)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_VersionVectorDominates(benchmark::State& state) {
+  VersionVector a(static_cast<size_t>(state.range(0)));
+  VersionVector b(static_cast<size_t>(state.range(0)));
+  for (size_t i = 0; i < a.size(); ++i) a[i] = 100;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.DominatesOrEquals(b));
+  }
+}
+BENCHMARK(BM_VersionVectorDominates)->Arg(4)->Arg(16);
+
+void BM_LogRecordSerialize(benchmark::State& state) {
+  log::LogRecord record;
+  record.type = log::LogRecord::Type::kUpdate;
+  record.origin = 1;
+  record.tvv = VersionVector(4);
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    record.writes.push_back(
+        log::WriteEntry{RecordKey{0, static_cast<uint64_t>(i)},
+                        std::string(120, 'v'), false});
+  }
+  for (auto _ : state) {
+    std::string s = record.Serialize();
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_LogRecordSerialize)->Arg(1)->Arg(3)->Arg(16);
+
+void BM_LogRecordDeserialize(benchmark::State& state) {
+  log::LogRecord record;
+  record.type = log::LogRecord::Type::kUpdate;
+  record.origin = 1;
+  record.tvv = VersionVector(4);
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    record.writes.push_back(
+        log::WriteEntry{RecordKey{0, static_cast<uint64_t>(i)},
+                        std::string(120, 'v'), false});
+  }
+  const std::string serialized = record.Serialize();
+  for (auto _ : state) {
+    log::LogRecord out;
+    benchmark::DoNotOptimize(log::LogRecord::Deserialize(serialized, &out));
+  }
+}
+BENCHMARK(BM_LogRecordDeserialize)->Arg(3);
+
+void BM_MvccInstallAndRead(benchmark::State& state) {
+  storage::StorageEngine engine;
+  engine.CreateTable(0);
+  VersionVector snapshot(std::vector<uint64_t>{1});
+  uint64_t key = 0;
+  for (auto _ : state) {
+    engine.Install(RecordKey{0, key % 10000}, 0, 1, "value");
+    std::string out;
+    benchmark::DoNotOptimize(engine.Read(RecordKey{0, key % 10000},
+                                         snapshot, &out));
+    ++key;
+  }
+}
+BENCHMARK(BM_MvccInstallAndRead);
+
+void BM_WriteLockAcquireRelease(benchmark::State& state) {
+  storage::LockManager locks;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::hours(1);
+  uint64_t key = 0;
+  for (auto _ : state) {
+    const RecordKey k{0, key % 1024};
+    benchmark::DoNotOptimize(locks.Acquire(k, 1, deadline));
+    locks.Release(k, 1);
+    ++key;
+  }
+}
+BENCHMARK(BM_WriteLockAcquireRelease);
+
+// Fixture: a 2-site cluster, no network delays, no service time.
+struct ProtocolFixture {
+  ProtocolFixture()
+      : partitioner(10, 100), logs(2) {
+    for (SiteId i = 0; i < 2; ++i) {
+      site::SiteOptions options;
+      options.site_id = i;
+      options.num_sites = 2;
+      options.read_op_cost = options.write_op_cost = options.apply_op_cost =
+          std::chrono::microseconds(0);
+      sites.push_back(std::make_unique<site::SiteManager>(
+          options, &partitioner, &logs, nullptr));
+      sites.back()->CreateTable(0);
+    }
+    for (PartitionId p = 0; p < 100; ++p) sites[0]->SetMasterOf(p, true);
+    for (uint64_t key = 0; key < 1000; ++key) {
+      sites[0]->LoadRecord(RecordKey{0, key}, "v");
+      sites[1]->LoadRecord(RecordKey{0, key}, "v");
+    }
+    for (auto& s : sites) s->Start();
+  }
+  ~ProtocolFixture() {
+    logs.CloseAll();
+    for (auto& s : sites) s->Stop();
+  }
+  RangePartitioner partitioner;
+  log::LogManager logs;
+  std::vector<std::unique_ptr<site::SiteManager>> sites;
+};
+
+void BM_LocalCommit(benchmark::State& state) {
+  ProtocolFixture fixture;
+  uint64_t key = 0;
+  for (auto _ : state) {
+    site::TxnOptions options;
+    options.write_keys = {RecordKey{0, key % 1000}};
+    site::Transaction txn;
+    fixture.sites[0]->BeginTransaction(options, &txn);
+    txn.Put(RecordKey{0, key % 1000}, "v2");
+    VersionVector tvv;
+    fixture.sites[0]->Commit(&txn, &tvv);
+    ++key;
+  }
+}
+BENCHMARK(BM_LocalCommit);
+
+// The headline micro number: one full metadata-only remastering cycle
+// (release at the old master, grant at the new one) — ping-ponging a
+// partition between two sites.
+void BM_RemasterReleaseGrant(benchmark::State& state) {
+  ProtocolFixture fixture;
+  SiteId owner = 0;
+  for (auto _ : state) {
+    const SiteId next = 1 - owner;
+    VersionVector release_vv, grant_vv;
+    fixture.sites[owner]->Release({5}, next, &release_vv);
+    fixture.sites[next]->Grant({5}, owner, release_vv, &grant_vv);
+    owner = next;
+  }
+}
+BENCHMARK(BM_RemasterReleaseGrant);
+
+}  // namespace
+}  // namespace dynamast
+
+BENCHMARK_MAIN();

@@ -1,0 +1,41 @@
+// E13 (Figure 8a, Appendix F): SmallBank maximum throughput across all
+// five systems — short (<=2 row) transactions where the transaction
+// protocol itself dominates execution time.
+//
+// Paper headline: DynaMast +15% over partition-store, +10% over
+// multi-master, +40% over single-master, >6x LEAP.
+
+#include "bench/bench_common.h"
+
+#include "workloads/smallbank.h"
+
+using namespace dynamast;
+using namespace dynamast::bench;
+using namespace dynamast::workloads;
+
+int main(int argc, char** argv) {
+  BenchConfig config;
+  config.clients = 48;
+  ParseFlags(argc, argv, &config);
+  PrintHeader("E13 / Fig 8a: SmallBank throughput", config);
+
+  std::printf("%-16s %14s %10s %12s\n", "system", "tput(txn/s)", "errors",
+              "remaster/2pc");
+  for (SystemKind kind : config.systems) {
+    SmallBankWorkload::Options wopts;
+    wopts.num_accounts = static_cast<uint64_t>(100000 * config.scale);
+    wopts.seed = config.seed;
+    SmallBankWorkload workload(wopts);
+    DeploymentOptions deployment = Deployment(config);
+    deployment.weights = selector::StrategyWeights::SmallBank();
+    RunResult run = RunOne(kind, deployment, workload,
+                           DriverOptions(config, config.clients));
+    std::printf("%-16s %14.1f %10llu %12llu\n", run.system->name().c_str(),
+                run.report.Throughput(),
+                static_cast<unsigned long long>(run.report.errors),
+                static_cast<unsigned long long>(run.report.remastered_txns +
+                                                run.report.distributed_txns));
+    run.system->Shutdown();
+  }
+  return 0;
+}

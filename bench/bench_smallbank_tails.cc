@@ -1,0 +1,43 @@
+// E14 (Figure 8b-d, Appendix F): SmallBank tail latency per transaction
+// class — two-row updates (send-payment), single-row updates
+// (deposit-checking / transact-savings) and the read-only balance check.
+//
+// Paper headline: DynaMast's multi-row update tails are ~4x below
+// partition-store and ~40x below LEAP; single-master's update tails are
+// >7x DynaMast's (load concentration); read-only tails are similar for
+// every replicated system.
+
+#include "bench/bench_common.h"
+
+#include "workloads/smallbank.h"
+
+using namespace dynamast;
+using namespace dynamast::bench;
+using namespace dynamast::workloads;
+
+int main(int argc, char** argv) {
+  BenchConfig config;
+  config.clients = 48;
+  ParseFlags(argc, argv, &config);
+  PrintHeader("E14 / Fig 8b-d: SmallBank tail latency by transaction class",
+              config);
+
+  for (SystemKind kind : config.systems) {
+    SmallBankWorkload::Options wopts;
+    wopts.num_accounts = static_cast<uint64_t>(100000 * config.scale);
+    wopts.seed = config.seed;
+    SmallBankWorkload workload(wopts);
+    DeploymentOptions deployment = Deployment(config);
+    deployment.weights = selector::StrategyWeights::SmallBank();
+    RunResult run = RunOne(kind, deployment, workload,
+                           DriverOptions(config, config.clients));
+    for (const char* type : {"send-payment", "deposit-checking",
+                             "transact-savings", "balance"}) {
+      PrintLatencyRow(run.system->name().c_str(), type,
+                      run.report.LatencyFor(type));
+    }
+    std::printf("\n");
+    run.system->Shutdown();
+  }
+  return 0;
+}

@@ -1,0 +1,54 @@
+// E6 (Section VI-B3): average New-Order latency as the fraction of
+// cross-warehouse New-Order transactions grows from 0 to one third.
+//
+// Paper headline: DynaMast's latency grows only ~1.75x (vs ~3x for
+// partition-store/multi-master and >2.2x for LEAP); at 33%% cross-
+// warehouse DynaMast is ~87%% below partition/multi-master and ~25%%
+// below single-master.
+
+#include "bench/bench_common.h"
+
+#include "workloads/tpcc.h"
+
+using namespace dynamast;
+using namespace dynamast::bench;
+using namespace dynamast::workloads;
+
+int main(int argc, char** argv) {
+  BenchConfig config;
+  config.sites = 8;
+  config.clients = 32;
+  config.warmup = 3.0;  // mastership placement converges during warmup
+  ParseFlags(argc, argv, &config);
+  PrintHeader("E6: New-Order latency vs %cross-warehouse", config);
+
+  const std::vector<uint32_t> cross_pcts = {0, 15, 33};
+  std::printf("%-16s %10s %12s %12s %12s\n", "system", "cross%", "avg(ms)",
+              "p90(ms)", "p99(ms)");
+  for (SystemKind kind : config.systems) {
+    for (uint32_t cross : cross_pcts) {
+      TpccWorkload::Options wopts;
+      wopts.num_warehouses = config.sites;
+      wopts.num_items = static_cast<uint32_t>(1000 * config.scale);
+      wopts.customers_per_district = static_cast<uint32_t>(300 * config.scale);
+      wopts.cross_warehouse_neworder_pct = cross;
+      wopts.seed = config.seed;
+      TpccWorkload workload(wopts);
+      DeploymentOptions deployment = Deployment(config);
+      deployment.weights = selector::StrategyWeights::Tpcc();
+      deployment.static_placement = workload.WarehousePlacement(config.sites);
+      RunResult run = RunOne(kind, deployment, workload,
+                             DriverOptions(config, config.clients));
+      const LatencyRecorder* latency = run.report.LatencyFor("new-order");
+      if (latency != nullptr) {
+        std::printf("%-16s %10u %12.2f %12.2f %12.2f\n",
+                    run.system->name().c_str(), cross,
+                    latency->MeanMicros() / 1000.0,
+                    latency->PercentileMicros(0.9) / 1000.0,
+                    latency->PercentileMicros(0.99) / 1000.0);
+      }
+      run.system->Shutdown();
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,43 @@
+// E3 (Figure 4c): TPC-C New-Order transaction latency (avg / p90 / p99)
+// across all five systems, default 45/45/10 mix with cross-warehouse
+// transactions.
+//
+// Paper headline: DynaMast cuts average New-Order latency ~40% vs
+// single-master, ~85% vs partition-store/multi-master (whose p90 is ~10x
+// DynaMast's), ~96% vs LEAP (whose p99 is ~40x DynaMast's).
+
+#include "bench/bench_common.h"
+
+#include "workloads/tpcc.h"
+
+using namespace dynamast;
+using namespace dynamast::bench;
+using namespace dynamast::workloads;
+
+int main(int argc, char** argv) {
+  BenchConfig config;
+  config.sites = 8;
+  config.clients = 32;
+  config.warmup = 3.0;  // mastership placement converges during warmup
+  ParseFlags(argc, argv, &config);
+  PrintHeader("E3 / Fig 4c: TPC-C New-Order latency", config);
+
+  for (SystemKind kind : config.systems) {
+    TpccWorkload::Options wopts;
+    wopts.num_warehouses = config.sites;
+    wopts.num_items = static_cast<uint32_t>(1000 * config.scale);
+    wopts.customers_per_district =
+        static_cast<uint32_t>(300 * config.scale);
+    wopts.seed = config.seed;
+    TpccWorkload workload(wopts);
+    DeploymentOptions deployment = Deployment(config);
+    deployment.weights = selector::StrategyWeights::Tpcc();
+    deployment.static_placement = workload.WarehousePlacement(config.sites);
+    RunResult run = RunOne(kind, deployment, workload,
+                           DriverOptions(config, config.clients));
+    PrintLatencyRow(run.system->name().c_str(), "new-order",
+                    run.report.LatencyFor("new-order"));
+    run.system->Shutdown();
+  }
+  return 0;
+}

@@ -1,0 +1,44 @@
+// E15 (Figure 8e-f, Appendix G): TPC-C Payment transaction latency —
+// average and tail — across all five systems, default 15% remote
+// customers.
+//
+// Paper headline: single-master has the lowest Payment average (~0.3 ms —
+// payments are light, so the master doesn't saturate); DynaMast pays a
+// small premium (~1.2 ms, mostly below p10) for its remastering, and
+// reduces Payment latency ~99/97/96%% vs LEAP/partition-store/
+// multi-master.
+
+#include "bench/bench_common.h"
+
+#include "workloads/tpcc.h"
+
+using namespace dynamast;
+using namespace dynamast::bench;
+using namespace dynamast::workloads;
+
+int main(int argc, char** argv) {
+  BenchConfig config;
+  config.sites = 8;
+  config.clients = 32;
+  config.warmup = 3.0;  // mastership placement converges during warmup
+  ParseFlags(argc, argv, &config);
+  PrintHeader("E15 / Fig 8e-f: TPC-C Payment latency", config);
+
+  for (SystemKind kind : config.systems) {
+    TpccWorkload::Options wopts;
+    wopts.num_warehouses = config.sites;
+    wopts.num_items = static_cast<uint32_t>(1000 * config.scale);
+    wopts.customers_per_district = static_cast<uint32_t>(300 * config.scale);
+    wopts.seed = config.seed;
+    TpccWorkload workload(wopts);
+    DeploymentOptions deployment = Deployment(config);
+    deployment.weights = selector::StrategyWeights::Tpcc();
+    deployment.static_placement = workload.WarehousePlacement(config.sites);
+    RunResult run = RunOne(kind, deployment, workload,
+                           DriverOptions(config, config.clients));
+    PrintLatencyRow(run.system->name().c_str(), "payment",
+                    run.report.LatencyFor("payment"));
+    run.system->Shutdown();
+  }
+  return 0;
+}

@@ -1,0 +1,42 @@
+// E4 (Figure 4d): TPC-C Stock-Level (read-only) transaction latency
+// across all five systems.
+//
+// Paper headline: DynaMast ~= single-master ~= multi-master (replicas +
+// MVCC make read-only transactions cheap); partition-store higher (its
+// multi-site reads wait for the slowest site); LEAP orders of magnitude
+// worse (it must localize read-only transactions by shipping data).
+
+#include "bench/bench_common.h"
+
+#include "workloads/tpcc.h"
+
+using namespace dynamast;
+using namespace dynamast::bench;
+using namespace dynamast::workloads;
+
+int main(int argc, char** argv) {
+  BenchConfig config;
+  config.sites = 8;
+  config.clients = 32;
+  config.warmup = 3.0;  // mastership placement converges during warmup
+  ParseFlags(argc, argv, &config);
+  PrintHeader("E4 / Fig 4d: TPC-C Stock-Level latency", config);
+
+  for (SystemKind kind : config.systems) {
+    TpccWorkload::Options wopts;
+    wopts.num_warehouses = config.sites;
+    wopts.num_items = static_cast<uint32_t>(1000 * config.scale);
+    wopts.customers_per_district = static_cast<uint32_t>(300 * config.scale);
+    wopts.seed = config.seed;
+    TpccWorkload workload(wopts);
+    DeploymentOptions deployment = Deployment(config);
+    deployment.weights = selector::StrategyWeights::Tpcc();
+    deployment.static_placement = workload.WarehousePlacement(config.sites);
+    RunResult run = RunOne(kind, deployment, workload,
+                           DriverOptions(config, config.clients));
+    PrintLatencyRow(run.system->name().c_str(), "stock-level",
+                    run.report.LatencyFor("stock-level"));
+    run.system->Shutdown();
+  }
+  return 0;
+}

@@ -1,0 +1,50 @@
+// E1 (Figure 4a): YCSB uniform 50/50 RMW/scan — throughput vs number of
+// clients, all five systems.
+//
+// Paper headline: DynaMast ~2.3x partition-store, ~1.3x single-master,
+// ~2x LEAP; multi-master between partition-store and single-master.
+
+#include "bench/bench_common.h"
+
+#include "workloads/ycsb.h"
+
+using namespace dynamast;
+using namespace dynamast::bench;
+using namespace dynamast::workloads;
+
+int main(int argc, char** argv) {
+  BenchConfig config;
+  config.clients = 48;
+  ParseFlags(argc, argv, &config);
+  PrintHeader("E1 / Fig 4a: YCSB uniform 50/50 RMW-scan, throughput vs clients",
+              config);
+
+  const std::vector<uint32_t> client_counts = {
+      std::max(1u, config.clients / 4), std::max(1u, config.clients / 2),
+      config.clients};
+
+  std::printf("%-16s %8s %14s %10s %12s\n", "system", "clients", "tput(txn/s)",
+              "errors", "remaster/2pc");
+  for (SystemKind kind : config.systems) {
+    for (uint32_t clients : client_counts) {
+      YcsbWorkload::Options wopts;
+      wopts.num_keys = static_cast<uint64_t>(100000 * config.scale);
+      wopts.rmw_pct = 50;
+      wopts.seed = config.seed;
+      YcsbWorkload workload(wopts);
+      DeploymentOptions deployment = Deployment(config);
+      deployment.weights = selector::StrategyWeights::Ycsb();
+      RunResult run =
+          RunOne(kind, deployment, workload, DriverOptions(config, clients));
+      std::printf("%-16s %8u %14.1f %10llu %12llu\n",
+                  run.system->name().c_str(), clients,
+                  run.report.Throughput(),
+                  static_cast<unsigned long long>(run.report.errors),
+                  static_cast<unsigned long long>(
+                      run.report.remastered_txns +
+                      run.report.distributed_txns));
+      run.system->Shutdown();
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,43 @@
+// E2 (Figure 4b): YCSB uniform 90/10 RMW/scan — write-intensive
+// throughput, all five systems.
+//
+// Paper headline: DynaMast ~2.5x the others; multi-master drops *below*
+// partition-store (fewer scans to exploit replicas while still paying
+// propagation); single-master saturates fastest.
+
+#include "bench/bench_common.h"
+
+#include "workloads/ycsb.h"
+
+using namespace dynamast;
+using namespace dynamast::bench;
+using namespace dynamast::workloads;
+
+int main(int argc, char** argv) {
+  BenchConfig config;
+  config.clients = 64;
+  ParseFlags(argc, argv, &config);
+  PrintHeader("E2 / Fig 4b: YCSB uniform 90/10 RMW-scan (write-intensive)",
+              config);
+
+  std::printf("%-16s %14s %10s %12s\n", "system", "tput(txn/s)", "errors",
+              "remaster/2pc");
+  for (SystemKind kind : config.systems) {
+    YcsbWorkload::Options wopts;
+    wopts.num_keys = static_cast<uint64_t>(100000 * config.scale);
+    wopts.rmw_pct = 90;
+    wopts.seed = config.seed;
+    YcsbWorkload workload(wopts);
+    DeploymentOptions deployment = Deployment(config);
+    deployment.weights = selector::StrategyWeights::Ycsb();
+    RunResult run = RunOne(kind, deployment, workload,
+                           DriverOptions(config, config.clients));
+    std::printf("%-16s %14.1f %10llu %12llu\n", run.system->name().c_str(),
+                run.report.Throughput(),
+                static_cast<unsigned long long>(run.report.errors),
+                static_cast<unsigned long long>(run.report.remastered_txns +
+                                                run.report.distributed_txns));
+    run.system->Shutdown();
+  }
+  return 0;
+}

@@ -1,0 +1,227 @@
+#include "baselines/leap_system.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "core/site_txn_context.h"
+
+namespace dynamast::baselines {
+
+namespace {
+constexpr size_t kRpcRequestBytes = 256;
+constexpr size_t kRpcResponseBytes = 128;
+constexpr size_t kShipRequestBytes = 64;
+
+VersionVector MaskToIndex(const VersionVector& v, SiteId s) {
+  VersionVector out(v.size());
+  if (s < v.size()) out[s] = v[s];
+  return out;
+}
+}  // namespace
+
+LeapSystem::LeapSystem(const Options& options, const Partitioner* partitioner)
+    : options_(options),
+      partitioner_(partitioner),
+      cluster_(options.cluster, partitioner),
+      ownership_(partitioner->NumPartitions(), 0) {
+  // LEAP keeps no replicas: the cluster runs no refresh appliers.
+  options_.cluster.replicated = false;
+  if (options_.placement.size() < partitioner->NumPartitions()) {
+    options_.placement.resize(partitioner->NumPartitions(), 0);
+  }
+  for (PartitionId p = 0; p < partitioner->NumPartitions(); ++p) {
+    ownership_.SetMaster(p, options_.placement[p]);
+  }
+}
+
+LeapSystem::~LeapSystem() { Shutdown(); }
+
+Status LeapSystem::LoadRow(const RecordKey& key, std::string value) {
+  const PartitionId p = partitioner_->PartitionOf(key);
+  return cluster_.site(options_.placement[p])->LoadRecord(key, std::move(value));
+}
+
+Status LeapSystem::LoadReplicatedRow(const RecordKey& key, std::string value) {
+  // Static read-only tables live at every site and are never localized.
+  const PartitionId p = partitioner_->PartitionOf(key);
+  {
+    std::lock_guard<std::mutex> guard(static_partitions_mu_);
+    static_partitions_.insert(p);
+  }
+  for (SiteId s = 0; s < cluster_.num_sites(); ++s) {
+    Status status = cluster_.site(s)->LoadRecord(key, value);
+    if (!status.ok()) return status;
+  }
+  return Status::OK();
+}
+
+void LeapSystem::Seal() {
+  if (sealed_) return;
+  sealed_ = true;
+  for (PartitionId p = 0; p < options_.placement.size(); ++p) {
+    const SiteId owner = options_.placement[p];
+    for (SiteId s = 0; s < cluster_.num_sites(); ++s) {
+      cluster_.site(s)->SetMasterOf(p, s == owner);
+    }
+  }
+  // Unreplicated: Cluster::Start is a no-op, but call it for symmetry.
+  cluster_.Start();
+}
+
+Status LeapSystem::ShipPartition(PartitionId partition, SiteId src,
+                                 SiteId dest) {
+  site::SiteManager* src_site = cluster_.site(src);
+  site::SiteManager* dest_site = cluster_.site(dest);
+
+  // Quiesce the source: stop admitting writers and drain in-flight ones
+  // (reuses the release path; the marker it logs is harmless without
+  // appliers and keeps the redo log authoritative for ownership).
+  VersionVector release_version;
+  Status s = src_site->Release({partition}, dest, &release_version);
+  if (!s.ok()) return s;
+
+  // Copy the partition's rows — enumerated from the source's live tables,
+  // so rows inserted after the initial load ship too. This is the data
+  // movement DynaMast's metadata-only remastering avoids.
+  std::vector<RecordKey> keys;
+  for (TableId table : src_site->engine().TableIds()) {
+    storage::Table* t = src_site->engine().GetTable(table);
+    t->ForEachRowId([&](uint64_t row) {
+      const RecordKey key{table, row};
+      if (partitioner_->PartitionOf(key) == partition) keys.push_back(key);
+    });
+  }
+  size_t bytes = 0;
+  for (const RecordKey& key : keys) {
+    std::string value;
+    Status rs = src_site->engine().ReadLatest(key, &value);
+    if (rs.IsNotFound()) continue;
+    if (!rs.ok()) return rs;
+    bytes += value.size() + 16;
+    // Install as an always-visible base version at the destination (LEAP
+    // has no cross-site snapshots; single-copy consistency comes from
+    // exclusive ownership plus write locks).
+    dest_site->LoadRecord(key, std::move(value));
+  }
+  cluster_.network().Send(net::TrafficClass::kDataShipping,
+                          kShipRequestBytes);
+  cluster_.network().Send(net::TrafficClass::kDataShipping, bytes);
+
+  dest_site->SetMasterOf(partition, true);
+  partitions_shipped_.fetch_add(1);
+  bytes_shipped_.fetch_add(bytes);
+  return Status::OK();
+}
+
+Status LeapSystem::Execute(core::ClientState& client,
+                           const core::TxnProfile& profile,
+                           const core::TxnLogic& logic,
+                           core::TxnResult* result) {
+  net::SimulatedNetwork& net = cluster_.network();
+  // Same client->router hop as every system in the framework (see
+  // PartitionedSystem::Execute).
+  net.RoundTrip(net::TrafficClass::kClientRequest, 128, 64);
+
+  // LEAP localizes the union of the read and write sets.
+  std::vector<PartitionId> partitions;
+  for (const RecordKey& key : profile.write_keys) {
+    partitions.push_back(partitioner_->PartitionOf(key));
+  }
+  for (PartitionId p : profile.extra_write_partitions) partitions.push_back(p);
+  for (const RecordKey& key : profile.read_keys) {
+    partitions.push_back(partitioner_->PartitionOf(key));
+  }
+  for (PartitionId p : profile.read_partitions) partitions.push_back(p);
+  std::sort(partitions.begin(), partitions.end());
+  partitions.erase(std::unique(partitions.begin(), partitions.end()),
+                   partitions.end());
+  {
+    // Static replicated partitions need no localization.
+    std::lock_guard<std::mutex> guard(static_partitions_mu_);
+    std::erase_if(partitions, [&](PartitionId p) {
+      return static_partitions_.count(p) > 0;
+    });
+  }
+  if (partitions.empty()) {
+    return Status::InvalidArgument("transaction accesses nothing");
+  }
+
+  Status last_error = Status::Internal("no attempt");
+  for (uint32_t attempt = 0; attempt <= options_.max_retries; ++attempt) {
+    // Ownership lookup + localization, under exclusive ownership locks in
+    // sorted order (no concurrent shipping of the same partition).
+    for (PartitionId p : partitions) ownership_.LockExclusive(p);
+    std::vector<SiteId> owners(partitions.size());
+    std::unordered_map<SiteId, size_t> counts;
+    for (size_t i = 0; i < partitions.size(); ++i) {
+      owners[i] = ownership_.MasterOf(partitions[i]);
+      counts[owners[i]]++;
+    }
+    // No routing strategy: execute where most accessed partitions already
+    // live; ship the rest there.
+    SiteId dest = owners[0];
+    size_t best = 0;
+    for (const auto& [site, count] : counts) {
+      if (count > best) {
+        best = count;
+        dest = site;
+      }
+    }
+    bool shipped = false;
+    Status ship_status;
+    for (size_t i = 0; i < partitions.size(); ++i) {
+      if (owners[i] == dest) continue;
+      net.RoundTrip(net::TrafficClass::kDataShipping, kShipRequestBytes,
+                    kShipRequestBytes);
+      ship_status = ShipPartition(partitions[i], owners[i], dest);
+      if (!ship_status.ok()) break;
+      ownership_.SetMaster(partitions[i], dest);
+      shipped = true;
+    }
+    for (auto it = partitions.rbegin(); it != partitions.rend(); ++it) {
+      ownership_.UnlockExclusive(*it);
+    }
+    if (!ship_status.ok()) {
+      last_error = ship_status;
+      continue;
+    }
+    result->remastered = result->remastered || shipped;
+
+    // Execute locally at the destination.
+    net.RoundTrip(net::TrafficClass::kClientRequest,
+                  kRpcRequestBytes + 32 * profile.write_keys.size(),
+                  kRpcResponseBytes);
+    site::SiteManager* site = cluster_.site(dest);
+    site::AdmissionGate::Scoped slot(site->gate());
+    site::TxnOptions txn_options;
+    txn_options.read_only = profile.read_only;
+    txn_options.write_keys = profile.write_keys;
+    txn_options.min_begin_version = MaskToIndex(client.session, dest);
+    site::Transaction txn;
+    Status s = site->BeginTransaction(txn_options, &txn);
+    if (s.IsNotMaster()) {
+      // Partition shipped away between localization and begin; retry.
+      last_error = s;
+      result->retries++;
+      continue;
+    }
+    if (!s.ok()) return s;
+    core::SiteTxnContext context(site, &txn);
+    s = logic(context);
+    if (!s.ok()) {
+      site->Abort(&txn);
+      return s;
+    }
+    VersionVector commit_version;
+    s = site->Commit(&txn, &commit_version);
+    if (!s.ok()) return s;
+    client.session.MaxWith(commit_version);
+    result->executed_at = dest;
+    return Status::OK();
+  }
+  return last_error;
+}
+
+void LeapSystem::Shutdown() { cluster_.Stop(); }
+
+}  // namespace dynamast::baselines

@@ -1,0 +1,73 @@
+#ifndef DYNAMAST_COMMON_KEY_H_
+#define DYNAMAST_COMMON_KEY_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace dynamast {
+
+/// Identifies a relation (table) in the database. Tables are registered with
+/// the storage engine at load time; workloads define their own table ids.
+using TableId = uint32_t;
+
+/// Identifies a site (node) in the replicated system; sites are numbered
+/// 0 .. m-1 and the value doubles as the index into version vectors.
+using SiteId = uint32_t;
+inline constexpr SiteId kInvalidSite = UINT32_MAX;
+
+/// Identifies a client session (for strong-session snapshot isolation).
+using ClientId = uint64_t;
+
+/// A partition is the unit of mastership tracking and remastering
+/// (Section V-B: the site selector groups data items into partitions and
+/// remasters partition groups). Partition ids are dense per deployment.
+using PartitionId = uint64_t;
+inline constexpr PartitionId kInvalidPartition = UINT64_MAX;
+
+/// A globally unique row identifier: (table, row key). Workloads encode
+/// composite primary keys (e.g. TPC-C (w_id, d_id, o_id)) into the 64-bit
+/// row key via the helpers in workloads/.
+struct RecordKey {
+  TableId table = 0;
+  uint64_t row = 0;
+
+  friend bool operator==(const RecordKey& a, const RecordKey& b) {
+    return a.table == b.table && a.row == b.row;
+  }
+  friend bool operator!=(const RecordKey& a, const RecordKey& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const RecordKey& a, const RecordKey& b) {
+    if (a.table != b.table) return a.table < b.table;
+    return a.row < b.row;
+  }
+
+  std::string ToString() const {
+    return std::to_string(table) + ":" + std::to_string(row);
+  }
+};
+
+struct RecordKeyHash {
+  size_t operator()(const RecordKey& k) const {
+    // splitmix64-style mix of the two components.
+    uint64_t x = (static_cast<uint64_t>(k.table) << 48) ^ k.row;
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<size_t>(x ^ (x >> 31));
+  }
+};
+
+}  // namespace dynamast
+
+namespace std {
+template <>
+struct hash<dynamast::RecordKey> {
+  size_t operator()(const dynamast::RecordKey& k) const {
+    return dynamast::RecordKeyHash()(k);
+  }
+};
+}  // namespace std
+
+#endif  // DYNAMAST_COMMON_KEY_H_

@@ -1,0 +1,101 @@
+#include "common/latency_recorder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace dynamast {
+
+namespace {
+// Geometric bucket growth factor: bucket i covers
+// [kFirst * kGrowth^i, kFirst * kGrowth^(i+1)).
+constexpr double kGrowth = 1.04;
+constexpr double kFirstBoundMicros = 1.0;
+}  // namespace
+
+LatencyRecorder::LatencyRecorder() : buckets_(kNumBuckets, 0) {}
+
+size_t LatencyRecorder::BucketFor(uint64_t micros) {
+  if (micros <= kFirstBoundMicros) return 0;
+  const double b =
+      std::log(static_cast<double>(micros) / kFirstBoundMicros) /
+      std::log(kGrowth);
+  const size_t bucket = static_cast<size_t>(b) + 1;
+  return std::min(bucket, kNumBuckets - 1);
+}
+
+double LatencyRecorder::BucketLowerBound(size_t bucket) {
+  if (bucket == 0) return 0;
+  return kFirstBoundMicros * std::pow(kGrowth, static_cast<double>(bucket - 1));
+}
+
+void LatencyRecorder::Record(uint64_t micros) {
+  std::lock_guard<std::mutex> guard(mu_);
+  buckets_[BucketFor(micros)]++;
+  count_++;
+  sum_ += static_cast<double>(micros);
+  max_ = std::max(max_, micros);
+}
+
+void LatencyRecorder::Merge(const LatencyRecorder& other) {
+  // Lock ordering by address to avoid deadlock on cross-merges.
+  if (this == &other) return;
+  std::scoped_lock guard(mu_, other.mu_);
+  for (size_t i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  max_ = std::max(max_, other.max_);
+}
+
+uint64_t LatencyRecorder::count() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return count_;
+}
+
+double LatencyRecorder::MeanMicros() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double LatencyRecorder::PercentileMicros(double q) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  if (count_ == 0) return 0.0;
+  const double target = q * static_cast<double>(count_);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i];
+    if (static_cast<double>(seen) >= target) {
+      // Midpoint of the bucket as the estimate.
+      const double lo = BucketLowerBound(i);
+      const double hi = BucketLowerBound(i + 1);
+      return (lo + hi) / 2.0;
+    }
+  }
+  return static_cast<double>(max_);
+}
+
+uint64_t LatencyRecorder::MaxMicros() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return max_;
+}
+
+void LatencyRecorder::Reset() {
+  std::lock_guard<std::mutex> guard(mu_);
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  max_ = 0;
+}
+
+std::string LatencyRecorder::Summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "avg=%.2fms p50=%.2fms p90=%.2fms p99=%.2fms max=%.2fms n=%llu",
+                MeanMicros() / 1000.0, PercentileMicros(0.5) / 1000.0,
+                PercentileMicros(0.9) / 1000.0, PercentileMicros(0.99) / 1000.0,
+                static_cast<double>(MaxMicros()) / 1000.0,
+                static_cast<unsigned long long>(count()));
+  return std::string(buf);
+}
+
+}  // namespace dynamast

@@ -1,0 +1,78 @@
+#ifndef DYNAMAST_COMMON_LATENCY_RECORDER_H_
+#define DYNAMAST_COMMON_LATENCY_RECORDER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dynamast {
+
+/// Thread-safe log-bucketed latency histogram with percentile queries.
+/// Values are recorded in microseconds. Buckets grow geometrically
+/// (~4% resolution), which is plenty for reporting avg/p50/p90/p99 tables.
+class LatencyRecorder {
+ public:
+  LatencyRecorder();
+
+  /// Records one latency observation, in microseconds.
+  void Record(uint64_t micros);
+
+  void RecordDuration(std::chrono::nanoseconds d) {
+    Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(d).count()));
+  }
+
+  /// Merges another recorder's observations into this one.
+  void Merge(const LatencyRecorder& other);
+
+  uint64_t count() const;
+  double MeanMicros() const;
+  /// q in [0, 1]; returns the bucket-interpolated latency in microseconds.
+  double PercentileMicros(double q) const;
+  uint64_t MaxMicros() const;
+
+  void Reset();
+
+  /// Renders "avg=1.23ms p50=... p90=... p99=... max=...".
+  std::string Summary() const;
+
+ private:
+  static constexpr size_t kNumBuckets = 512;
+  static size_t BucketFor(uint64_t micros);
+  static double BucketLowerBound(size_t bucket);
+
+  mutable std::mutex mu_;
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  double sum_ = 0;
+  uint64_t max_ = 0;
+};
+
+/// Monotonic stopwatch for latency measurements.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+  void Restart() { start_ = std::chrono::steady_clock::now(); }
+
+  std::chrono::nanoseconds Elapsed() const {
+    return std::chrono::steady_clock::now() - start_;
+  }
+  uint64_t ElapsedMicros() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(Elapsed())
+            .count());
+  }
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Elapsed()).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace dynamast
+
+#endif  // DYNAMAST_COMMON_LATENCY_RECORDER_H_

@@ -1,0 +1,69 @@
+#ifndef DYNAMAST_COMMON_PARTITIONER_H_
+#define DYNAMAST_COMMON_PARTITIONER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "common/key.h"
+
+namespace dynamast {
+
+/// Maps record keys to partitions — the unit of mastership tracking and
+/// remastering (Section V-B). The mapping is fixed for a deployment (what
+/// moves between sites is *mastership* of partitions, never the mapping
+/// itself). Workloads define the mapping: YCSB uses 100-key ranges,
+/// TPC-C partitions by (table, warehouse[, district]), SmallBank by
+/// customer ranges.
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+
+  /// Partition of `key`. Total over all keys the workload can generate.
+  virtual PartitionId PartitionOf(const RecordKey& key) const = 0;
+
+  /// Dense upper bound on partition ids (ids are in [0, NumPartitions())).
+  virtual size_t NumPartitions() const = 0;
+};
+
+/// Adapts a lambda; convenient for workload-specific layouts.
+class FunctionPartitioner final : public Partitioner {
+ public:
+  FunctionPartitioner(std::function<PartitionId(const RecordKey&)> fn,
+                      size_t num_partitions)
+      : fn_(std::move(fn)), num_partitions_(num_partitions) {}
+
+  PartitionId PartitionOf(const RecordKey& key) const override {
+    return fn_(key);
+  }
+  size_t NumPartitions() const override { return num_partitions_; }
+
+ private:
+  std::function<PartitionId(const RecordKey&)> fn_;
+  size_t num_partitions_;
+};
+
+/// Range partitioner over a single-table dense key space: partition =
+/// row / keys_per_partition. This is the YCSB layout of Appendix C
+/// (partitions of 100 contiguous keys) and the range scheme Schism selects
+/// for YCSB in Section VI-B1.
+class RangePartitioner final : public Partitioner {
+ public:
+  RangePartitioner(uint64_t keys_per_partition, size_t num_partitions)
+      : keys_per_partition_(keys_per_partition),
+        num_partitions_(num_partitions) {}
+
+  PartitionId PartitionOf(const RecordKey& key) const override {
+    return key.row / keys_per_partition_;
+  }
+  size_t NumPartitions() const override { return num_partitions_; }
+
+ private:
+  uint64_t keys_per_partition_;
+  size_t num_partitions_;
+};
+
+}  // namespace dynamast
+
+#endif  // DYNAMAST_COMMON_PARTITIONER_H_

@@ -1,0 +1,96 @@
+#include "common/random.h"
+
+#include <cmath>
+
+namespace dynamast {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Random::Random(uint64_t seed) {
+  uint64_t x = seed;
+  for (auto& s : s_) s = SplitMix64(x);
+}
+
+uint64_t Random::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Random::Uniform(uint64_t n) { return Next() % n; }
+
+uint64_t Random::UniformRange(uint64_t lo, uint64_t hi) {
+  return lo + Uniform(hi - lo + 1);
+}
+
+double Random::NextDouble() {
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool Random::Bernoulli(double p) { return NextDouble() < p; }
+
+uint32_t Random::Binomial(uint32_t trials, double p) {
+  uint32_t successes = 0;
+  for (uint32_t i = 0; i < trials; ++i) {
+    if (Bernoulli(p)) ++successes;
+  }
+  return successes;
+}
+
+ZipfianGenerator::ZipfianGenerator(uint64_t n, double theta)
+    : n_(n), theta_(theta) {
+  zetan_ = Zeta(n, theta);
+  const double zeta2 = Zeta(2, theta);
+  alpha_ = 1.0 / (1.0 - theta);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+         (1.0 - zeta2 / zetan_);
+}
+
+double ZipfianGenerator::Zeta(uint64_t n, double theta) {
+  double sum = 0;
+  for (uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+uint64_t ZipfianGenerator::Next(Random& rng) {
+  const double u = rng.NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const uint64_t rank = static_cast<uint64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return rank >= n_ ? n_ - 1 : rank;
+}
+
+uint64_t ScrambledZipfianGenerator::Next(Random& rng) {
+  const uint64_t rank = zipf_.Next(rng);
+  // FNV-1a style scramble, then fold back into [0, n).
+  uint64_t h = 14695981039346656037ULL;
+  for (int i = 0; i < 8; ++i) {
+    h ^= (rank >> (i * 8)) & 0xff;
+    h *= 1099511628211ULL;
+  }
+  return h % zipf_.n();
+}
+
+}  // namespace dynamast

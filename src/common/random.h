@@ -1,0 +1,75 @@
+#ifndef DYNAMAST_COMMON_RANDOM_H_
+#define DYNAMAST_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace dynamast {
+
+/// Deterministic, seedable PRNG (xoshiro256**). Every stochastic component
+/// in the library (workload generators, sampling, read routing) draws from
+/// an explicitly seeded Random so experiments are reproducible.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform in [0, 2^64).
+  uint64_t Next();
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n);
+
+  /// Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  uint64_t UniformRange(uint64_t lo, uint64_t hi);
+
+  /// Uniform real in [0, 1).
+  double NextDouble();
+
+  /// True with probability p.
+  bool Bernoulli(double p);
+
+  /// Number of successes in `trials` Bernoulli(p) draws (used by the YCSB
+  /// neighbour-partition selection of Appendix C).
+  uint32_t Binomial(uint32_t trials, double p);
+
+ private:
+  uint64_t s_[4];
+};
+
+/// Zipfian generator over [0, n) with parameter theta, using the
+/// Gray/Jim-Gray YCSB rejection-free method. theta in (0, 1); the paper's
+/// skewed YCSB workloads use rho = 0.75.
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(uint64_t n, double theta);
+
+  uint64_t Next(Random& rng);
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  static double Zeta(uint64_t n, double theta);
+
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+};
+
+/// Scrambled Zipfian: spreads the hot spots across the key space by hashing
+/// ranks, matching YCSB's scrambled distribution.
+class ScrambledZipfianGenerator {
+ public:
+  ScrambledZipfianGenerator(uint64_t n, double theta) : zipf_(n, theta) {}
+
+  uint64_t Next(Random& rng);
+
+ private:
+  ZipfianGenerator zipf_;
+};
+
+}  // namespace dynamast
+
+#endif  // DYNAMAST_COMMON_RANDOM_H_

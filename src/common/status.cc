@@ -1,0 +1,47 @@
+#include "common/status.h"
+
+namespace dynamast {
+
+namespace {
+
+const char* CodeName(Status::Code code) {
+  switch (code) {
+    case Status::Code::kOk:
+      return "OK";
+    case Status::Code::kNotFound:
+      return "NotFound";
+    case Status::Code::kAlreadyExists:
+      return "AlreadyExists";
+    case Status::Code::kInvalidArgument:
+      return "InvalidArgument";
+    case Status::Code::kAborted:
+      return "Aborted";
+    case Status::Code::kTimedOut:
+      return "TimedOut";
+    case Status::Code::kNotMaster:
+      return "NotMaster";
+    case Status::Code::kUnavailable:
+      return "Unavailable";
+    case Status::Code::kCorruption:
+      return "Corruption";
+    case Status::Code::kSnapshotTooOld:
+      return "SnapshotTooOld";
+    case Status::Code::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = CodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace dynamast

@@ -1,0 +1,102 @@
+#ifndef DYNAMAST_COMMON_STATUS_H_
+#define DYNAMAST_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace dynamast {
+
+/// Status is the error-reporting vocabulary type of this library, following
+/// the RocksDB/Arrow idiom: functions that can fail return a Status (or a
+/// value plus a Status out-parameter) instead of throwing exceptions.
+///
+/// A Status is cheap to copy in the OK case (no allocation) and carries a
+/// code plus a human-readable message otherwise.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kNotFound,
+    kAlreadyExists,
+    kInvalidArgument,
+    kAborted,          // transaction aborted (conflict, injected failure)
+    kTimedOut,         // lock or freshness wait exceeded its deadline
+    kNotMaster,        // write attempted at a site that does not master item
+    kUnavailable,      // component shut down or site failed
+    kCorruption,       // log / serialization integrity failure
+    kSnapshotTooOld,   // MVCC pruned the version a snapshot needs
+    kInternal,
+  };
+
+  Status() = default;
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string_view msg = "") {
+    return Status(Code::kNotFound, msg);
+  }
+  static Status AlreadyExists(std::string_view msg = "") {
+    return Status(Code::kAlreadyExists, msg);
+  }
+  static Status InvalidArgument(std::string_view msg = "") {
+    return Status(Code::kInvalidArgument, msg);
+  }
+  static Status Aborted(std::string_view msg = "") {
+    return Status(Code::kAborted, msg);
+  }
+  static Status TimedOut(std::string_view msg = "") {
+    return Status(Code::kTimedOut, msg);
+  }
+  static Status NotMaster(std::string_view msg = "") {
+    return Status(Code::kNotMaster, msg);
+  }
+  static Status Unavailable(std::string_view msg = "") {
+    return Status(Code::kUnavailable, msg);
+  }
+  static Status Corruption(std::string_view msg = "") {
+    return Status(Code::kCorruption, msg);
+  }
+  static Status SnapshotTooOld(std::string_view msg = "") {
+    return Status(Code::kSnapshotTooOld, msg);
+  }
+  static Status Internal(std::string_view msg = "") {
+    return Status(Code::kInternal, msg);
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == Code::kAlreadyExists; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsAborted() const { return code_ == Code::kAborted; }
+  bool IsTimedOut() const { return code_ == Code::kTimedOut; }
+  bool IsNotMaster() const { return code_ == Code::kNotMaster; }
+  bool IsUnavailable() const { return code_ == Code::kUnavailable; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsSnapshotTooOld() const { return code_ == Code::kSnapshotTooOld; }
+  bool IsInternal() const { return code_ == Code::kInternal; }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders e.g. "Aborted: write-write conflict on key 42".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  Status(Code code, std::string_view msg) : code_(code), message_(msg) {}
+
+  Code code_ = Code::kOk;
+  std::string message_;
+};
+
+}  // namespace dynamast
+
+#endif  // DYNAMAST_COMMON_STATUS_H_

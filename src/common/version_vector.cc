@@ -1,0 +1,54 @@
+#include "common/version_vector.h"
+
+#include <algorithm>
+
+namespace dynamast {
+
+bool VersionVector::DominatesOrEquals(const VersionVector& other) const {
+  for (size_t k = 0; k < other.v_.size(); ++k) {
+    const uint64_t mine = k < v_.size() ? v_[k] : 0;
+    if (mine < other.v_[k]) return false;
+  }
+  return true;
+}
+
+void VersionVector::MaxWith(const VersionVector& other) {
+  if (other.v_.size() > v_.size()) v_.resize(other.v_.size(), 0);
+  for (size_t k = 0; k < other.v_.size(); ++k) {
+    v_[k] = std::max(v_[k], other.v_[k]);
+  }
+}
+
+VersionVector VersionVector::ElementwiseMax(const VersionVector& a,
+                                            const VersionVector& b) {
+  VersionVector out = a;
+  out.MaxWith(b);
+  return out;
+}
+
+uint64_t VersionVector::MissingUpdates(const VersionVector& target) const {
+  uint64_t missing = 0;
+  for (size_t k = 0; k < target.v_.size(); ++k) {
+    const uint64_t mine = k < v_.size() ? v_[k] : 0;
+    if (target.v_[k] > mine) missing += target.v_[k] - mine;
+  }
+  return missing;
+}
+
+uint64_t VersionVector::Total() const {
+  uint64_t sum = 0;
+  for (uint64_t x : v_) sum += x;
+  return sum;
+}
+
+std::string VersionVector::ToString() const {
+  std::string out = "[";
+  for (size_t k = 0; k < v_.size(); ++k) {
+    if (k > 0) out += ", ";
+    out += std::to_string(v_[k]);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace dynamast

@@ -1,0 +1,70 @@
+#ifndef DYNAMAST_COMMON_VERSION_VECTOR_H_
+#define DYNAMAST_COMMON_VERSION_VECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dynamast {
+
+/// A VersionVector is an m-dimensional vector of update counters, one entry
+/// per site, used throughout the dynamic mastering protocol (Section III-A
+/// of the paper):
+///
+///  * site version vectors (svv):  svv[i] at site i counts local update
+///    commits; svv[j] counts refresh transactions applied from site j;
+///  * transaction version vectors (tvv): a transaction's begin snapshot and
+///    commit timestamp;
+///  * client session vectors (cvv): the freshest state a client observed,
+///    used to enforce strong-session snapshot isolation.
+///
+/// All operations are value-semantic; concurrency control is the caller's
+/// responsibility (SiteManager guards its svv with a mutex).
+class VersionVector {
+ public:
+  VersionVector() = default;
+  /// Zero vector of `num_sites` dimensions.
+  explicit VersionVector(size_t num_sites) : v_(num_sites, 0) {}
+  explicit VersionVector(std::vector<uint64_t> values) : v_(std::move(values)) {}
+
+  size_t size() const { return v_.size(); }
+  bool empty() const { return v_.empty(); }
+
+  uint64_t operator[](size_t i) const { return v_[i]; }
+  uint64_t& operator[](size_t i) { return v_[i]; }
+
+  /// True iff this[k] >= other[k] for every dimension. An empty `other`
+  /// (an unconstrained session) is dominated by everything.
+  bool DominatesOrEquals(const VersionVector& other) const;
+
+  /// Folds `other` in element-wise: this[k] = max(this[k], other[k]).
+  /// Growing the vector if `other` has more dimensions.
+  void MaxWith(const VersionVector& other);
+
+  /// Returns the element-wise max of `a` and `b`.
+  static VersionVector ElementwiseMax(const VersionVector& a,
+                                      const VersionVector& b);
+
+  /// L1 distance of the positive part: sum over k of
+  /// max(0, other[k] - this[k]). This is the "number of missing updates"
+  /// count used by the refresh-delay estimate (Eq. 5).
+  uint64_t MissingUpdates(const VersionVector& target) const;
+
+  /// Sum of all entries (total updates represented by this vector).
+  uint64_t Total() const;
+
+  bool operator==(const VersionVector& other) const { return v_ == other.v_; }
+  bool operator!=(const VersionVector& other) const { return v_ != other.v_; }
+
+  const std::vector<uint64_t>& values() const { return v_; }
+
+  /// Renders e.g. "[1, 0, 2]".
+  std::string ToString() const;
+
+ private:
+  std::vector<uint64_t> v_;
+};
+
+}  // namespace dynamast
+
+#endif  // DYNAMAST_COMMON_VERSION_VECTOR_H_

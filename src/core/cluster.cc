@@ -1,0 +1,48 @@
+#include "core/cluster.h"
+
+namespace dynamast::core {
+
+Cluster::Cluster(const Options& options, const Partitioner* partitioner)
+    : options_(options),
+      partitioner_(partitioner),
+      network_(options.network),
+      logs_(options.num_sites) {
+  for (uint32_t i = 0; i < options_.num_sites; ++i) {
+    site::SiteOptions site_options = options_.site;
+    site_options.site_id = i;
+    site_options.num_sites = options_.num_sites;
+    sites_.push_back(std::make_unique<site::SiteManager>(
+        site_options, partitioner_, &logs_, &network_));
+  }
+}
+
+Cluster::~Cluster() { Stop(); }
+
+void Cluster::Start() {
+  if (!options_.replicated) return;
+  for (auto& s : sites_) s->Start();
+}
+
+void Cluster::Stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  logs_.CloseAll();
+  for (auto& s : sites_) s->Stop();
+}
+
+std::vector<site::SiteManager*> Cluster::site_pointers() {
+  std::vector<site::SiteManager*> out;
+  out.reserve(sites_.size());
+  for (auto& s : sites_) out.push_back(s.get());
+  return out;
+}
+
+Status Cluster::CreateTable(TableId id) {
+  for (auto& s : sites_) {
+    Status status = s->CreateTable(id);
+    if (!status.ok()) return status;
+  }
+  return Status::OK();
+}
+
+}  // namespace dynamast::core

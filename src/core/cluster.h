@@ -1,0 +1,67 @@
+#ifndef DYNAMAST_CORE_CLUSTER_H_
+#define DYNAMAST_CORE_CLUSTER_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/key.h"
+#include "common/partitioner.h"
+#include "log/durable_log.h"
+#include "net/sim_network.h"
+#include "site/site_manager.h"
+
+namespace dynamast::core {
+
+/// Cluster owns the shared substrate of one deployment: the simulated
+/// network, the per-site durable log topics, the partitioner, and the data
+/// sites themselves. Systems (DynaMast and baselines) are built on top of
+/// a Cluster; tests and benchmarks construct one Cluster per system under
+/// test so substrate state is never shared across systems.
+class Cluster {
+ public:
+  struct Options {
+    uint32_t num_sites = 4;
+    net::SimulatedNetwork::Options network;
+    site::SiteOptions site;  // site_id/num_sites are filled per site
+    /// If false, sites do not run refresh appliers (partition-store and
+    /// LEAP keep no replicas).
+    bool replicated = true;
+  };
+
+  /// `partitioner` must outlive the cluster.
+  Cluster(const Options& options, const Partitioner* partitioner);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  /// Starts refresh appliers (no-op for unreplicated clusters).
+  void Start();
+
+  /// Closes logs and stops all sites. Idempotent.
+  void Stop();
+
+  uint32_t num_sites() const { return options_.num_sites; }
+  const Options& options() const { return options_; }
+  net::SimulatedNetwork& network() { return network_; }
+  log::LogManager& logs() { return logs_; }
+  const Partitioner& partitioner() const { return *partitioner_; }
+
+  site::SiteManager* site(SiteId id) { return sites_[id].get(); }
+  std::vector<site::SiteManager*> site_pointers();
+
+  /// Creates a table at every site.
+  Status CreateTable(TableId id);
+
+ private:
+  Options options_;
+  const Partitioner* partitioner_;
+  net::SimulatedNetwork network_;
+  log::LogManager logs_;
+  std::vector<std::unique_ptr<site::SiteManager>> sites_;
+  bool stopped_ = false;
+};
+
+}  // namespace dynamast::core
+
+#endif  // DYNAMAST_CORE_CLUSTER_H_

@@ -1,0 +1,192 @@
+#include "core/dynamast_system.h"
+
+#include <algorithm>
+
+#include "core/site_txn_context.h"
+
+namespace dynamast::core {
+
+namespace {
+// Nominal RPC payload sizes (stored-procedure arguments / responses).
+constexpr size_t kRouteRequestBytes = 128;
+constexpr size_t kRouteResponseBytes = 64;
+constexpr size_t kExecRequestBaseBytes = 256;
+constexpr size_t kExecResponseBytes = 128;
+}  // namespace
+
+DynaMastSystem::DynaMastSystem(const Options& options,
+                               const Partitioner* partitioner)
+    : options_(options), partitioner_(partitioner),
+      cluster_(options.cluster, partitioner) {
+  selector::SelectorOptions sel = options_.selector;
+  sel.num_sites = cluster_.num_sites();
+  selector_ = std::make_unique<selector::SiteSelector>(
+      sel, cluster_.site_pointers(), partitioner, &cluster_.network());
+}
+
+DynaMastSystem::~DynaMastSystem() { Shutdown(); }
+
+Status DynaMastSystem::LoadRow(const RecordKey& key, std::string value) {
+  // Full replication: every site holds every row (Section II-B1).
+  for (SiteId s = 0; s < cluster_.num_sites(); ++s) {
+    Status status = cluster_.site(s)->LoadRecord(key, value);
+    if (!status.ok()) return status;
+  }
+  return Status::OK();
+}
+
+void DynaMastSystem::Seal() {
+  if (sealed_) return;
+  sealed_ = true;
+  const size_t n = partitioner_->NumPartitions();
+  std::vector<SiteId> placement(n, 0);
+  switch (options_.placement) {
+    case InitialPlacement::kRoundRobin:
+      for (PartitionId p = 0; p < n; ++p) {
+        placement[p] = static_cast<SiteId>(p % cluster_.num_sites());
+      }
+      break;
+    case InitialPlacement::kAllAtSiteZero:
+      break;  // all zero already
+    case InitialPlacement::kCustom:
+      placement = options_.custom_placement;
+      placement.resize(n, 0);
+      break;
+  }
+  selector_->InstallPlacement(placement);
+  cluster_.Start();
+}
+
+Status DynaMastSystem::Execute(ClientState& client, const TxnProfile& profile,
+                               const TxnLogic& logic, TxnResult* result) {
+  return profile.read_only ? ExecuteRead(client, profile, logic, result)
+                           : ExecuteWrite(client, profile, logic, result);
+}
+
+Status DynaMastSystem::ExecuteWrite(ClientState& client,
+                                    const TxnProfile& profile,
+                                    const TxnLogic& logic, TxnResult* result) {
+  net::SimulatedNetwork& net = cluster_.network();
+  // Merge declared write keys and insert-only partitions into the routing
+  // request.
+  std::vector<PartitionId> partitions;
+  partitions.reserve(profile.write_keys.size() +
+                     profile.extra_write_partitions.size());
+  for (const RecordKey& key : profile.write_keys) {
+    partitions.push_back(partitioner_->PartitionOf(key));
+  }
+  partitions.insert(partitions.end(), profile.extra_write_partitions.begin(),
+                    profile.extra_write_partitions.end());
+
+  Status last_error = Status::Internal("no attempt made");
+  for (uint32_t attempt = 0; attempt <= options_.max_retries; ++attempt) {
+    // begin_transaction RPC: client -> site selector, carrying the write
+    // set (Section III-B).
+    Stopwatch watch;
+    net.RoundTrip(net::TrafficClass::kClientRequest,
+                  kRouteRequestBytes + 8 * partitions.size(),
+                  kRouteResponseBytes);
+    const uint64_t route_rpc_micros = watch.ElapsedMicros();
+
+    watch.Restart();
+    selector::RouteResult route;
+    Status s = selector_->RouteWritePartitions(client.id, partitions,
+                                               client.session, &route);
+    const uint64_t routing_micros = watch.ElapsedMicros();
+    if (!s.ok()) {
+      last_error = s;
+      continue;
+    }
+
+    // Client submits the transaction directly to the chosen data site.
+    site::SiteManager* site = cluster_.site(route.site);
+    watch.Restart();
+    net.RoundTrip(net::TrafficClass::kClientRequest,
+                  kExecRequestBaseBytes + 32 * profile.write_keys.size(),
+                  kExecResponseBytes);
+    const uint64_t exec_rpc_micros = watch.ElapsedMicros();
+    watch.Restart();
+    site::AdmissionGate::Scoped slot(site->gate());
+    const uint64_t queue_micros = watch.ElapsedMicros();
+
+    site::TxnOptions txn_options;
+    txn_options.write_keys = profile.write_keys;
+    txn_options.min_begin_version = route.min_begin_version;
+    site::Transaction txn;
+    watch.Restart();
+    s = site->BeginTransaction(txn_options, &txn);
+    const uint64_t begin_micros = watch.ElapsedMicros();
+    if (s.IsNotMaster()) {
+      // Lost a race with a concurrent remastering; re-route.
+      last_error = s;
+      result->retries++;
+      continue;
+    }
+    if (!s.ok()) return s;
+
+    SiteTxnContext context(site, &txn);
+    watch.Restart();
+    s = logic(context);
+    const uint64_t logic_micros = watch.ElapsedMicros();
+    if (!s.ok()) {
+      site->Abort(&txn);
+      return s;
+    }
+    VersionVector commit_version;
+    watch.Restart();
+    s = site->Commit(&txn, &commit_version);
+    if (!s.ok()) return s;
+    phase_stats_.commit.Record(watch.ElapsedMicros());
+    phase_stats_.network.Record(route_rpc_micros + exec_rpc_micros);
+    phase_stats_.queueing.Record(queue_micros);
+    phase_stats_.routing.Record(routing_micros);
+    phase_stats_.begin.Record(begin_micros);
+    phase_stats_.logic.Record(logic_micros);
+    client.session.MaxWith(commit_version);
+    result->executed_at = route.site;
+    result->remastered = route.remastered;
+    return Status::OK();
+  }
+  return last_error;
+}
+
+Status DynaMastSystem::ExecuteRead(ClientState& client,
+                                   const TxnProfile& profile,
+                                   const TxnLogic& logic, TxnResult* result) {
+  (void)profile;
+  net::SimulatedNetwork& net = cluster_.network();
+  net.RoundTrip(net::TrafficClass::kClientRequest, kRouteRequestBytes,
+                kRouteResponseBytes);
+  SiteId site_id = 0;
+  Status s = selector_->RouteRead(client.id, client.session, &site_id);
+  if (!s.ok()) return s;
+
+  site::SiteManager* site = cluster_.site(site_id);
+  net.RoundTrip(net::TrafficClass::kClientRequest, kExecRequestBaseBytes,
+                kExecResponseBytes);
+  site::AdmissionGate::Scoped slot(site->gate());
+
+  site::TxnOptions txn_options;
+  txn_options.read_only = true;
+  txn_options.min_begin_version = client.session;
+  site::Transaction txn;
+  s = site->BeginTransaction(txn_options, &txn);
+  if (!s.ok()) return s;
+
+  SiteTxnContext context(site, &txn);
+  s = logic(context);
+  if (!s.ok()) {
+    site->Abort(&txn);
+    return s;
+  }
+  VersionVector commit_version;
+  s = site->Commit(&txn, &commit_version);
+  if (!s.ok()) return s;
+  client.session.MaxWith(commit_version);
+  result->executed_at = site_id;
+  return Status::OK();
+}
+
+void DynaMastSystem::Shutdown() { cluster_.Stop(); }
+
+}  // namespace dynamast::core

@@ -1,0 +1,111 @@
+#ifndef DYNAMAST_CORE_SYSTEM_INTERFACE_H_
+#define DYNAMAST_CORE_SYSTEM_INTERFACE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/key.h"
+#include "common/status.h"
+#include "common/version_vector.h"
+
+namespace dynamast::core {
+
+/// The read/write surface a stored procedure sees while executing. Every
+/// evaluated system (DynaMast and the four baselines) provides its own
+/// implementation, so one workload definition drives all systems — the
+/// paper's apples-to-apples requirement (Section VI-A1).
+class TxnContext {
+ public:
+  virtual ~TxnContext() = default;
+
+  /// Snapshot read. NotFound if the key does not exist (yet).
+  virtual Status Get(const RecordKey& key, std::string* value) = 0;
+
+  /// Updates a key declared in the transaction's write set.
+  virtual Status Put(const RecordKey& key, std::string value) = 0;
+
+  /// Inserts a fresh key (must fall in a partition covered by the declared
+  /// write set / write partitions).
+  virtual Status Insert(const RecordKey& key, std::string value) = 0;
+};
+
+/// Stored-procedure body. Returning non-OK aborts the transaction; the
+/// status is propagated to the caller.
+using TxnLogic = std::function<Status(TxnContext&)>;
+
+/// What a transaction declares up front (the paper's model assumes write
+/// sets are known, via reconnaissance queries if necessary; Section II-B1).
+struct TxnProfile {
+  /// Keys the transaction will update (locked at begin). Keys of rows
+  /// inserted during execution may be omitted if their partition is
+  /// implied by some declared key or listed in `extra_write_partitions`.
+  std::vector<RecordKey> write_keys;
+
+  /// Write partitions with no pre-known key (insert-only partitions).
+  std::vector<PartitionId> extra_write_partitions;
+
+  /// Keys the transaction will read (used by partition-store to fan out
+  /// multi-site reads and by LEAP to localize read sets). May be empty
+  /// when `read_partitions` is set.
+  std::vector<RecordKey> read_keys;
+
+  /// Read partitions, when the precise read keys are data-dependent
+  /// (e.g. TPC-C Stock-Level's order lines).
+  std::vector<PartitionId> read_partitions;
+
+  bool read_only = false;
+};
+
+/// A client session: its id and session version vector (cvv), which the
+/// systems maintain to provide strong-session snapshot isolation.
+struct ClientState {
+  ClientId id = 0;
+  VersionVector session;
+};
+
+/// Per-execution result details (latency breakdowns come from here).
+struct TxnResult {
+  SiteId executed_at = kInvalidSite;
+  bool remastered = false;      // DynaMast: this txn required remastering
+  bool distributed = false;     // baselines: executed as multi-site txn
+  uint32_t retries = 0;
+};
+
+/// A complete replicated database system under test.
+class SystemInterface {
+ public:
+  virtual ~SystemInterface() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Creates a table at every site.
+  virtual Status CreateTable(TableId id) = 0;
+
+  /// Loads one row during setup. Replicated systems install it at every
+  /// site; partitioned systems at the owning site only. Not transactional.
+  virtual Status LoadRow(const RecordKey& key, std::string value) = 0;
+
+  /// Loads a row of a static read-only table: installed at *every* site in
+  /// every system (Section VI-A1: even partition-store replicates static
+  /// read-only tables). Defaults to LoadRow for fully replicated systems.
+  virtual Status LoadReplicatedRow(const RecordKey& key, std::string value) {
+    return LoadRow(key, std::move(value));
+  }
+
+  /// Called once after loading, before clients start.
+  virtual void Seal() {}
+
+  /// Executes one transaction for `client`: routes it, runs `logic`,
+  /// commits, and updates the client's session vector. Retries internally
+  /// on transient routing races; returns the final status.
+  virtual Status Execute(ClientState& client, const TxnProfile& profile,
+                         const TxnLogic& logic, TxnResult* result) = 0;
+
+  /// Stops background machinery (appliers). Idempotent.
+  virtual void Shutdown() = 0;
+};
+
+}  // namespace dynamast::core
+
+#endif  // DYNAMAST_CORE_SYSTEM_INTERFACE_H_

@@ -1,0 +1,74 @@
+#include "log/durable_log.h"
+
+namespace dynamast::log {
+
+uint64_t DurableLog::Append(std::string serialized) {
+  std::lock_guard<std::mutex> guard(mu_);
+  entries_.push_back(std::move(serialized));
+  const uint64_t offset = entries_.size() - 1;
+  cv_.notify_all();
+  return offset;
+}
+
+uint64_t DurableLog::Size() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return entries_.size();
+}
+
+Status DurableLog::Read(uint64_t offset, std::string* out,
+                        std::chrono::steady_clock::time_point deadline) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (offset >= entries_.size()) {
+    if (closed_) return Status::Unavailable("log closed");
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout &&
+        offset >= entries_.size()) {
+      return Status::TimedOut("log read deadline");
+    }
+  }
+  *out = entries_[offset];
+  return Status::OK();
+}
+
+Status DurableLog::TryRead(uint64_t offset, std::string* out) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  if (offset >= entries_.size()) return Status::NotFound("offset beyond end");
+  *out = entries_[offset];
+  return Status::OK();
+}
+
+void DurableLog::Close() {
+  std::lock_guard<std::mutex> guard(mu_);
+  closed_ = true;
+  cv_.notify_all();
+}
+
+bool DurableLog::closed() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return closed_;
+}
+
+Status LogCursor::Next(std::string* out,
+                       std::chrono::steady_clock::time_point deadline) {
+  Status s = log_->Read(offset_, out, deadline);
+  if (s.ok()) ++offset_;
+  return s;
+}
+
+Status LogCursor::TryNext(std::string* out) {
+  Status s = log_->TryRead(offset_, out);
+  if (s.ok()) ++offset_;
+  return s;
+}
+
+LogManager::LogManager(size_t num_sites) {
+  topics_.reserve(num_sites);
+  for (size_t i = 0; i < num_sites; ++i) {
+    topics_.push_back(std::make_unique<DurableLog>());
+  }
+}
+
+void LogManager::CloseAll() {
+  for (auto& topic : topics_) topic->Close();
+}
+
+}  // namespace dynamast::log

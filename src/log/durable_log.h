@@ -1,0 +1,105 @@
+#ifndef DYNAMAST_LOG_DURABLE_LOG_H_
+#define DYNAMAST_LOG_DURABLE_LOG_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dynamast::log {
+
+/// DurableLog is an ordered, append-only topic — this repo's stand-in for
+/// one Kafka partition (the paper creates one Kafka log per site; see
+/// DESIGN.md). It provides exactly the two properties DynaMast relies on:
+///
+///  1. per-topic total order: records are delivered to every subscriber in
+///     exactly the order they were appended (the replication manager's
+///     per-origin FIFO requirement, Appendix A condition 3);
+///  2. replayability: records are retained so a recovering site can rewind
+///     a cursor to any offset and re-apply the redo log (Section V-C).
+///
+/// Entries are stored as serialized byte strings; consumers deserialize via
+/// LogRecord::Deserialize, so a corrupted entry is detected at read time.
+class DurableLog {
+ public:
+  DurableLog() = default;
+
+  DurableLog(const DurableLog&) = delete;
+  DurableLog& operator=(const DurableLog&) = delete;
+
+  /// Appends a record and returns its offset (0-based, dense).
+  uint64_t Append(std::string serialized);
+
+  /// Number of records appended so far.
+  uint64_t Size() const;
+
+  /// Reads the record at `offset`, blocking until it exists or `deadline`
+  /// passes (TimedOut), or the log is closed (Unavailable) with no record
+  /// at that offset.
+  Status Read(uint64_t offset, std::string* out,
+              std::chrono::steady_clock::time_point deadline) const;
+
+  /// Non-blocking read; NotFound if the offset has not been written.
+  Status TryRead(uint64_t offset, std::string* out) const;
+
+  /// Wakes all blocked readers and makes subsequent blocking reads past the
+  /// end return Unavailable. Used for orderly shutdown.
+  void Close();
+
+  bool closed() const;
+
+ private:
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  std::vector<std::string> entries_;
+  bool closed_ = false;
+};
+
+/// A consumer cursor over a DurableLog: tracks the next offset to read.
+/// Each (applier, origin) pair owns one cursor, mirroring Kafka consumer
+/// offsets.
+class LogCursor {
+ public:
+  explicit LogCursor(const DurableLog* log) : log_(log) {}
+
+  /// Blocking next-record read; advances on success.
+  Status Next(std::string* out,
+              std::chrono::steady_clock::time_point deadline);
+
+  /// Non-blocking; NotFound when caught up.
+  Status TryNext(std::string* out);
+
+  uint64_t offset() const { return offset_; }
+  void SeekTo(uint64_t offset) { offset_ = offset; }
+
+ private:
+  const DurableLog* log_;
+  uint64_t offset_ = 0;
+};
+
+/// LogManager owns one topic per site, the layout the paper uses ("distinct
+/// Kafka logs for updates from each site", Appendix A).
+class LogManager {
+ public:
+  explicit LogManager(size_t num_sites);
+
+  DurableLog* TopicFor(uint32_t site) { return topics_[site].get(); }
+  const DurableLog* TopicFor(uint32_t site) const {
+    return topics_[site].get();
+  }
+  size_t num_sites() const { return topics_.size(); }
+
+  void CloseAll();
+
+ private:
+  std::vector<std::unique_ptr<DurableLog>> topics_;
+};
+
+}  // namespace dynamast::log
+
+#endif  // DYNAMAST_LOG_DURABLE_LOG_H_

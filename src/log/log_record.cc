@@ -1,0 +1,147 @@
+#include "log/log_record.h"
+
+#include <cstring>
+
+namespace dynamast::log {
+
+namespace {
+
+void PutU8(std::string* out, uint8_t v) { out->push_back(static_cast<char>(v)); }
+
+void PutU32(std::string* out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->append(buf, 4);
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+void PutString(std::string* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  bool GetU8(uint8_t* v) {
+    if (pos_ + 1 > data_.size()) return false;
+    *v = static_cast<uint8_t>(data_[pos_]);
+    pos_ += 1;
+    return true;
+  }
+  bool GetU32(uint32_t* v) {
+    if (pos_ + 4 > data_.size()) return false;
+    std::memcpy(v, data_.data() + pos_, 4);
+    pos_ += 4;
+    return true;
+  }
+  bool GetU64(uint64_t* v) {
+    if (pos_ + 8 > data_.size()) return false;
+    std::memcpy(v, data_.data() + pos_, 8);
+    pos_ += 8;
+    return true;
+  }
+  bool GetString(std::string* s) {
+    uint32_t len;
+    if (!GetU32(&len)) return false;
+    if (pos_ + len > data_.size()) return false;
+    s->assign(data_.data() + pos_, len);
+    pos_ += len;
+    return true;
+  }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string LogRecord::Serialize() const {
+  std::string out;
+  out.reserve(SerializedSize());
+  PutU8(&out, static_cast<uint8_t>(type));
+  PutU32(&out, origin);
+  PutU32(&out, static_cast<uint32_t>(tvv.size()));
+  for (size_t k = 0; k < tvv.size(); ++k) PutU64(&out, tvv[k]);
+  PutU32(&out, static_cast<uint32_t>(writes.size()));
+  for (const WriteEntry& w : writes) {
+    PutU32(&out, w.key.table);
+    PutU64(&out, w.key.row);
+    PutU8(&out, w.is_insert ? 1 : 0);
+    PutString(&out, w.value);
+  }
+  PutU32(&out, static_cast<uint32_t>(partitions.size()));
+  for (PartitionId p : partitions) PutU64(&out, p);
+  PutU32(&out, transfer_peer);
+  return out;
+}
+
+Status LogRecord::Deserialize(std::string_view data, LogRecord* out) {
+  Reader reader(data);
+  uint8_t type_byte;
+  if (!reader.GetU8(&type_byte) || type_byte > 2) {
+    return Status::Corruption("bad log record type");
+  }
+  out->type = static_cast<Type>(type_byte);
+  if (!reader.GetU32(&out->origin)) {
+    return Status::Corruption("truncated origin");
+  }
+  uint32_t vv_size;
+  if (!reader.GetU32(&vv_size) || vv_size > 4096) {
+    return Status::Corruption("bad version vector size");
+  }
+  std::vector<uint64_t> vv(vv_size);
+  for (uint32_t k = 0; k < vv_size; ++k) {
+    if (!reader.GetU64(&vv[k])) return Status::Corruption("truncated vv");
+  }
+  out->tvv = VersionVector(std::move(vv));
+  uint32_t num_writes;
+  if (!reader.GetU32(&num_writes)) {
+    return Status::Corruption("truncated write count");
+  }
+  out->writes.clear();
+  out->writes.reserve(num_writes);
+  for (uint32_t i = 0; i < num_writes; ++i) {
+    WriteEntry w;
+    uint8_t insert_byte;
+    if (!reader.GetU32(&w.key.table) || !reader.GetU64(&w.key.row) ||
+        !reader.GetU8(&insert_byte) || !reader.GetString(&w.value)) {
+      return Status::Corruption("truncated write entry");
+    }
+    w.is_insert = insert_byte != 0;
+    out->writes.push_back(std::move(w));
+  }
+  uint32_t num_partitions;
+  if (!reader.GetU32(&num_partitions) || num_partitions > (1u << 20)) {
+    return Status::Corruption("bad partition count");
+  }
+  out->partitions.clear();
+  out->partitions.reserve(num_partitions);
+  for (uint32_t i = 0; i < num_partitions; ++i) {
+    uint64_t p;
+    if (!reader.GetU64(&p)) return Status::Corruption("truncated partition");
+    out->partitions.push_back(p);
+  }
+  if (!reader.GetU32(&out->transfer_peer)) {
+    return Status::Corruption("truncated transfer peer");
+  }
+  if (!reader.AtEnd()) return Status::Corruption("trailing bytes");
+  return Status::OK();
+}
+
+size_t LogRecord::SerializedSize() const {
+  size_t size = 1 + 4 + 4 + tvv.size() * 8 + 4;
+  for (const WriteEntry& w : writes) size += 4 + 8 + 1 + 4 + w.value.size();
+  size += 4 + partitions.size() * 8 + 4;
+  return size;
+}
+
+}  // namespace dynamast::log

@@ -1,0 +1,88 @@
+#include "net/sim_network.h"
+
+#include <cstdio>
+#include <thread>
+
+namespace dynamast::net {
+
+const char* TrafficClassName(TrafficClass c) {
+  switch (c) {
+    case TrafficClass::kClientRequest:
+      return "client_request";
+    case TrafficClass::kPropagation:
+      return "propagation";
+    case TrafficClass::kRemastering:
+      return "remastering";
+    case TrafficClass::kCoordination:
+      return "coordination";
+    case TrafficClass::kDataShipping:
+      return "data_shipping";
+    case TrafficClass::kNumClasses:
+      break;
+  }
+  return "unknown";
+}
+
+void SimulatedNetwork::Send(TrafficClass c, size_t bytes) {
+  auto& counter = counters_[static_cast<size_t>(c)];
+  counter.messages.fetch_add(1, std::memory_order_relaxed);
+  counter.bytes.fetch_add(bytes, std::memory_order_relaxed);
+  if (!options_.charge_delays) return;
+  const auto transmission = options_.per_kilobyte * (bytes / 1024 + 1);
+  std::this_thread::sleep_for(options_.one_way_latency + transmission);
+}
+
+void SimulatedNetwork::RoundTrip(TrafficClass c, size_t request_bytes,
+                                 size_t response_bytes) {
+  Send(c, request_bytes);
+  Send(c, response_bytes);
+}
+
+uint64_t SimulatedNetwork::MessageCount(TrafficClass c) const {
+  return counters_[static_cast<size_t>(c)].messages.load(
+      std::memory_order_relaxed);
+}
+
+uint64_t SimulatedNetwork::ByteCount(TrafficClass c) const {
+  return counters_[static_cast<size_t>(c)].bytes.load(
+      std::memory_order_relaxed);
+}
+
+uint64_t SimulatedNetwork::TotalMessages() const {
+  uint64_t total = 0;
+  for (const auto& counter : counters_) {
+    total += counter.messages.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t SimulatedNetwork::TotalBytes() const {
+  uint64_t total = 0;
+  for (const auto& counter : counters_) {
+    total += counter.bytes.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void SimulatedNetwork::ResetCounters() {
+  for (auto& counter : counters_) {
+    counter.messages.store(0, std::memory_order_relaxed);
+    counter.bytes.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::string SimulatedNetwork::ReportCounters() const {
+  std::string out;
+  char buf[160];
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    const auto c = static_cast<TrafficClass>(i);
+    std::snprintf(buf, sizeof(buf), "%-16s %12llu msgs %12.3f MB\n",
+                  TrafficClassName(c),
+                  static_cast<unsigned long long>(MessageCount(c)),
+                  static_cast<double>(ByteCount(c)) / (1024.0 * 1024.0));
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace dynamast::net

@@ -1,0 +1,119 @@
+#ifndef DYNAMAST_SELECTOR_ACCESS_STATISTICS_H_
+#define DYNAMAST_SELECTOR_ACCESS_STATISTICS_H_
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/key.h"
+
+namespace dynamast::selector {
+
+/// AccessStatistics is the site selector's workload model (Section V-B):
+/// partition write frequencies for the load-balance feature, and intra-/
+/// inter-transaction co-access counts for the localization features. It is
+/// fed by adaptively sampled transaction write sets; samples sit in a
+/// bounded transaction history queue and are expired (their contribution
+/// decremented) when the queue overflows or they age out, so the model
+/// adapts to changing workloads.
+///
+/// The class also mirrors the current mastership allocation so the balance
+/// feature can be evaluated in O(sites): per-site write-frequency totals
+/// are maintained incrementally as accesses are recorded and partitions
+/// are remastered.
+class AccessStatistics {
+ public:
+  struct Options {
+    uint32_t num_sites = 1;
+    /// Δt of Eq. 7: accesses by the same client within this window of a
+    /// sampled transaction count as inter-transaction co-accesses.
+    std::chrono::milliseconds inter_txn_window{100};
+    /// Bounded history queue; oldest samples expire on overflow.
+    size_t history_capacity = 8192;
+    /// Samples also expire after this age (workload drift adaptation).
+    std::chrono::milliseconds sample_ttl{15000};
+    /// Per-client recent-transaction memory used for inter-txn detection.
+    size_t client_history_capacity = 8;
+  };
+
+  using TimePoint = std::chrono::steady_clock::time_point;
+
+  AccessStatistics(const Options& options,
+                   const std::vector<SiteId>& initial_masters);
+
+  AccessStatistics(const AccessStatistics&) = delete;
+  AccessStatistics& operator=(const AccessStatistics&) = delete;
+
+  /// Records one sampled write set: bumps partition write frequencies,
+  /// intra-transaction pair counts, and inter-transaction pair counts
+  /// against the client's recent transactions within Δt. Expires old
+  /// samples opportunistically.
+  void RecordWriteSet(ClientId client, const std::vector<PartitionId>& parts,
+                      TimePoint now);
+
+  /// The selector calls this when it remasters `p`, keeping per-site
+  /// write totals consistent with the new allocation.
+  void OnRemaster(PartitionId p, SiteId to);
+
+  /// Fraction of recorded write accesses that partition-masters at `site`
+  /// under the current allocation — freq(X_i) of Eq. 2.
+  double SiteWriteFraction(SiteId site) const;
+
+  /// Current write-frequency count of one partition, and the grand total.
+  uint64_t PartitionWriteCount(PartitionId p) const;
+  uint64_t TotalWriteCount() const;
+
+  /// Co-access distributions of `p`: (other partition, P(other | p)).
+  /// Intra = within one transaction (Eq. 6); inter = across transactions
+  /// within Δt (Eq. 7).
+  std::vector<std::pair<PartitionId, double>> IntraCoAccess(
+      PartitionId p) const;
+  std::vector<std::pair<PartitionId, double>> InterCoAccess(
+      PartitionId p) const;
+
+  /// Mastership mirror (selector state, not ground truth at the sites).
+  SiteId MasterMirror(PartitionId p) const;
+
+  size_t HistorySize() const;
+
+ private:
+  struct Sample {
+    ClientId client;
+    TimePoint time;
+    std::vector<PartitionId> parts;
+    // Inter-transaction pairs this sample contributed (for exact
+    // decrement at expiry): (earlier partition, this partition).
+    std::vector<std::pair<PartitionId, PartitionId>> inter_pairs;
+  };
+
+  void ExpireLocked(TimePoint now);
+  void RemoveSampleLocked(const Sample& sample);
+  void BumpPair(std::unordered_map<PartitionId,
+                                   std::unordered_map<PartitionId, int64_t>>& m,
+                PartitionId a, PartitionId b, int64_t delta);
+
+  Options options_;
+
+  mutable std::mutex mu_;
+  std::vector<SiteId> master_of_;          // mirror of the allocation
+  std::vector<int64_t> partition_writes_;  // per-partition write frequency
+  std::vector<int64_t> site_writes_;       // per-site totals (allocation B)
+  int64_t total_writes_ = 0;
+  // pair counts: outer key d1, inner key d2 -> count.
+  std::unordered_map<PartitionId, std::unordered_map<PartitionId, int64_t>>
+      intra_;
+  std::unordered_map<PartitionId, std::unordered_map<PartitionId, int64_t>>
+      inter_;
+  std::deque<Sample> history_;
+  std::unordered_map<ClientId, std::deque<std::pair<TimePoint,
+                                                    std::vector<PartitionId>>>>
+      client_recent_;
+};
+
+}  // namespace dynamast::selector
+
+#endif  // DYNAMAST_SELECTOR_ACCESS_STATISTICS_H_

@@ -1,0 +1,63 @@
+#ifndef DYNAMAST_SELECTOR_PARTITION_MAP_H_
+#define DYNAMAST_SELECTOR_PARTITION_MAP_H_
+
+#include <shared_mutex>
+#include <vector>
+
+#include "common/key.h"
+
+namespace dynamast::selector {
+
+/// PartitionMap is the site selector's record of where the master copy of
+/// every partition lives (Section V-B: "for each partition group, DynaMast
+/// stores partition information that contains the current master location
+/// and a readers-writer lock").
+///
+/// Routing takes each touched partition's lock in shared mode; remastering
+/// upgrades to exclusive mode (by re-acquiring in sorted order, which keeps
+/// lock acquisition deadlock-free) so a partition cannot be concurrently
+/// remastered by two transactions.
+class PartitionMap {
+ public:
+  explicit PartitionMap(size_t num_partitions, SiteId initial_master = 0)
+      : entries_(num_partitions) {
+    for (auto& e : entries_) e.master = initial_master;
+  }
+
+  PartitionMap(const PartitionMap&) = delete;
+  PartitionMap& operator=(const PartitionMap&) = delete;
+
+  size_t NumPartitions() const { return entries_.size(); }
+
+  /// Unsynchronized master lookup (caller holds the partition lock).
+  SiteId MasterOf(PartitionId p) const { return entries_[p].master; }
+  void SetMaster(PartitionId p, SiteId site) { entries_[p].master = site; }
+
+  /// Locked single-partition lookup, for diagnostics and read paths that
+  /// tolerate immediate staleness.
+  SiteId MasterOfLocked(PartitionId p) const {
+    std::shared_lock<std::shared_mutex> lock(entries_[p].mu);
+    return entries_[p].master;
+  }
+
+  void LockShared(PartitionId p) const { entries_[p].mu.lock_shared(); }
+  void UnlockShared(PartitionId p) const { entries_[p].mu.unlock_shared(); }
+  void LockExclusive(PartitionId p) const { entries_[p].mu.lock(); }
+  void UnlockExclusive(PartitionId p) const { entries_[p].mu.unlock(); }
+
+  /// Number of partitions currently mastered at each site (diagnostics /
+  /// experiments). Takes shared locks partition by partition.
+  std::vector<size_t> MasterCounts(uint32_t num_sites) const;
+
+ private:
+  struct Entry {
+    mutable std::shared_mutex mu;
+    SiteId master = 0;
+  };
+  // Fixed at construction; Entry is neither movable nor copyable.
+  mutable std::vector<Entry> entries_;
+};
+
+}  // namespace dynamast::selector
+
+#endif  // DYNAMAST_SELECTOR_PARTITION_MAP_H_

@@ -1,0 +1,81 @@
+#ifndef DYNAMAST_SELECTOR_REPLICA_SELECTOR_H_
+#define DYNAMAST_SELECTOR_REPLICA_SELECTOR_H_
+
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+#include "common/key.h"
+#include "common/partitioner.h"
+#include "selector/site_selector.h"
+
+namespace dynamast::selector {
+
+/// ReplicaSiteSelector implements the distributed site-selector design of
+/// the paper's Appendix I: a read-mostly replica of the (single-master)
+/// site selector that clients can query instead of the master.
+///
+///  * It holds a cached copy of the master-location metadata, refreshed
+///    by Sync() (in a deployment, the master would push deltas; here the
+///    refresh copies the master's map — remastering is rare, so the cache
+///    is almost always current).
+///  * A write transaction whose cached master locations are single-sited
+///    is routed locally, with no master-selector involvement.
+///  * If the cached locations span sites (remastering would be needed) —
+///    or if the cache turns out to be stale and the data site aborts the
+///    transaction with NotMaster — the client falls back to the master
+///    selector, which alone performs remastering. Correctness is
+///    therefore unchanged: all mastership transfers remain serialized
+///    through one selector, and stale routes are caught by the site
+///    managers' mastership checks.
+class ReplicaSiteSelector {
+ public:
+  /// `master` and `partitioner` must outlive the replica.
+  ReplicaSiteSelector(SiteSelector* master, const Partitioner* partitioner);
+
+  ReplicaSiteSelector(const ReplicaSiteSelector&) = delete;
+  ReplicaSiteSelector& operator=(const ReplicaSiteSelector&) = delete;
+
+  /// Refreshes the cached master locations from the master selector.
+  void Sync();
+
+  /// Attempts a local routing decision. Returns:
+  ///  * OK and a filled RouteResult when the cached write set is
+  ///    single-sited (the common case);
+  ///  * Unavailable when the write set requires remastering — the caller
+  ///    must fall back to the master selector's RouteWrite.
+  Status TryRouteWrite(ClientId client,
+                       const std::vector<RecordKey>& write_keys,
+                       const VersionVector& client_session, RouteResult* out);
+  Status TryRouteWritePartitions(ClientId client,
+                                 std::vector<PartitionId> partitions,
+                                 const VersionVector& client_session,
+                                 RouteResult* out);
+
+  /// Read routing never requires mastership knowledge; it is served by
+  /// the replica exactly as by the master (Appendix I: "read-only
+  /// transaction routing does not change").
+  Status RouteRead(ClientId client, const VersionVector& client_session,
+                   SiteId* out_site) {
+    return master_->RouteRead(client, client_session, out_site);
+  }
+
+  uint64_t local_routes() const { return local_routes_.load(); }
+  uint64_t fallbacks() const { return fallbacks_.load(); }
+  uint64_t syncs() const { return syncs_.load(); }
+
+ private:
+  SiteSelector* master_;
+  const Partitioner* partitioner_;
+
+  mutable std::mutex cache_mu_;
+  std::vector<SiteId> cached_master_;
+
+  std::atomic<uint64_t> local_routes_{0};
+  std::atomic<uint64_t> fallbacks_{0};
+  std::atomic<uint64_t> syncs_{0};
+};
+
+}  // namespace dynamast::selector
+
+#endif  // DYNAMAST_SELECTOR_REPLICA_SELECTOR_H_

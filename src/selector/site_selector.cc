@@ -1,0 +1,290 @@
+#include "selector/site_selector.h"
+
+#include <algorithm>
+#include <thread>
+#include <unordered_map>
+
+namespace dynamast::selector {
+
+namespace {
+// Nominal sizes of remastering RPC payloads: metadata only (a partition id
+// list plus a version vector) — this is the heart of the "lightweight
+// metadata-based protocol" claim the traffic breakdown (E10) verifies.
+constexpr size_t kRemasterRequestBytes = 64;
+constexpr size_t kRemasterResponseBytes = 96;
+}  // namespace
+
+SiteSelector::SiteSelector(const SelectorOptions& options,
+                           std::vector<site::SiteManager*> sites,
+                           const Partitioner* partitioner,
+                           net::SimulatedNetwork* network)
+    : options_(options),
+      sites_(std::move(sites)),
+      partitioner_(partitioner),
+      network_(network),
+      map_(partitioner->NumPartitions(), options.initial_master),
+      strategy_(options.weights, options.num_sites),
+      counters_(options.num_sites),
+      rng_(options.seed) {
+  AccessStatistics::Options stats_options = options_.stats;
+  stats_options.num_sites = options_.num_sites;
+  std::vector<SiteId> initial(partitioner->NumPartitions(),
+                              options_.initial_master);
+  stats_ = std::make_unique<AccessStatistics>(stats_options, initial);
+}
+
+void SiteSelector::InstallPlacement(
+    const std::vector<SiteId>& master_of_partition) {
+  for (PartitionId p = 0; p < master_of_partition.size(); ++p) {
+    const SiteId owner = master_of_partition[p];
+    map_.SetMaster(p, owner);
+    stats_->OnRemaster(p, owner);
+    for (SiteId s = 0; s < options_.num_sites; ++s) {
+      sites_[s]->SetMasterOf(p, s == owner);
+    }
+  }
+}
+
+void SiteSelector::MaybeSample(ClientId client,
+                               const std::vector<PartitionId>& parts) {
+  const auto now = std::chrono::steady_clock::now();
+  bool sample;
+  {
+    std::lock_guard<std::mutex> guard(rng_mu_);
+    if (options_.adaptive_sampling) {
+      if (now - sample_window_start_ >= std::chrono::seconds(1)) {
+        // New window: if the last one overshot the budget, throttle;
+        // if it was comfortably below, recover toward the configured rate.
+        if (samples_in_window_ > options_.max_samples_per_second) {
+          effective_sample_rate_ *=
+              static_cast<double>(options_.max_samples_per_second) /
+              static_cast<double>(samples_in_window_);
+        } else if (samples_in_window_ <
+                   options_.max_samples_per_second / 2) {
+          effective_sample_rate_ = std::min(1.0, effective_sample_rate_ * 2);
+        }
+        sample_window_start_ = now;
+        samples_in_window_ = 0;
+      }
+    }
+    const double rate = options_.adaptive_sampling
+                            ? options_.sample_rate * effective_sample_rate_
+                            : options_.sample_rate;
+    sample = rng_.Bernoulli(rate);
+    if (sample) ++samples_in_window_;
+  }
+  if (sample) {
+    stats_->RecordWriteSet(client, parts, now);
+  }
+}
+
+double SiteSelector::EffectiveSampleRate() const {
+  std::lock_guard<std::mutex> guard(rng_mu_);
+  return options_.adaptive_sampling
+             ? options_.sample_rate * effective_sample_rate_
+             : options_.sample_rate;
+}
+
+Status SiteSelector::RouteWrite(ClientId client,
+                                const std::vector<RecordKey>& write_keys,
+                                const VersionVector& client_session,
+                                RouteResult* out) {
+  std::vector<PartitionId> partitions;
+  partitions.reserve(write_keys.size());
+  for (const RecordKey& key : write_keys) {
+    partitions.push_back(partitioner_->PartitionOf(key));
+  }
+  return RouteWritePartitions(client, std::move(partitions), client_session,
+                              out);
+}
+
+Status SiteSelector::RouteWritePartitions(ClientId client,
+                                          std::vector<PartitionId> partitions,
+                                          const VersionVector& client_session,
+                                          RouteResult* out) {
+  if (partitions.empty()) {
+    return Status::InvalidArgument("write route with no partitions");
+  }
+  std::sort(partitions.begin(), partitions.end());
+  partitions.erase(std::unique(partitions.begin(), partitions.end()),
+                   partitions.end());
+  counters_.write_routes.fetch_add(1);
+
+  // Fast path: shared locks in sorted order; single-master write sets
+  // route without remastering.
+  for (PartitionId p : partitions) map_.LockShared(p);
+  std::vector<SiteId> masters(partitions.size());
+  bool single_sited = true;
+  for (size_t i = 0; i < partitions.size(); ++i) {
+    masters[i] = map_.MasterOf(partitions[i]);
+    if (masters[i] != masters[0]) single_sited = false;
+  }
+  if (single_sited) {
+    const SiteId site = masters[0];
+    for (auto it = partitions.rbegin(); it != partitions.rend(); ++it) {
+      map_.UnlockShared(*it);
+    }
+    MaybeSample(client, partitions);
+    counters_.routed_to_site[site]->fetch_add(1);
+    out->site = site;
+    out->min_begin_version = client_session;
+    out->remastered = false;
+    out->partitions_moved = 0;
+    return Status::OK();
+  }
+  for (auto it = partitions.rbegin(); it != partitions.rend(); ++it) {
+    map_.UnlockShared(*it);
+  }
+
+  // Slow path: exclusive locks in sorted order (prevents concurrent
+  // remastering of any of these partitions), then re-check — a concurrent
+  // transaction with a common write set may have co-located them already,
+  // in which case its remastering is amortized over this transaction too.
+  for (PartitionId p : partitions) map_.LockExclusive(p);
+  single_sited = true;
+  for (size_t i = 0; i < partitions.size(); ++i) {
+    masters[i] = map_.MasterOf(partitions[i]);
+    if (masters[i] != masters[0]) single_sited = false;
+  }
+  if (single_sited) {
+    const SiteId site = masters[0];
+    for (auto it = partitions.rbegin(); it != partitions.rend(); ++it) {
+      map_.UnlockExclusive(*it);
+    }
+    MaybeSample(client, partitions);
+    counters_.routed_to_site[site]->fetch_add(1);
+    out->site = site;
+    out->min_begin_version = client_session;
+    out->remastered = false;
+    out->partitions_moved = 0;
+    return Status::OK();
+  }
+
+  // Remastering decision (Eq. 8), evaluating every candidate site.
+  RemasterDecisionInput input;
+  input.write_partitions = partitions;
+  input.current_masters = masters;
+  input.client_session = client_session;
+  input.site_versions.reserve(sites_.size());
+  for (site::SiteManager* s : sites_) {
+    input.site_versions.push_back(s->CurrentVersion());
+  }
+  const SiteId dest = strategy_.ChooseSite(input, *stats_);
+
+  VersionVector out_vv(options_.num_sites);
+  uint32_t moved = 0;
+  Status s = Remaster(partitions, masters, dest, &out_vv, &moved);
+  if (!s.ok()) {
+    for (auto it = partitions.rbegin(); it != partitions.rend(); ++it) {
+      map_.UnlockExclusive(*it);
+    }
+    return s;
+  }
+
+  for (size_t i = 0; i < partitions.size(); ++i) {
+    if (masters[i] != dest) {
+      map_.SetMaster(partitions[i], dest);
+      stats_->OnRemaster(partitions[i], dest);
+    }
+  }
+  for (auto it = partitions.rbegin(); it != partitions.rend(); ++it) {
+    map_.UnlockExclusive(*it);
+  }
+
+  MaybeSample(client, partitions);
+  counters_.remastered_txns.fetch_add(1);
+  counters_.partitions_remastered.fetch_add(moved);
+  counters_.routed_to_site[dest]->fetch_add(1);
+
+  out->site = dest;
+  out->min_begin_version =
+      VersionVector::ElementwiseMax(out_vv, client_session);
+  out->remastered = true;
+  out->partitions_moved = moved;
+  return Status::OK();
+}
+
+Status SiteSelector::Remaster(const std::vector<PartitionId>& partitions,
+                              const std::vector<SiteId>& masters, SiteId dest,
+                              VersionVector* out_vv, uint32_t* moved) {
+  // Group the partitions to transfer by their current master (Algorithm 1
+  // line 2), then run the release->grant chains for the groups in
+  // parallel (line 4: "In parallel").
+  std::unordered_map<SiteId, std::vector<PartitionId>> groups;
+  for (size_t i = 0; i < partitions.size(); ++i) {
+    if (masters[i] != dest) groups[masters[i]].push_back(partitions[i]);
+  }
+  *moved = 0;
+  for (const auto& [src, group] : groups) {
+    *moved += static_cast<uint32_t>(group.size());
+  }
+
+  std::mutex result_mu;
+  Status first_error;
+  std::vector<std::thread> workers;
+  workers.reserve(groups.size());
+  for (auto& [src, group] : groups) {
+    workers.emplace_back([this, src = src, &group, dest, out_vv, &result_mu,
+                          &first_error] {
+      // Release RPC to the current master (metadata only).
+      if (network_ != nullptr) {
+        network_->RoundTrip(net::TrafficClass::kRemastering,
+                            kRemasterRequestBytes, kRemasterResponseBytes);
+      }
+      VersionVector release_vv;
+      Status s = sites_[src]->Release(group, dest, &release_vv);
+      if (!s.ok()) {
+        std::lock_guard<std::mutex> guard(result_mu);
+        if (first_error.ok()) first_error = s;
+        return;
+      }
+      // Grant RPC to the destination, immediately after release completes.
+      if (network_ != nullptr) {
+        network_->RoundTrip(net::TrafficClass::kRemastering,
+                            kRemasterRequestBytes, kRemasterResponseBytes);
+      }
+      VersionVector grant_vv;
+      s = sites_[dest]->Grant(group, src, release_vv, &grant_vv);
+      std::lock_guard<std::mutex> guard(result_mu);
+      if (!s.ok()) {
+        if (first_error.ok()) first_error = s;
+        return;
+      }
+      out_vv->MaxWith(grant_vv);  // Algorithm 1 line 9
+    });
+  }
+  for (auto& w : workers) w.join();
+  return first_error;
+}
+
+Status SiteSelector::RouteRead(ClientId client,
+                               const VersionVector& client_session,
+                               SiteId* out_site) {
+  (void)client;
+  counters_.read_routes.fetch_add(1);
+  // Gather sites satisfying the session freshness guarantee; pick one at
+  // random (Section IV-B: minimizes blocking and spreads load). If none
+  // qualify (selector view may be stale), fall back to the freshest site;
+  // the begin path will block until the session requirement is met.
+  std::vector<SiteId> fresh;
+  SiteId freshest = 0;
+  uint64_t freshest_total = 0;
+  for (SiteId s = 0; s < options_.num_sites; ++s) {
+    const VersionVector svv = sites_[s]->CurrentVersion();
+    if (svv.DominatesOrEquals(client_session)) fresh.push_back(s);
+    const uint64_t total = svv.Total();
+    if (total >= freshest_total) {
+      freshest_total = total;
+      freshest = s;
+    }
+  }
+  if (fresh.empty()) {
+    *out_site = freshest;
+  } else {
+    std::lock_guard<std::mutex> guard(rng_mu_);
+    *out_site = fresh[rng_.Uniform(fresh.size())];
+  }
+  return Status::OK();
+}
+
+}  // namespace dynamast::selector

@@ -1,0 +1,149 @@
+#include "selector/strategy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace dynamast::selector {
+
+double RemasterStrategy::BalanceDistance(
+    const std::vector<double>& site_fractions) {
+  const double ideal = 1.0 / static_cast<double>(site_fractions.size());
+  double dist = 0;
+  for (double f : site_fractions) dist += (ideal - f) * (ideal - f);
+  return dist;
+}
+
+double RemasterStrategy::BalanceFeature(const RemasterDecisionInput& input,
+                                        const AccessStatistics& stats,
+                                        SiteId candidate) const {
+  // Current allocation B.
+  std::vector<double> before(num_sites_);
+  for (SiteId s = 0; s < num_sites_; ++s) before[s] = stats.SiteWriteFraction(s);
+
+  // Projected allocation A(S): the write set's partitions move their write
+  // frequency to the candidate.
+  const double total =
+      static_cast<double>(std::max<uint64_t>(stats.TotalWriteCount(), 1));
+  std::vector<double> after = before;
+  std::unordered_set<PartitionId> seen;
+  for (size_t i = 0; i < input.write_partitions.size(); ++i) {
+    const PartitionId p = input.write_partitions[i];
+    if (!seen.insert(p).second) continue;
+    const double share =
+        static_cast<double>(stats.PartitionWriteCount(p)) / total;
+    after[input.current_masters[i]] -= share;
+    after[candidate] += share;
+  }
+
+  const double dist_before = BalanceDistance(before);
+  const double dist_after = BalanceDistance(after);
+  // Eq. 3: change in balance; Eq. 4 (f_balance_rate): how much imbalance
+  // is at stake; combined (unnumbered eq. after Eq. 4).
+  const double delta = dist_before - dist_after;
+  const double rate = std::max(dist_before, dist_after);
+  return delta * std::exp(rate);
+}
+
+double RemasterStrategy::DelayFeature(const RemasterDecisionInput& input,
+                                      SiteId candidate) const {
+  // Eq. 5: updates the candidate must still apply before the transaction
+  // can begin: the dimension-wise max of the client session vector and the
+  // source sites' version vectors, minus the candidate's vector, positive
+  // part, L1.
+  VersionVector target = input.client_session;
+  for (size_t i = 0; i < input.write_partitions.size(); ++i) {
+    const SiteId src = input.current_masters[i];
+    if (src == candidate) continue;
+    if (src < input.site_versions.size()) {
+      target.MaxWith(input.site_versions[src]);
+    }
+  }
+  if (candidate >= input.site_versions.size()) return 0;
+  return static_cast<double>(
+      input.site_versions[candidate].MissingUpdates(target));
+}
+
+double RemasterStrategy::LocalizationFeature(
+    const RemasterDecisionInput& input, const AccessStatistics& stats,
+    SiteId candidate, bool intra) const {
+  // Eq. 6 / Eq. 7. After remastering to the candidate, every partition in
+  // the write set masters there; other partitions keep their mirror
+  // location.
+  std::unordered_map<PartitionId, SiteId> master_before;
+  for (size_t i = 0; i < input.write_partitions.size(); ++i) {
+    master_before[input.write_partitions[i]] = input.current_masters[i];
+  }
+  auto after_master = [&](PartitionId d) -> SiteId {
+    auto it = master_before.find(d);
+    if (it != master_before.end()) return candidate;  // part of write set
+    return stats.MasterMirror(d);
+  };
+
+  double score = 0;
+  std::unordered_set<PartitionId> seen;
+  for (size_t i = 0; i < input.write_partitions.size(); ++i) {
+    const PartitionId d1 = input.write_partitions[i];
+    if (!seen.insert(d1).second) continue;
+    const auto co = intra ? stats.IntraCoAccess(d1) : stats.InterCoAccess(d1);
+    for (const auto& [d2, prob] : co) {
+      const SiteId d2_before = master_before.count(d2)
+                                   ? master_before[d2]
+                                   : stats.MasterMirror(d2);
+      const bool together_before = input.current_masters[i] == d2_before;
+      const bool together_after = candidate == after_master(d2);
+      int single_sited = 0;
+      if (together_after && !together_before) single_sited = 1;
+      if (!together_after && together_before) single_sited = -1;
+      score += prob * static_cast<double>(single_sited);
+    }
+  }
+  return score;
+}
+
+void RemasterStrategy::ScoreSites(const RemasterDecisionInput& input,
+                                  const AccessStatistics& stats,
+                                  std::vector<SiteScore>* out) const {
+  out->clear();
+  out->reserve(num_sites_);
+  for (SiteId s = 0; s < num_sites_; ++s) {
+    SiteScore score;
+    score.site = s;
+    score.f_balance = BalanceFeature(input, stats, s);
+    score.f_refresh_delay = DelayFeature(input, s);
+    score.f_intra_txn = LocalizationFeature(input, stats, s, /*intra=*/true);
+    score.f_inter_txn = LocalizationFeature(input, stats, s, /*intra=*/false);
+    score.total = weights_.balance * score.f_balance -
+                  weights_.delay * score.f_refresh_delay +
+                  weights_.intra_txn * score.f_intra_txn +
+                  weights_.inter_txn * score.f_inter_txn;
+    out->push_back(score);
+  }
+}
+
+SiteId RemasterStrategy::ChooseSite(const RemasterDecisionInput& input,
+                                    const AccessStatistics& stats) const {
+  std::vector<SiteScore> scores;
+  ScoreSites(input, stats, &scores);
+
+  // Tie-break preference: the site already mastering the most of the
+  // write set needs the fewest release/grant transfers.
+  std::vector<size_t> already_mastered(num_sites_, 0);
+  for (SiteId m : input.current_masters) {
+    if (m < num_sites_) already_mastered[m]++;
+  }
+
+  SiteId best = 0;
+  for (SiteId s = 1; s < num_sites_; ++s) {
+    constexpr double kEpsilon = 1e-12;
+    if (scores[s].total > scores[best].total + kEpsilon) {
+      best = s;
+    } else if (std::abs(scores[s].total - scores[best].total) <= kEpsilon &&
+               already_mastered[s] > already_mastered[best]) {
+      best = s;
+    }
+  }
+  return best;
+}
+
+}  // namespace dynamast::selector

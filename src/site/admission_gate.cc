@@ -1,0 +1,24 @@
+#include "site/admission_gate.h"
+
+namespace dynamast::site {
+
+void AdmissionGate::Enter() {
+  std::unique_lock<std::mutex> lock(mu_);
+  ++waiting_;
+  cv_.wait(lock, [&] { return free_slots_ > 0; });
+  --waiting_;
+  --free_slots_;
+}
+
+void AdmissionGate::Exit() {
+  std::lock_guard<std::mutex> guard(mu_);
+  ++free_slots_;
+  cv_.notify_one();
+}
+
+uint64_t AdmissionGate::QueueDepth() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return waiting_;
+}
+
+}  // namespace dynamast::site

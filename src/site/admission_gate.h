@@ -1,0 +1,52 @@
+#ifndef DYNAMAST_SITE_ADMISSION_GATE_H_
+#define DYNAMAST_SITE_ADMISSION_GATE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace dynamast::site {
+
+/// Bounded admission control for a data site: at most `slots` transactions
+/// execute concurrently; excess arrivals queue. Together with the simulated
+/// per-operation service time this models a site's CPU capacity, producing
+/// the saturation behaviour (queueing delay growth) that makes the
+/// single-master site a bottleneck in the paper's experiments.
+class AdmissionGate {
+ public:
+  explicit AdmissionGate(size_t slots) : free_slots_(slots) {}
+
+  AdmissionGate(const AdmissionGate&) = delete;
+  AdmissionGate& operator=(const AdmissionGate&) = delete;
+
+  /// Blocks until a slot is free, then occupies it.
+  void Enter();
+
+  /// Frees a slot.
+  void Exit();
+
+  /// Number of arrivals currently waiting for a slot (diagnostics).
+  uint64_t QueueDepth() const;
+
+  /// RAII slot occupancy.
+  class Scoped {
+   public:
+    explicit Scoped(AdmissionGate& gate) : gate_(gate) { gate_.Enter(); }
+    ~Scoped() { gate_.Exit(); }
+    Scoped(const Scoped&) = delete;
+    Scoped& operator=(const Scoped&) = delete;
+
+   private:
+    AdmissionGate& gate_;
+  };
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  size_t free_slots_;
+  uint64_t waiting_ = 0;
+};
+
+}  // namespace dynamast::site
+
+#endif  // DYNAMAST_SITE_ADMISSION_GATE_H_

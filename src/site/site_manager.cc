@@ -1,0 +1,523 @@
+#include "site/site_manager.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace dynamast::site {
+
+namespace {
+// How long an applier blocks on the log before re-checking for shutdown.
+constexpr std::chrono::milliseconds kApplierPollInterval{100};
+// Max refresh records applied per simulated network delivery (Kafka-style
+// consumer batching; see DESIGN.md on propagation-delay modelling).
+constexpr size_t kApplierBatchSize = 64;
+}  // namespace
+
+SiteManager::SiteManager(const SiteOptions& options,
+                         const Partitioner* partitioner,
+                         log::LogManager* logs,
+                         net::SimulatedNetwork* network)
+    : options_(options),
+      partitioner_(partitioner),
+      logs_(logs),
+      network_(network),
+      engine_(options.storage),
+      gate_(options.worker_slots),
+      svv_(options.num_sites) {}
+
+SiteManager::~SiteManager() { Stop(); }
+
+void SiteManager::Start() {
+  if (started_) return;
+  started_ = true;
+  for (SiteId origin = 0; origin < options_.num_sites; ++origin) {
+    if (origin == options_.site_id) continue;
+    appliers_.emplace_back([this, origin] { ApplierLoop(origin); });
+  }
+}
+
+void SiteManager::Stop() {
+  if (stopping_.exchange(true)) {
+    // Already stopping; just join if needed.
+  }
+  state_cv_.notify_all();
+  for (auto& t : appliers_) {
+    if (t.joinable()) t.join();
+  }
+  appliers_.clear();
+}
+
+VersionVector SiteManager::CurrentVersion() const {
+  std::lock_guard<std::mutex> guard(state_mu_);
+  return svv_;
+}
+
+Status SiteManager::WaitForVersion(const VersionVector& min) const {
+  const auto deadline =
+      std::chrono::steady_clock::now() + options_.freshness_timeout;
+  std::unique_lock<std::mutex> lock(state_mu_);
+  while (!svv_.DominatesOrEquals(min)) {
+    if (stopping_.load()) return Status::Unavailable("site stopping");
+    if (state_cv_.wait_until(lock, deadline) == std::cv_status::timeout &&
+        !svv_.DominatesOrEquals(min)) {
+      return Status::TimedOut("freshness wait: site at " + svv_.ToString() +
+                              " needs " + min.ToString());
+    }
+  }
+  return Status::OK();
+}
+
+void SiteManager::ChargeOps(size_t reads, size_t writes) const {
+  ChargeDuration(options_.read_op_cost * reads +
+                 options_.write_op_cost * writes);
+}
+
+void SiteManager::ChargeDuration(std::chrono::nanoseconds d) const {
+  if (d.count() <= 0) return;
+  std::this_thread::sleep_for(d);
+}
+
+// ---------------------------------------------------------------------
+// Transaction lifecycle
+// ---------------------------------------------------------------------
+
+Status SiteManager::BeginTransaction(const TxnOptions& opts, Transaction* txn) {
+  if (!opts.min_begin_version.empty()) {
+    Status s = WaitForVersion(opts.min_begin_version);
+    if (!s.ok()) return s;
+  }
+
+  txn->site_ = this;
+  txn->id_ = next_txn_id_.fetch_add(1);
+  txn->read_only_ = opts.read_only;
+  txn->staged_.clear();
+  txn->locked_keys_.clear();
+  txn->write_partitions_.clear();
+  txn->op_count_ = 0;
+
+  if (opts.read_only) {
+    std::lock_guard<std::mutex> guard(state_mu_);
+    txn->begin_version_ = svv_;
+    txn->active_ = true;
+    return Status::OK();
+  }
+
+  // Determine write partitions (deduplicated).
+  std::vector<PartitionId> partitions;
+  partitions.reserve(opts.write_keys.size());
+  for (const RecordKey& key : opts.write_keys) {
+    partitions.push_back(partitioner_->PartitionOf(key));
+  }
+  std::sort(partitions.begin(), partitions.end());
+  partitions.erase(std::unique(partitions.begin(), partitions.end()),
+                   partitions.end());
+
+  // Admission: mastership check + active-writer registration must be
+  // atomic with respect to Release draining this partition.
+  {
+    std::lock_guard<std::mutex> guard(state_mu_);
+    if (options_.enforce_mastership && !opts.skip_mastership_check) {
+      for (PartitionId p : partitions) {
+        if (mastered_.find(p) == mastered_.end()) {
+          counters_.aborts.fetch_add(1);
+          return Status::NotMaster("site " + std::to_string(site_id()) +
+                                   " does not master partition " +
+                                   std::to_string(p));
+        }
+      }
+    }
+    for (PartitionId p : partitions) active_writers_[p]++;
+    txn->write_partitions_ = std::move(partitions);
+  }
+
+  // Write-write mutual exclusion: lock the declared write set in sorted
+  // order (Section V-A1 — blocking locks instead of aborts).
+  const auto deadline = std::chrono::steady_clock::now() + options_.lock_timeout;
+  Status s = engine_.lock_manager().AcquireAll(opts.write_keys, txn->id_,
+                                               deadline);
+  if (!s.ok()) {
+    std::lock_guard<std::mutex> guard(state_mu_);
+    for (PartitionId p : txn->write_partitions_) {
+      if (--active_writers_[p] == 0) active_writers_.erase(p);
+    }
+    state_cv_.notify_all();
+    counters_.aborts.fetch_add(1);
+    return s;
+  }
+  txn->locked_keys_ = opts.write_keys;
+  std::sort(txn->locked_keys_.begin(), txn->locked_keys_.end());
+  txn->locked_keys_.erase(
+      std::unique(txn->locked_keys_.begin(), txn->locked_keys_.end()),
+      txn->locked_keys_.end());
+
+  // Begin snapshot is taken after lock acquisition (Appendix A, Case 1:
+  // if T1 locks after T2 commits, T2's commit is in T1's begin vector).
+  {
+    std::lock_guard<std::mutex> guard(state_mu_);
+    txn->begin_version_ = svv_;
+  }
+  txn->active_ = true;
+  return Status::OK();
+}
+
+Status SiteManager::TxnGet(Transaction* txn, const RecordKey& key,
+                           std::string* value) {
+  txn->op_count_++;
+  auto it = txn->staged_.find(key);
+  if (it != txn->staged_.end()) {
+    *value = it->second.first;
+    return Status::OK();
+  }
+  return engine_.Read(key, txn->begin_version_, value);
+}
+
+Status SiteManager::TxnPut(Transaction* txn, const RecordKey& key,
+                           std::string value, bool is_insert) {
+  txn->op_count_++;
+  auto staged_it = txn->staged_.find(key);
+  const bool already_staged = staged_it != txn->staged_.end();
+  if (!already_staged && !engine_.lock_manager().Holds(key, txn->id_)) {
+    if (!is_insert) {
+      return Status::InvalidArgument("write to undeclared key " +
+                                     key.ToString());
+    }
+    // Dynamic insert: register its partition and lock the key.
+    const PartitionId p = partitioner_->PartitionOf(key);
+    {
+      std::lock_guard<std::mutex> guard(state_mu_);
+      if (options_.enforce_mastership &&
+          mastered_.find(p) == mastered_.end()) {
+        return Status::NotMaster("insert into unmastered partition " +
+                                 std::to_string(p));
+      }
+      if (std::find(txn->write_partitions_.begin(),
+                    txn->write_partitions_.end(),
+                    p) == txn->write_partitions_.end()) {
+        active_writers_[p]++;
+        txn->write_partitions_.push_back(p);
+      }
+    }
+    const auto deadline =
+        std::chrono::steady_clock::now() + options_.lock_timeout;
+    Status s = engine_.lock_manager().Acquire(key, txn->id_, deadline);
+    if (!s.ok()) return s;
+    txn->locked_keys_.push_back(key);
+  }
+  if (already_staged) {
+    staged_it->second.first = std::move(value);
+  } else {
+    txn->staged_.emplace(key, std::make_pair(std::move(value), is_insert));
+  }
+  return Status::OK();
+}
+
+Status SiteManager::Commit(Transaction* txn, VersionVector* commit_version) {
+  if (!txn->active_) return Status::InvalidArgument("transaction not active");
+  txn->active_ = false;
+
+  if (txn->read_only_ || txn->staged_.empty()) {
+    // Nothing to install; release any locks and unregister.
+    engine_.lock_manager().ReleaseAll(txn->locked_keys_, txn->id_);
+    if (!txn->write_partitions_.empty()) {
+      std::lock_guard<std::mutex> guard(state_mu_);
+      for (PartitionId p : txn->write_partitions_) {
+        auto it = active_writers_.find(p);
+        if (it != active_writers_.end() && --it->second == 0) {
+          active_writers_.erase(it);
+        }
+      }
+      state_cv_.notify_all();
+    }
+    *commit_version = txn->begin_version_;
+    return Status::OK();
+  }
+
+  log::LogRecord record;
+  record.type = log::LogRecord::Type::kUpdate;
+  record.origin = site_id();
+  record.writes.reserve(txn->staged_.size());
+  for (auto& [key, staged] : txn->staged_) {
+    record.writes.push_back(
+        log::WriteEntry{key, std::move(staged.first), staged.second});
+  }
+
+  {
+    std::lock_guard<std::mutex> guard(state_mu_);
+    const uint64_t seq = svv_[site_id()] + 1;
+    // Commit timestamp: begin vector with this site's slot set to the new
+    // local sequence number (Section III-A).
+    VersionVector tvv = txn->begin_version_;
+    tvv[site_id()] = seq;
+    record.tvv = tvv;
+    // Install versions before publishing the new svv so no concurrent
+    // snapshot can observe seq without the versions being readable.
+    for (const log::WriteEntry& w : record.writes) {
+      engine_.Install(w.key, site_id(), seq, w.value);
+    }
+    // Append to the redo/propagation log inside the critical section so
+    // topic order equals commit order (appliers rely on it).
+    logs_->TopicFor(site_id())->Append(record.Serialize());
+    svv_[site_id()] = seq;
+    for (PartitionId p : txn->write_partitions_) {
+      auto it = active_writers_.find(p);
+      if (it != active_writers_.end() && --it->second == 0) {
+        active_writers_.erase(it);
+      }
+    }
+    *commit_version = tvv;
+    state_cv_.notify_all();
+  }
+
+  engine_.lock_manager().ReleaseAll(txn->locked_keys_, txn->id_);
+  counters_.local_commits.fetch_add(1);
+  return Status::OK();
+}
+
+void SiteManager::Abort(Transaction* txn) {
+  if (!txn->active_) return;
+  txn->active_ = false;
+  txn->staged_.clear();
+  engine_.lock_manager().ReleaseAll(txn->locked_keys_, txn->id_);
+  if (!txn->write_partitions_.empty()) {
+    std::lock_guard<std::mutex> guard(state_mu_);
+    for (PartitionId p : txn->write_partitions_) {
+      auto it = active_writers_.find(p);
+      if (it != active_writers_.end() && --it->second == 0) {
+        active_writers_.erase(it);
+      }
+    }
+    state_cv_.notify_all();
+  }
+  counters_.aborts.fetch_add(1);
+}
+
+// ---------------------------------------------------------------------
+// Mastership: release / grant
+// ---------------------------------------------------------------------
+
+void SiteManager::SetMasterOf(PartitionId partition, bool is_master) {
+  std::lock_guard<std::mutex> guard(state_mu_);
+  if (is_master) {
+    mastered_.insert(partition);
+  } else {
+    mastered_.erase(partition);
+  }
+}
+
+bool SiteManager::IsMasterOf(PartitionId partition) const {
+  std::lock_guard<std::mutex> guard(state_mu_);
+  return mastered_.find(partition) != mastered_.end();
+}
+
+std::vector<PartitionId> SiteManager::MasteredPartitions() const {
+  std::lock_guard<std::mutex> guard(state_mu_);
+  return std::vector<PartitionId>(mastered_.begin(), mastered_.end());
+}
+
+VersionVector SiteManager::AppendMarkerLocked(
+    log::LogRecord::Type type, const std::vector<PartitionId>& partitions,
+    SiteId peer) {
+  const uint64_t seq = svv_[site_id()] + 1;
+  log::LogRecord record;
+  record.type = type;
+  record.origin = site_id();
+  record.tvv = svv_;
+  record.tvv[site_id()] = seq;
+  record.partitions = partitions;
+  record.transfer_peer = peer;
+  logs_->TopicFor(site_id())->Append(record.Serialize());
+  svv_[site_id()] = seq;
+  state_cv_.notify_all();
+  return svv_;
+}
+
+Status SiteManager::Release(const std::vector<PartitionId>& partitions,
+                            SiteId to_site, VersionVector* release_version) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + options_.freshness_timeout;
+  std::unique_lock<std::mutex> lock(state_mu_);
+  for (PartitionId p : partitions) {
+    if (mastered_.find(p) == mastered_.end()) {
+      return Status::NotMaster("release of unmastered partition " +
+                               std::to_string(p));
+    }
+  }
+  // Stop admitting new write transactions on these partitions, then wait
+  // for in-flight writers to drain ("waits for any ongoing transactions
+  // writing the data to finish", Section III-B).
+  for (PartitionId p : partitions) mastered_.erase(p);
+  auto drained = [&] {
+    for (PartitionId p : partitions) {
+      if (active_writers_.count(p) > 0) return false;
+    }
+    return true;
+  };
+  while (!drained()) {
+    if (stopping_.load()) {
+      for (PartitionId p : partitions) mastered_.insert(p);
+      return Status::Unavailable("site stopping");
+    }
+    if (state_cv_.wait_until(lock, deadline) == std::cv_status::timeout &&
+        !drained()) {
+      for (PartitionId p : partitions) mastered_.insert(p);
+      return Status::TimedOut("release drain");
+    }
+  }
+  *release_version =
+      AppendMarkerLocked(log::LogRecord::Type::kRelease, partitions, to_site);
+  counters_.releases.fetch_add(1);
+  return Status::OK();
+}
+
+Status SiteManager::Grant(const std::vector<PartitionId>& partitions,
+                          SiteId from_site,
+                          const VersionVector& release_version,
+                          VersionVector* grant_version) {
+  // Wait until every update up to the point of release has been applied
+  // here, so the first transaction on the new master sees all prior writes
+  // to the remastered items.
+  Status s = WaitForVersion(release_version);
+  if (!s.ok()) return s;
+  std::lock_guard<std::mutex> guard(state_mu_);
+  *grant_version =
+      AppendMarkerLocked(log::LogRecord::Type::kGrant, partitions, from_site);
+  for (PartitionId p : partitions) mastered_.insert(p);
+  counters_.grants.fetch_add(1);
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------
+// Refresh application (Eq. 1)
+// ---------------------------------------------------------------------
+
+bool SiteManager::ApplyRefreshRecord(const log::LogRecord& record) {
+  const SiteId origin = record.origin;
+  const uint64_t seq = record.tvv[origin];
+  std::unique_lock<std::mutex> lock(state_mu_);
+  // Update application rule, Eq. 1: all cross-origin dependencies applied
+  // and this record is the next in the origin's commit order.
+  auto applicable = [&] {
+    if (svv_[origin] != seq - 1) return false;
+    for (size_t k = 0; k < record.tvv.size(); ++k) {
+      if (k == origin) continue;
+      if (svv_[k] < record.tvv[k]) return false;
+    }
+    return true;
+  };
+  while (!applicable()) {
+    if (stopping_.load()) return false;
+    state_cv_.wait_for(lock, kApplierPollInterval);
+  }
+  for (const log::WriteEntry& w : record.writes) {
+    engine_.Install(w.key, origin, seq, w.value);
+  }
+  // Markers carry no writes; applying them just advances the origin slot,
+  // preserving the dense per-origin sequence.
+  svv_[origin] = seq;
+  state_cv_.notify_all();
+  counters_.refresh_applied.fetch_add(1);
+  return true;
+}
+
+void SiteManager::ApplierLoop(SiteId origin) {
+  log::LogCursor cursor(logs_->TopicFor(origin));
+  std::vector<log::LogRecord> batch;
+  std::string raw;
+  while (!stopping_.load()) {
+    batch.clear();
+    size_t batch_bytes = 0;
+    // One blocking read, then drain whatever else is available (consumer
+    // batching: one simulated network delivery covers the batch).
+    Status s = cursor.Next(&raw, std::chrono::steady_clock::now() +
+                                     kApplierPollInterval);
+    if (s.IsTimedOut()) continue;
+    if (!s.ok()) return;  // log closed
+    log::LogRecord record;
+    if (!log::LogRecord::Deserialize(raw, &record).ok()) return;
+    batch_bytes += raw.size();
+    batch.push_back(std::move(record));
+    while (batch.size() < kApplierBatchSize && cursor.TryNext(&raw).ok()) {
+      log::LogRecord next;
+      if (!log::LogRecord::Deserialize(raw, &next).ok()) return;
+      batch_bytes += raw.size();
+      batch.push_back(std::move(next));
+    }
+    if (network_ != nullptr) {
+      network_->Send(net::TrafficClass::kPropagation, batch_bytes);
+    }
+    // Refresh application consumes site resources: charge the apply cost
+    // for the batch before installing (replica-maintenance overhead;
+    // unreplicated systems like LEAP skip this entirely).
+    size_t applied_writes = 0;
+    for (const log::LogRecord& r : batch) applied_writes += r.writes.size();
+    ChargeDuration(options_.apply_op_cost * applied_writes);
+    for (const log::LogRecord& r : batch) {
+      if (!ApplyRefreshRecord(r)) return;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Loading & recovery
+// ---------------------------------------------------------------------
+
+Status SiteManager::CreateTable(TableId id) { return engine_.CreateTable(id); }
+
+Status SiteManager::LoadRecord(const RecordKey& key, std::string value) {
+  // Initial data is stamped (origin 0, seq 0): visible to every snapshot.
+  return engine_.Install(key, 0, 0, std::move(value));
+}
+
+Status SiteManager::RecoverFromLogs(
+    const std::unordered_map<PartitionId, SiteId>& initial_masters,
+    std::unordered_map<PartitionId, SiteId>* recovered_masters) {
+  *recovered_masters = initial_masters;
+  std::vector<uint64_t> offsets(options_.num_sites, 0);
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (SiteId origin = 0; origin < options_.num_sites; ++origin) {
+      std::string raw;
+      while (logs_->TopicFor(origin)->TryRead(offsets[origin], &raw).ok()) {
+        log::LogRecord record;
+        Status s = log::LogRecord::Deserialize(raw, &record);
+        if (!s.ok()) return s;
+        // Non-blocking Eq. 1 check against the reconstructed svv.
+        bool applicable = svv_[origin] == record.tvv[origin] - 1;
+        for (size_t k = 0; applicable && k < record.tvv.size(); ++k) {
+          if (k != origin && svv_[k] < record.tvv[k]) applicable = false;
+        }
+        if (!applicable) break;  // revisit this origin next round
+        for (const log::WriteEntry& w : record.writes) {
+          engine_.Install(w.key, origin, record.tvv[origin], w.value);
+        }
+        if (record.type == log::LogRecord::Type::kRelease) {
+          for (PartitionId p : record.partitions) {
+            auto it = recovered_masters->find(p);
+            if (it != recovered_masters->end() && it->second == origin) {
+              recovered_masters->erase(it);
+            }
+          }
+        } else if (record.type == log::LogRecord::Type::kGrant) {
+          for (PartitionId p : record.partitions) {
+            (*recovered_masters)[p] = origin;
+          }
+        }
+        svv_[origin] = record.tvv[origin];
+        offsets[origin]++;
+        progressed = true;
+      }
+    }
+  }
+  // Adopt the mastership this site is entitled to.
+  {
+    std::lock_guard<std::mutex> guard(state_mu_);
+    mastered_.clear();
+    for (const auto& [p, owner] : *recovered_masters) {
+      if (owner == site_id()) mastered_.insert(p);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace dynamast::site

@@ -1,0 +1,191 @@
+#ifndef DYNAMAST_SITE_SITE_MANAGER_H_
+#define DYNAMAST_SITE_SITE_MANAGER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/key.h"
+#include "common/partitioner.h"
+#include "common/status.h"
+#include "common/version_vector.h"
+#include "log/durable_log.h"
+#include "log/log_record.h"
+#include "net/sim_network.h"
+#include "site/admission_gate.h"
+#include "site/site_config.h"
+#include "site/transaction.h"
+#include "storage/storage_engine.h"
+
+namespace dynamast::site {
+
+/// Counters a data site exposes for the evaluation (remastering frequency,
+/// commit counts, refresh lag).
+struct SiteCounters {
+  std::atomic<uint64_t> local_commits{0};
+  std::atomic<uint64_t> refresh_applied{0};
+  std::atomic<uint64_t> releases{0};
+  std::atomic<uint64_t> grants{0};
+  std::atomic<uint64_t> aborts{0};
+};
+
+/// SiteManager is one data site of the replicated system: the integrated
+/// site manager + database + replication manager component of Section V-A.
+/// It owns the site's storage engine and site version vector, executes
+/// local transactions under snapshot isolation, applies refresh
+/// transactions from peer sites under the update application rule (Eq. 1),
+/// and services the release/grant RPCs of the remastering protocol
+/// (Algorithm 1).
+///
+/// The same class backs every evaluated system; baselines differ only in
+/// how mastership is assigned and how their routers coordinate.
+class SiteManager {
+ public:
+  /// `partitioner`, `logs` and `network` must outlive the site.
+  /// `logs` may be shared with peer sites; `network` may be null for
+  /// pure-logic tests (no traffic accounting).
+  SiteManager(const SiteOptions& options, const Partitioner* partitioner,
+              log::LogManager* logs, net::SimulatedNetwork* network);
+  ~SiteManager();
+
+  SiteManager(const SiteManager&) = delete;
+  SiteManager& operator=(const SiteManager&) = delete;
+
+  /// Starts the refresh applier threads (one per peer site). Call after
+  /// all sites are constructed and initial data is loaded.
+  void Start();
+
+  /// Stops appliers. Idempotent. (LogManager::CloseAll unblocks them.)
+  void Stop();
+
+  SiteId site_id() const { return options_.site_id; }
+  const SiteOptions& options() const { return options_; }
+  storage::StorageEngine& engine() { return engine_; }
+  AdmissionGate& gate() { return gate_; }
+  SiteCounters& counters() { return counters_; }
+
+  /// Current site version vector (copy).
+  VersionVector CurrentVersion() const;
+
+  // ---- Transaction API -----------------------------------------------
+
+  /// Opens a transaction: waits for the minimum begin version, checks
+  /// mastership of the write partitions, acquires write locks, then takes
+  /// the begin snapshot (after lock acquisition — required by the SI
+  /// proof, Appendix A Case 1).
+  Status BeginTransaction(const TxnOptions& opts, Transaction* txn);
+
+  /// Commits: atomically assigns the next local sequence number, installs
+  /// staged writes, appends the redo/propagation record to this site's
+  /// log topic, advances svv, and releases locks. Returns the commit
+  /// timestamp (transaction version vector) in `commit_version`.
+  Status Commit(Transaction* txn, VersionVector* commit_version);
+
+  /// Drops staged writes and releases locks.
+  void Abort(Transaction* txn);
+
+  /// Sleeps for the simulated CPU cost of `reads` snapshot reads plus
+  /// `writes` write operations. Call while holding a gate slot. Callers
+  /// batch charges (see core::SiteTxnContext) so sleep-granularity
+  /// overshoot does not accumulate per operation.
+  void ChargeOps(size_t reads, size_t writes) const;
+
+  /// Sleeps for an explicit duration of simulated site work.
+  void ChargeDuration(std::chrono::nanoseconds d) const;
+
+  /// Blocks until svv dominates `min`, or the freshness timeout expires.
+  Status WaitForVersion(const VersionVector& min) const;
+
+  // ---- Mastership / remastering (Algorithm 1 server side) -------------
+
+  /// Initial mastership assignment (loader); not logged.
+  void SetMasterOf(PartitionId partition, bool is_master);
+  bool IsMasterOf(PartitionId partition) const;
+  std::vector<PartitionId> MasteredPartitions() const;
+
+  /// Releases mastership of `partitions` to `to_site`: immediately stops
+  /// admitting new write transactions on them, waits for in-flight writers
+  /// to finish, appends a release marker (which occupies a slot in this
+  /// site's commit order and therefore propagates), and returns the site
+  /// version vector at the point of release.
+  Status Release(const std::vector<PartitionId>& partitions, SiteId to_site,
+                 VersionVector* release_version);
+
+  /// Takes mastership of `partitions` from `from_site`: waits until this
+  /// site has applied everything up to `release_version`, appends a grant
+  /// marker, marks the partitions mastered, and returns the svv at the
+  /// time ownership was taken.
+  Status Grant(const std::vector<PartitionId>& partitions, SiteId from_site,
+               const VersionVector& release_version,
+               VersionVector* grant_version);
+
+  // ---- Loading & recovery ---------------------------------------------
+
+  Status CreateTable(TableId id);
+
+  /// Installs an initial record visible to every snapshot; not logged.
+  /// Used by workload loaders (data is fully replicated: loaders install
+  /// the same rows at every site).
+  Status LoadRecord(const RecordKey& key, std::string value);
+
+  /// Rebuilds storage and the svv by replaying all log topics from the
+  /// beginning, respecting the update application rule. Mastership is
+  /// reconstructed from release/grant markers on top of
+  /// `initial_masters` (partition -> site). Call on a stopped, freshly
+  /// constructed site. Returns the reconstructed mastership map.
+  Status RecoverFromLogs(
+      const std::unordered_map<PartitionId, SiteId>& initial_masters,
+      std::unordered_map<PartitionId, SiteId>* recovered_masters);
+
+ private:
+  friend class Transaction;
+
+  // Applies one refresh/marker record from `origin` once Eq. 1 allows.
+  // Returns false if shutting down.
+  bool ApplyRefreshRecord(const log::LogRecord& record);
+
+  // Refresh applier main loop for one origin topic.
+  void ApplierLoop(SiteId origin);
+
+  // Appends a marker record under state_mu_; returns svv copy after bump.
+  VersionVector AppendMarkerLocked(log::LogRecord::Type type,
+                                   const std::vector<PartitionId>& partitions,
+                                   SiteId peer);
+
+  // Transaction helpers (called by Transaction).
+  Status TxnGet(Transaction* txn, const RecordKey& key, std::string* value);
+  Status TxnPut(Transaction* txn, const RecordKey& key, std::string value,
+                bool is_insert);
+
+  SiteOptions options_;
+  const Partitioner* partitioner_;
+  log::LogManager* logs_;
+  net::SimulatedNetwork* network_;
+
+  storage::StorageEngine engine_;
+  AdmissionGate gate_;
+  SiteCounters counters_;
+
+  mutable std::mutex state_mu_;
+  mutable std::condition_variable state_cv_;
+  VersionVector svv_;
+  // Partitions this site masters; a partition being released is removed
+  // before the drain so no new writers are admitted.
+  std::unordered_set<PartitionId> mastered_;
+  // In-flight write transactions per partition (release drains these).
+  std::unordered_map<PartitionId, uint32_t> active_writers_;
+
+  std::atomic<storage::TxnId> next_txn_id_{1};
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+  std::vector<std::thread> appliers_;
+};
+
+}  // namespace dynamast::site
+
+#endif  // DYNAMAST_SITE_SITE_MANAGER_H_

@@ -1,0 +1,24 @@
+#include "site/transaction.h"
+
+#include "site/site_manager.h"
+
+namespace dynamast::site {
+
+Status Transaction::Get(const RecordKey& key, std::string* value) {
+  if (!active_) return Status::InvalidArgument("transaction not active");
+  return site_->TxnGet(this, key, value);
+}
+
+Status Transaction::Put(const RecordKey& key, std::string value) {
+  if (!active_) return Status::InvalidArgument("transaction not active");
+  if (read_only_) return Status::InvalidArgument("read-only transaction");
+  return site_->TxnPut(this, key, std::move(value), /*is_insert=*/false);
+}
+
+Status Transaction::Insert(const RecordKey& key, std::string value) {
+  if (!active_) return Status::InvalidArgument("transaction not active");
+  if (read_only_) return Status::InvalidArgument("read-only transaction");
+  return site_->TxnPut(this, key, std::move(value), /*is_insert=*/true);
+}
+
+}  // namespace dynamast::site

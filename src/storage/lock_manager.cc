@@ -1,0 +1,76 @@
+#include "storage/lock_manager.h"
+
+#include <algorithm>
+
+namespace dynamast::storage {
+
+Status LockManager::Acquire(const RecordKey& key, TxnId txn,
+                            std::chrono::steady_clock::time_point deadline) {
+  Stripe& stripe = StripeFor(key);
+  std::unique_lock<std::mutex> lock(stripe.mu);
+  while (true) {
+    auto it = stripe.held.find(key);
+    if (it == stripe.held.end()) {
+      stripe.held.emplace(key, txn);
+      return Status::OK();
+    }
+    if (it->second == txn) return Status::OK();  // re-entrant
+    if (stripe.cv.wait_until(lock, deadline) == std::cv_status::timeout) {
+      // Re-check once after timeout: the holder may have released between
+      // the last wakeup and now.
+      it = stripe.held.find(key);
+      if (it == stripe.held.end()) {
+        stripe.held.emplace(key, txn);
+        return Status::OK();
+      }
+      if (it->second == txn) return Status::OK();
+      return Status::TimedOut("write lock wait on " + key.ToString());
+    }
+  }
+}
+
+Status LockManager::AcquireAll(std::vector<RecordKey> keys, TxnId txn,
+                               std::chrono::steady_clock::time_point deadline) {
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    Status s = Acquire(keys[i], txn, deadline);
+    if (!s.ok()) {
+      for (size_t j = 0; j < i; ++j) Release(keys[j], txn);
+      return s;
+    }
+  }
+  return Status::OK();
+}
+
+void LockManager::Release(const RecordKey& key, TxnId txn) {
+  Stripe& stripe = StripeFor(key);
+  std::lock_guard<std::mutex> guard(stripe.mu);
+  auto it = stripe.held.find(key);
+  if (it != stripe.held.end() && it->second == txn) {
+    stripe.held.erase(it);
+    stripe.cv.notify_all();
+  }
+}
+
+void LockManager::ReleaseAll(const std::vector<RecordKey>& keys, TxnId txn) {
+  for (const RecordKey& key : keys) Release(key, txn);
+}
+
+bool LockManager::Holds(const RecordKey& key, TxnId txn) const {
+  const Stripe& stripe = StripeFor(key);
+  std::lock_guard<std::mutex> guard(stripe.mu);
+  auto it = stripe.held.find(key);
+  return it != stripe.held.end() && it->second == txn;
+}
+
+size_t LockManager::NumHeldLocks() const {
+  size_t total = 0;
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> guard(stripe.mu);
+    total += stripe.held.size();
+  }
+  return total;
+}
+
+}  // namespace dynamast::storage

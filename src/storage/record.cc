@@ -1,0 +1,48 @@
+#include "storage/record.h"
+
+namespace dynamast::storage {
+
+void VersionedRecord::Install(SiteId origin, uint64_t seq, std::string value) {
+  std::lock_guard<std::mutex> guard(mu_);
+  versions_.push_back(RecordVersion{origin, seq, std::move(value)});
+  if (versions_.size() > max_versions_) {
+    versions_.pop_front();
+    ++pruned_;
+  }
+}
+
+Status VersionedRecord::ReadAtSnapshot(const VersionVector& snapshot,
+                                       std::string* out) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  for (auto it = versions_.rbegin(); it != versions_.rend(); ++it) {
+    const uint64_t visible_up_to =
+        it->origin < snapshot.size() ? snapshot[it->origin] : 0;
+    if (it->seq <= visible_up_to) {
+      *out = it->value;
+      return Status::OK();
+    }
+  }
+  if (pruned_ > 0) {
+    return Status::SnapshotTooOld("all retained versions newer than snapshot");
+  }
+  return Status::NotFound("record created after snapshot");
+}
+
+Status VersionedRecord::ReadLatest(std::string* out) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  if (versions_.empty()) return Status::NotFound("no versions");
+  *out = versions_.back().value;
+  return Status::OK();
+}
+
+size_t VersionedRecord::NumVersions() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return versions_.size();
+}
+
+uint64_t VersionedRecord::PrunedCount() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return pruned_;
+}
+
+}  // namespace dynamast::storage

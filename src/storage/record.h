@@ -1,0 +1,69 @@
+#ifndef DYNAMAST_STORAGE_RECORD_H_
+#define DYNAMAST_STORAGE_RECORD_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+
+#include "common/key.h"
+#include "common/status.h"
+#include "common/version_vector.h"
+
+namespace dynamast::storage {
+
+/// A single committed version of a record. Versions are stamped with the
+/// (origin site, per-origin commit sequence number) of the transaction that
+/// created them — exactly the information a snapshot (a version vector)
+/// needs for the visibility test: a version is visible to begin vector `b`
+/// iff seq <= b[origin].
+///
+/// This is sound because (a) a site installs versions from each origin in
+/// commit order (the replication manager's FIFO), and (b) the update
+/// application rule (Eq. 1) guarantees that when b[origin] >= seq, every
+/// update the writing transaction depended on has also been installed.
+struct RecordVersion {
+  SiteId origin = 0;
+  uint64_t seq = 0;
+  std::string value;
+};
+
+/// VersionedRecord is one row's multi-version chain (Section V-A1: the
+/// database stores multiple versions of every record — four by default).
+/// The chain is kept in site-local install order, which for a single record
+/// equals the global write order (writes to a record are totally ordered by
+/// single mastership + write locks).
+class VersionedRecord {
+ public:
+  explicit VersionedRecord(size_t max_versions) : max_versions_(max_versions) {}
+
+  VersionedRecord(const VersionedRecord&) = delete;
+  VersionedRecord& operator=(const VersionedRecord&) = delete;
+
+  /// Appends a new version (newest end), pruning the oldest retained
+  /// version if the chain exceeds its capacity.
+  void Install(SiteId origin, uint64_t seq, std::string value);
+
+  /// Reads the newest version visible to `snapshot`. Returns:
+  ///  * OK and the value when a visible version exists;
+  ///  * NotFound when the record was created entirely after the snapshot
+  ///    (nothing pruned, nothing visible);
+  ///  * SnapshotTooOld when versions the snapshot could see were pruned.
+  Status ReadAtSnapshot(const VersionVector& snapshot, std::string* out) const;
+
+  /// Reads the newest version unconditionally (loader / debugging).
+  Status ReadLatest(std::string* out) const;
+
+  size_t NumVersions() const;
+  uint64_t PrunedCount() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<RecordVersion> versions_;  // oldest at front, newest at back
+  size_t max_versions_;
+  uint64_t pruned_ = 0;
+};
+
+}  // namespace dynamast::storage
+
+#endif  // DYNAMAST_STORAGE_RECORD_H_

@@ -1,0 +1,142 @@
+#include "storage/row_buffer.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace dynamast::storage {
+
+namespace {
+
+void PutU64(std::string* out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->append(buf, 4);
+}
+
+uint64_t DoubleBits(double d) {
+  uint64_t bits;
+  std::memcpy(&bits, &d, 8);
+  return bits;
+}
+
+double BitsToDouble(uint64_t bits) {
+  double d;
+  std::memcpy(&d, &bits, 8);
+  return d;
+}
+
+}  // namespace
+
+Status RowBuffer::Parse(std::string_view encoded, RowBuffer* out) {
+  out->fields_.clear();
+  size_t pos = 0;
+  auto need = [&](size_t n) { return pos + n <= encoded.size(); };
+  if (!need(4)) return Status::Corruption("row: truncated field count");
+  uint32_t count;
+  std::memcpy(&count, encoded.data(), 4);
+  pos = 4;
+  if (count > (1u << 20)) return Status::Corruption("row: absurd field count");
+  out->fields_.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    if (!need(1)) return Status::Corruption("row: truncated type tag");
+    const uint8_t tag = static_cast<uint8_t>(encoded[pos++]);
+    if (tag > 3) return Status::Corruption("row: bad type tag");
+    Field f;
+    f.type = static_cast<FieldType>(tag);
+    if (f.type == FieldType::kString) {
+      if (!need(4)) return Status::Corruption("row: truncated string length");
+      uint32_t len;
+      std::memcpy(&len, encoded.data() + pos, 4);
+      pos += 4;
+      if (!need(len)) return Status::Corruption("row: truncated string");
+      f.str.assign(encoded.data() + pos, len);
+      pos += len;
+    } else {
+      if (!need(8)) return Status::Corruption("row: truncated numeric");
+      std::memcpy(&f.num, encoded.data() + pos, 8);
+      pos += 8;
+    }
+    out->fields_.push_back(std::move(f));
+  }
+  if (pos != encoded.size()) return Status::Corruption("row: trailing bytes");
+  return Status::OK();
+}
+
+void RowBuffer::AddUint64(uint64_t v) {
+  fields_.push_back(Field{FieldType::kUint64, v, {}});
+}
+
+void RowBuffer::AddInt64(int64_t v) {
+  fields_.push_back(Field{FieldType::kInt64, static_cast<uint64_t>(v), {}});
+}
+
+void RowBuffer::AddDouble(double v) {
+  fields_.push_back(Field{FieldType::kDouble, DoubleBits(v), {}});
+}
+
+void RowBuffer::AddString(std::string v) {
+  fields_.push_back(Field{FieldType::kString, 0, std::move(v)});
+}
+
+uint64_t RowBuffer::GetUint64(size_t i) const {
+  assert(i < fields_.size() && fields_[i].type == FieldType::kUint64);
+  return fields_[i].num;
+}
+
+int64_t RowBuffer::GetInt64(size_t i) const {
+  assert(i < fields_.size() && fields_[i].type == FieldType::kInt64);
+  return static_cast<int64_t>(fields_[i].num);
+}
+
+double RowBuffer::GetDouble(size_t i) const {
+  assert(i < fields_.size() && fields_[i].type == FieldType::kDouble);
+  return BitsToDouble(fields_[i].num);
+}
+
+const std::string& RowBuffer::GetString(size_t i) const {
+  assert(i < fields_.size() && fields_[i].type == FieldType::kString);
+  return fields_[i].str;
+}
+
+void RowBuffer::SetUint64(size_t i, uint64_t v) {
+  assert(i < fields_.size() && fields_[i].type == FieldType::kUint64);
+  fields_[i].num = v;
+}
+
+void RowBuffer::SetInt64(size_t i, int64_t v) {
+  assert(i < fields_.size() && fields_[i].type == FieldType::kInt64);
+  fields_[i].num = static_cast<uint64_t>(v);
+}
+
+void RowBuffer::SetDouble(size_t i, double v) {
+  assert(i < fields_.size() && fields_[i].type == FieldType::kDouble);
+  fields_[i].num = DoubleBits(v);
+}
+
+void RowBuffer::SetString(size_t i, std::string v) {
+  assert(i < fields_.size() && fields_[i].type == FieldType::kString);
+  fields_[i].str = std::move(v);
+}
+
+std::string RowBuffer::Encode() const {
+  std::string out;
+  PutU32(&out, static_cast<uint32_t>(fields_.size()));
+  for (const Field& f : fields_) {
+    out.push_back(static_cast<char>(f.type));
+    if (f.type == FieldType::kString) {
+      PutU32(&out, static_cast<uint32_t>(f.str.size()));
+      out.append(f.str);
+    } else {
+      PutU64(&out, f.num);
+    }
+  }
+  return out;
+}
+
+}  // namespace dynamast::storage

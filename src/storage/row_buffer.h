@@ -1,0 +1,67 @@
+#ifndef DYNAMAST_STORAGE_ROW_BUFFER_H_
+#define DYNAMAST_STORAGE_ROW_BUFFER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dynamast::storage {
+
+/// RowBuffer is the field codec for structured rows. The storage engine
+/// stores each row as an opaque byte string (row-oriented, Section V-A1);
+/// workload stored procedures use RowBuffer to pack/unpack typed fields
+/// (TPC-C balances, YCSB fields, SmallBank accounts).
+///
+/// Layout: a field count, then for each field a 1-byte type tag and the
+/// encoded value. Numeric fields are fixed-width little-endian; strings are
+/// length-prefixed.
+class RowBuffer {
+ public:
+  RowBuffer() = default;
+
+  /// Parses an encoded row. Returns Corruption on malformed input.
+  static Status Parse(std::string_view encoded, RowBuffer* out);
+
+  void AddUint64(uint64_t v);
+  void AddInt64(int64_t v);
+  void AddDouble(double v);
+  void AddString(std::string v);
+
+  size_t NumFields() const { return fields_.size(); }
+
+  /// Typed accessors; the program aborts (assert) on type mismatch — a
+  /// schema bug, not a runtime condition.
+  uint64_t GetUint64(size_t i) const;
+  int64_t GetInt64(size_t i) const;
+  double GetDouble(size_t i) const;
+  const std::string& GetString(size_t i) const;
+
+  /// In-place mutators (field must already exist with the same type).
+  void SetUint64(size_t i, uint64_t v);
+  void SetInt64(size_t i, int64_t v);
+  void SetDouble(size_t i, double v);
+  void SetString(size_t i, std::string v);
+
+  std::string Encode() const;
+
+ private:
+  enum class FieldType : uint8_t {
+    kUint64 = 0,
+    kInt64 = 1,
+    kDouble = 2,
+    kString = 3,
+  };
+  struct Field {
+    FieldType type;
+    uint64_t num = 0;  // holds the bit pattern for u64/i64/double
+    std::string str;
+  };
+  std::vector<Field> fields_;
+};
+
+}  // namespace dynamast::storage
+
+#endif  // DYNAMAST_STORAGE_ROW_BUFFER_H_

@@ -1,0 +1,61 @@
+#include "storage/table.h"
+
+namespace dynamast::storage {
+
+void Table::Install(uint64_t row, SiteId origin, uint64_t seq,
+                    std::string value) {
+  Shard& shard = ShardFor(row);
+  VersionedRecord* record = nullptr;
+  {
+    std::shared_lock<std::shared_mutex> read_lock(shard.mu);
+    auto it = shard.rows.find(row);
+    if (it != shard.rows.end()) record = it->second.get();
+  }
+  if (record == nullptr) {
+    std::unique_lock<std::shared_mutex> write_lock(shard.mu);
+    auto& slot = shard.rows[row];
+    if (!slot) slot = std::make_unique<VersionedRecord>(max_versions_);
+    record = slot.get();
+  }
+  record->Install(origin, seq, std::move(value));
+}
+
+const VersionedRecord* Table::Find(uint64_t row) const {
+  const Shard& shard = ShardFor(row);
+  std::shared_lock<std::shared_mutex> read_lock(shard.mu);
+  auto it = shard.rows.find(row);
+  return it == shard.rows.end() ? nullptr : it->second.get();
+}
+
+Status Table::Read(uint64_t row, const VersionVector& snapshot,
+                   std::string* out) const {
+  const VersionedRecord* record = Find(row);
+  if (record == nullptr) return Status::NotFound("no such row");
+  return record->ReadAtSnapshot(snapshot, out);
+}
+
+Status Table::ReadLatest(uint64_t row, std::string* out) const {
+  const VersionedRecord* record = Find(row);
+  if (record == nullptr) return Status::NotFound("no such row");
+  return record->ReadLatest(out);
+}
+
+bool Table::Contains(uint64_t row) const { return Find(row) != nullptr; }
+
+void Table::ForEachRowId(const std::function<void(uint64_t)>& fn) const {
+  for (const Shard& shard : shards_) {
+    std::shared_lock<std::shared_mutex> read_lock(shard.mu);
+    for (const auto& [row, record] : shard.rows) fn(row);
+  }
+}
+
+size_t Table::NumRows() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::shared_lock<std::shared_mutex> read_lock(shard.mu);
+    total += shard.rows.size();
+  }
+  return total;
+}
+
+}  // namespace dynamast::storage

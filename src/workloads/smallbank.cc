@@ -1,0 +1,181 @@
+#include "workloads/smallbank.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "storage/row_buffer.h"
+
+namespace dynamast::workloads {
+
+SmallBankWorkload::SmallBankWorkload(const Options& options)
+    : options_(options),
+      num_partitions_((options.num_accounts + options.accounts_per_partition -
+                       1) /
+                      options.accounts_per_partition) {
+  const uint64_t app = options_.accounts_per_partition;
+  partitioner_ = std::make_unique<FunctionPartitioner>(
+      [app](const RecordKey& key) -> PartitionId { return key.row / app; },
+      num_partitions_);
+}
+
+std::string SmallBankWorkload::MakeBalance(double balance) {
+  storage::RowBuffer row;
+  row.AddDouble(balance);
+  return row.Encode();
+}
+
+double SmallBankWorkload::BalanceOf(const std::string& value) {
+  storage::RowBuffer row;
+  if (!storage::RowBuffer::Parse(value, &row).ok()) return 0.0;
+  return row.GetDouble(0);
+}
+
+Status SmallBankWorkload::Load(core::SystemInterface& system) {
+  for (TableId t : {kChecking, kSavings}) {
+    Status s = system.CreateTable(t);
+    if (!s.ok()) return s;
+  }
+  for (uint64_t account = 0; account < options_.num_accounts; ++account) {
+    Status s = system.LoadRow(RecordKey{kChecking, account},
+                              MakeBalance(options_.initial_balance));
+    if (!s.ok()) return s;
+    s = system.LoadRow(RecordKey{kSavings, account},
+                       MakeBalance(options_.initial_balance));
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+namespace {
+
+class SmallBankClient final : public WorkloadClient {
+ public:
+  SmallBankClient(SmallBankWorkload* workload, uint64_t seed)
+      : workload_(workload), rng_(seed) {
+    if (workload_->options().zipfian) {
+      zipf_ = std::make_unique<ScrambledZipfianGenerator>(
+          workload_->options().num_accounts, workload_->options().zipf_theta);
+    }
+  }
+
+  WorkloadTxn Next() override {
+    const auto& opt = workload_->options();
+    const uint64_t roll = rng_.Uniform(100);
+    if (roll < opt.single_update_pct) return MakeSingleRowUpdate();
+    if (roll < opt.single_update_pct + opt.two_row_update_pct) {
+      return MakeTwoRowUpdate();
+    }
+    return MakeBalanceCheck();
+  }
+
+ private:
+  uint64_t PickAccount() {
+    return zipf_ ? zipf_->Next(rng_)
+                 : rng_.Uniform(workload_->options().num_accounts);
+  }
+
+  /// Second account for two-row transactions: with locality_pct, a
+  /// Bernoulli neighbourhood partition of the first (the SmallBank analog
+  /// of the YCSB correlation structure); otherwise uniform.
+  uint64_t PickPairedAccount(uint64_t first) {
+    const auto& opt = workload_->options();
+    if (rng_.Uniform(100) >= opt.locality_pct) return PickAccount();
+    const int64_t offset = static_cast<int64_t>(rng_.Binomial(5, 0.5)) - 3;
+    const int64_t partition =
+        std::clamp<int64_t>(
+            static_cast<int64_t>(first / opt.accounts_per_partition) + offset,
+            0, static_cast<int64_t>(workload_->num_partitions()) - 1);
+    const uint64_t base =
+        static_cast<uint64_t>(partition) * opt.accounts_per_partition;
+    const uint64_t span =
+        std::min(opt.accounts_per_partition, opt.num_accounts - base);
+    return base + rng_.Uniform(span);
+  }
+
+  WorkloadTxn MakeSingleRowUpdate() {
+    const uint64_t account = PickAccount();
+    // Alternate DepositChecking / TransactSavings.
+    const bool checking = rng_.Bernoulli(0.5);
+    const TableId table = checking ? SmallBankWorkload::kChecking
+                                   : SmallBankWorkload::kSavings;
+    const double amount = 1.0 + static_cast<double>(rng_.Uniform(10000)) / 100;
+    const RecordKey key{table, account};
+    WorkloadTxn txn;
+    txn.type = checking ? "deposit-checking" : "transact-savings";
+    txn.profile.write_keys = {key};
+    txn.profile.read_keys = {key};
+    txn.logic = [key, amount](core::TxnContext& ctx) -> Status {
+      std::string value;
+      Status s = ctx.Get(key, &value);
+      if (!s.ok()) return s;
+      return ctx.Put(key, SmallBankWorkload::MakeBalance(
+                              SmallBankWorkload::BalanceOf(value) + amount));
+    };
+    return txn;
+  }
+
+  WorkloadTxn MakeTwoRowUpdate() {
+    const uint64_t src = PickAccount();
+    uint64_t dst = PickPairedAccount(src);
+    if (dst == src) dst = (src + 1) % workload_->options().num_accounts;
+    const double amount = 1.0 + static_cast<double>(rng_.Uniform(5000)) / 100;
+    const RecordKey src_key{SmallBankWorkload::kChecking, src};
+    const RecordKey dst_key{SmallBankWorkload::kChecking, dst};
+    WorkloadTxn txn;
+    txn.type = "send-payment";
+    txn.profile.write_keys = {src_key, dst_key};
+    txn.profile.read_keys = {src_key, dst_key};
+    txn.logic = [src_key, dst_key, amount](core::TxnContext& ctx) -> Status {
+      std::string value;
+      Status s = ctx.Get(src_key, &value);
+      if (!s.ok()) return s;
+      const double src_balance = SmallBankWorkload::BalanceOf(value);
+      s = ctx.Get(dst_key, &value);
+      if (!s.ok()) return s;
+      const double dst_balance = SmallBankWorkload::BalanceOf(value);
+      // Money conservation: the sum of the two balances is invariant —
+      // the property the SI tests verify.
+      s = ctx.Put(src_key,
+                  SmallBankWorkload::MakeBalance(src_balance - amount));
+      if (!s.ok()) return s;
+      return ctx.Put(dst_key,
+                     SmallBankWorkload::MakeBalance(dst_balance + amount));
+    };
+    return txn;
+  }
+
+  WorkloadTxn MakeBalanceCheck() {
+    const uint64_t account = PickAccount();
+    const RecordKey checking{SmallBankWorkload::kChecking, account};
+    const RecordKey savings{SmallBankWorkload::kSavings, account};
+    WorkloadTxn txn;
+    txn.type = "balance";
+    txn.profile.read_only = true;
+    txn.profile.read_keys = {checking, savings};
+    txn.logic = [checking, savings](core::TxnContext& ctx) -> Status {
+      std::string value;
+      Status s = ctx.Get(checking, &value);
+      if (!s.ok()) return s;
+      double total = SmallBankWorkload::BalanceOf(value);
+      s = ctx.Get(savings, &value);
+      if (!s.ok()) return s;
+      total += SmallBankWorkload::BalanceOf(value);
+      (void)total;
+      return Status::OK();
+    };
+    return txn;
+  }
+
+  SmallBankWorkload* workload_;
+  Random rng_;
+  std::unique_ptr<ScrambledZipfianGenerator> zipf_;
+};
+
+}  // namespace
+
+std::unique_ptr<WorkloadClient> SmallBankWorkload::MakeClient(uint64_t index) {
+  return std::make_unique<SmallBankClient>(
+      this, options_.seed * 0x9e3779b97f4a7c15ULL + index * 2 + 1);
+}
+
+}  // namespace dynamast::workloads

@@ -1,0 +1,66 @@
+#ifndef DYNAMAST_WORKLOADS_SMALLBANK_H_
+#define DYNAMAST_WORKLOADS_SMALLBANK_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/random.h"
+#include "workloads/workload.h"
+
+namespace dynamast::workloads {
+
+/// SmallBank (Appendix F): a banking workload of *short* transactions —
+/// at most two rows each — that stresses the transaction protocol itself
+/// rather than transaction logic. Mix (per the paper):
+///   45% single-row updates   (DepositChecking / TransactSavings)
+///   40% two-row updates      (SendPayment / WriteCheck / Amalgamate)
+///   15% read-only            (Balance: checking + savings of one user)
+///
+/// Accounts live in `accounts_per_partition`-sized partitions; two-row
+/// transactions pick their second account from a nearby partition with
+/// probability `locality_pct` (triggering remastering/2PC/shipping when
+/// the partitions master at different sites), otherwise uniformly.
+class SmallBankWorkload final : public Workload {
+ public:
+  struct Options {
+    uint64_t num_accounts = 100'000;
+    uint64_t accounts_per_partition = 100;
+    uint32_t single_update_pct = 45;
+    uint32_t two_row_update_pct = 40;  // remainder is Balance (read-only)
+    /// Probability (%) that a two-row transaction's second account comes
+    /// from the Bernoulli neighbourhood of the first.
+    uint32_t locality_pct = 80;
+    bool zipfian = false;
+    double zipf_theta = 0.75;
+    double initial_balance = 10'000.0;
+    uint64_t seed = 4242;
+  };
+
+  static constexpr TableId kChecking = 1;
+  static constexpr TableId kSavings = 2;
+
+  explicit SmallBankWorkload(const Options& options);
+
+  std::string name() const override { return "smallbank"; }
+  const Partitioner& partitioner() const override { return *partitioner_; }
+  Status Load(core::SystemInterface& system) override;
+  std::unique_ptr<WorkloadClient> MakeClient(uint64_t index) override;
+
+  const Options& options() const { return options_; }
+  uint64_t num_partitions() const { return num_partitions_; }
+
+  /// Balance encoding helpers (double <-> value bytes).
+  static std::string MakeBalance(double balance);
+  static double BalanceOf(const std::string& value);
+
+ private:
+  friend class SmallBankClient;
+
+  Options options_;
+  uint64_t num_partitions_;
+  std::unique_ptr<FunctionPartitioner> partitioner_;
+};
+
+}  // namespace dynamast::workloads
+
+#endif  // DYNAMAST_WORKLOADS_SMALLBANK_H_

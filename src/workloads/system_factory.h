@@ -1,0 +1,60 @@
+#ifndef DYNAMAST_WORKLOADS_SYSTEM_FACTORY_H_
+#define DYNAMAST_WORKLOADS_SYSTEM_FACTORY_H_
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/partitioner.h"
+#include "core/system_interface.h"
+#include "selector/strategy.h"
+
+namespace dynamast::workloads {
+
+/// The five systems of the evaluation (Section VI-A1).
+enum class SystemKind {
+  kDynaMast,
+  kSingleMaster,
+  kMultiMaster,
+  kPartitionStore,
+  kLeap,
+};
+
+const char* SystemKindName(SystemKind kind);
+
+/// All five, in the paper's reporting order.
+std::vector<SystemKind> AllSystems();
+
+/// Deployment parameters shared by every system in one experiment, so the
+/// comparison is apples-to-apples: same sites, same simulated network,
+/// same storage, same service-time model.
+struct DeploymentOptions {
+  uint32_t num_sites = 4;
+  size_t worker_slots = 4;
+  std::chrono::microseconds read_op_cost{10};
+  std::chrono::microseconds write_op_cost{500};
+  std::chrono::microseconds apply_op_cost{100};
+  std::chrono::microseconds one_way_latency{250};
+  bool charge_network = true;
+  selector::StrategyWeights weights;  // DynaMast only
+  double sample_rate = 0.25;          // DynaMast only
+  /// Placement for the statically partitioned systems (multi-master,
+  /// partition-store, LEAP). Empty = RangePlacement over partition ids;
+  /// TPC-C passes TpccWorkload::WarehousePlacement.
+  std::vector<SiteId> static_placement;
+  uint64_t seed = 31;
+};
+
+/// Builds one ready-to-load system of `kind` over `partitioner`.
+/// Static systems (multi-master, partition-store, LEAP) get range
+/// placement over partition ids — the layout Schism selects for the
+/// paper's workloads; DynaMast starts with round-robin scattering it must
+/// reorganize; single-master pins everything at site 0.
+std::unique_ptr<core::SystemInterface> MakeSystem(
+    SystemKind kind, const DeploymentOptions& options,
+    const Partitioner& partitioner);
+
+}  // namespace dynamast::workloads
+
+#endif  // DYNAMAST_WORKLOADS_SYSTEM_FACTORY_H_

@@ -1,0 +1,53 @@
+#ifndef DYNAMAST_WORKLOADS_WORKLOAD_H_
+#define DYNAMAST_WORKLOADS_WORKLOAD_H_
+
+#include <memory>
+#include <string>
+
+#include "common/partitioner.h"
+#include "core/system_interface.h"
+
+namespace dynamast::workloads {
+
+/// One generated transaction: its declared profile plus the stored
+/// procedure to run, tagged with a type name for per-transaction-class
+/// latency reporting (e.g. "new-order", "rmw", "balance").
+struct WorkloadTxn {
+  core::TxnProfile profile;
+  core::TxnLogic logic;
+  const char* type = "txn";
+};
+
+/// Per-client transaction generator. Clients are stateful: YCSB clients
+/// carry an affinity region they work against for a configurable number of
+/// transactions before being "replaced" (Appendix C); TPC-C clients carry
+/// their home warehouse.
+class WorkloadClient {
+ public:
+  virtual ~WorkloadClient() = default;
+  virtual WorkloadTxn Next() = 0;
+};
+
+/// A benchmark workload: schema + loader + client generator factory.
+/// The workload also owns the deployment's partitioner, because the
+/// partition layout (the unit of mastership) is workload-defined.
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual std::string name() const = 0;
+
+  /// The partition layout for this workload.
+  virtual const Partitioner& partitioner() const = 0;
+
+  /// Creates tables and loads initial rows into `system`. Call exactly
+  /// once per system, before Seal().
+  virtual Status Load(core::SystemInterface& system) = 0;
+
+  /// Creates the `index`-th client's generator (deterministic per index).
+  virtual std::unique_ptr<WorkloadClient> MakeClient(uint64_t index) = 0;
+};
+
+}  // namespace dynamast::workloads
+
+#endif  // DYNAMAST_WORKLOADS_WORKLOAD_H_

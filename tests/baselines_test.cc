@@ -1,0 +1,416 @@
+// Tests for the baseline systems: multi-master / partition-store (static
+// placement + two-phase commit) and LEAP (single-site execution via data
+// shipping). Atomicity under injected 2PC aborts, replication behaviour,
+// remote reads, and ownership transfer are all covered.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+
+#include "baselines/leap_system.h"
+#include "baselines/partitioned_system.h"
+#include "baselines/static_placement.h"
+#include "common/partitioner.h"
+#include "common/random.h"
+
+namespace dynamast::baselines {
+namespace {
+
+constexpr TableId kTable = 0;
+
+std::string Num(uint64_t v) {
+  return std::string(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+uint64_t AsNum(const std::string& s) {
+  uint64_t v = 0;
+  if (s.size() >= 8) memcpy(&v, s.data(), 8);
+  return v;
+}
+
+core::Cluster::Options FastCluster(uint32_t sites) {
+  core::Cluster::Options options;
+  options.num_sites = sites;
+  options.network.charge_delays = false;
+  options.site.read_op_cost = options.site.write_op_cost =
+      options.site.apply_op_cost = std::chrono::microseconds(0);
+  options.site.worker_slots = 8;
+  return options;
+}
+
+template <typename System>
+void LoadKeys(System& system, uint64_t keys, uint64_t initial) {
+  ASSERT_TRUE(system.CreateTable(kTable).ok());
+  for (uint64_t key = 0; key < keys; ++key) {
+    ASSERT_TRUE(system.LoadRow(RecordKey{kTable, key}, Num(initial)).ok());
+  }
+  system.Seal();
+}
+
+core::TxnProfile TransferProfile(uint64_t a, uint64_t b) {
+  core::TxnProfile profile;
+  profile.write_keys = {RecordKey{kTable, a}, RecordKey{kTable, b}};
+  profile.read_keys = profile.write_keys;
+  return profile;
+}
+
+core::TxnLogic TransferLogic(uint64_t a, uint64_t b, uint64_t amount) {
+  return [a, b, amount](core::TxnContext& ctx) -> Status {
+    std::string value;
+    Status s = ctx.Get(RecordKey{kTable, a}, &value);
+    if (!s.ok()) return s;
+    s = ctx.Put(RecordKey{kTable, a}, Num(AsNum(value) - amount));
+    if (!s.ok()) return s;
+    s = ctx.Get(RecordKey{kTable, b}, &value);
+    if (!s.ok()) return s;
+    return ctx.Put(RecordKey{kTable, b}, Num(AsNum(value) + amount));
+  };
+}
+
+// ---- PartitionedSystem: multi-master ----------------------------------------
+
+TEST(MultiMasterTest, LocalWriteWhenWriteSetSingleSited) {
+  RangePartitioner partitioner(10, 10);
+  // Explicit chunk of 5: partitions 0-4 -> site 0, 5-9 -> site 1.
+  auto options = PartitionedSystem::MultiMaster(
+      FastCluster(2), RangePlacement(10, 2, /*chunk=*/5));
+  PartitionedSystem system(options, &partitioner);
+  LoadKeys(system, 100, 100);
+  core::ClientState client;
+  client.id = 1;
+  core::TxnResult result;
+  // Keys 5 and 15: partitions 0 and 1, both owned by site 0 under range
+  // placement (partitions 0-4 -> site 0).
+  ASSERT_TRUE(system
+                  .Execute(client, TransferProfile(5, 15),
+                           TransferLogic(5, 15, 10), &result)
+                  .ok());
+  EXPECT_FALSE(result.distributed);
+  EXPECT_EQ(system.single_site_txns(), 1u);
+  EXPECT_EQ(system.distributed_txns(), 0u);
+  system.Shutdown();
+}
+
+TEST(MultiMasterTest, DistributedWriteUses2pc) {
+  RangePartitioner partitioner(10, 10);
+  auto options = PartitionedSystem::MultiMaster(FastCluster(2),
+                                                RangePlacement(10, 2));
+  PartitionedSystem system(options, &partitioner);
+  LoadKeys(system, 100, 100);
+  core::ClientState client;
+  client.id = 1;
+  core::TxnResult result;
+  // Keys 5 (site 0) and 95 (site 1): a distributed transaction.
+  ASSERT_TRUE(system
+                  .Execute(client, TransferProfile(5, 95),
+                           TransferLogic(5, 95, 10), &result)
+                  .ok());
+  EXPECT_TRUE(result.distributed);
+  EXPECT_EQ(system.distributed_txns(), 1u);
+
+  // Both writes are visible to a subsequent read-only transaction of the
+  // same session (replicas + session freshness).
+  core::TxnProfile read;
+  read.read_only = true;
+  read.read_keys = {RecordKey{kTable, 5}, RecordKey{kTable, 95}};
+  uint64_t a = 0, b = 0;
+  auto logic = [&](core::TxnContext& ctx) -> Status {
+    std::string value;
+    Status s = ctx.Get(RecordKey{kTable, 5}, &value);
+    if (!s.ok()) return s;
+    a = AsNum(value);
+    s = ctx.Get(RecordKey{kTable, 95}, &value);
+    if (!s.ok()) return s;
+    b = AsNum(value);
+    return Status::OK();
+  };
+  ASSERT_TRUE(system.Execute(client, read, logic, &result).ok());
+  EXPECT_EQ(a, 90u);
+  EXPECT_EQ(b, 110u);
+  system.Shutdown();
+}
+
+TEST(MultiMasterTest, InjectedPrepareAbortIsAtomic) {
+  RangePartitioner partitioner(10, 10);
+  auto options = PartitionedSystem::MultiMaster(FastCluster(2),
+                                                RangePlacement(10, 2));
+  options.injected_abort_probability = 1.0;  // every prepare vote fails
+  PartitionedSystem system(options, &partitioner);
+  LoadKeys(system, 100, 100);
+  core::ClientState client;
+  client.id = 1;
+  core::TxnResult result;
+  EXPECT_TRUE(system
+                  .Execute(client, TransferProfile(5, 95),
+                           TransferLogic(5, 95, 10), &result)
+                  .IsAborted());
+  // All-or-nothing: neither site shows a partial write.
+  for (SiteId s = 0; s < 2; ++s) {
+    std::string value;
+    if (system.cluster().site(s)->engine().ReadLatest(RecordKey{kTable, 5},
+                                                      &value).ok()) {
+      EXPECT_EQ(AsNum(value), 100u);
+    }
+    if (system.cluster().site(s)->engine().ReadLatest(RecordKey{kTable, 95},
+                                                      &value).ok()) {
+      EXPECT_EQ(AsNum(value), 100u);
+    }
+  }
+  system.Shutdown();
+}
+
+TEST(MultiMasterTest, ConcurrentMixConservesTotal) {
+  RangePartitioner partitioner(10, 6);
+  auto options = PartitionedSystem::MultiMaster(FastCluster(3),
+                                                RangePlacement(6, 3));
+  PartitionedSystem system(options, &partitioner);
+  LoadKeys(system, 60, 1000);
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      core::ClientState client;
+      client.id = t + 1;
+      Random rng(t + 11);
+      for (int i = 0; i < 25; ++i) {
+        const uint64_t a = rng.Uniform(60);
+        uint64_t b = rng.Uniform(60);
+        if (a == b) b = (b + 13) % 60;
+        core::TxnResult result;
+        if (!system
+                 .Execute(client, TransferProfile(a, b),
+                          TransferLogic(a, b, 3), &result)
+                 .ok()) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  core::ClientState auditor;
+  auditor.id = 77;
+  core::TxnProfile audit;
+  audit.read_only = true;
+  for (uint64_t key = 0; key < 60; ++key) {
+    audit.read_keys.push_back(RecordKey{kTable, key});
+  }
+  uint64_t total = 0;
+  auto logic = [&total](core::TxnContext& ctx) -> Status {
+    for (uint64_t key = 0; key < 60; ++key) {
+      std::string value;
+      Status s = ctx.Get(RecordKey{kTable, key}, &value);
+      if (!s.ok()) return s;
+      total += AsNum(value);
+    }
+    return Status::OK();
+  };
+  core::TxnResult result;
+  ASSERT_TRUE(system.Execute(auditor, audit, logic, &result).ok());
+  EXPECT_EQ(total, 60u * 1000u);
+  system.Shutdown();
+}
+
+// ---- PartitionedSystem: partition-store -------------------------------------
+
+TEST(PartitionStoreTest, DataLivesOnlyAtOwner) {
+  RangePartitioner partitioner(10, 10);
+  auto options = PartitionedSystem::PartitionStore(FastCluster(2),
+                                                   RangePlacement(10, 2));
+  PartitionedSystem system(options, &partitioner);
+  LoadKeys(system, 100, 7);
+  // Key 5 -> partition 0 -> site 0 only.
+  EXPECT_TRUE(system.cluster().site(0)->engine().Contains(RecordKey{kTable, 5}));
+  EXPECT_FALSE(system.cluster().site(1)->engine().Contains(RecordKey{kTable, 5}));
+  system.Shutdown();
+}
+
+TEST(PartitionStoreTest, ReplicatedStaticRowsEverywhere) {
+  RangePartitioner partitioner(10, 10);
+  auto options = PartitionedSystem::PartitionStore(FastCluster(2),
+                                                   RangePlacement(10, 2));
+  PartitionedSystem system(options, &partitioner);
+  ASSERT_TRUE(system.CreateTable(kTable).ok());
+  ASSERT_TRUE(system.LoadReplicatedRow(RecordKey{kTable, 5}, Num(1)).ok());
+  EXPECT_TRUE(system.cluster().site(0)->engine().Contains(RecordKey{kTable, 5}));
+  EXPECT_TRUE(system.cluster().site(1)->engine().Contains(RecordKey{kTable, 5}));
+  system.Shutdown();
+}
+
+TEST(PartitionStoreTest, MultiSiteReadGathers) {
+  RangePartitioner partitioner(10, 10);
+  auto options = PartitionedSystem::PartitionStore(FastCluster(2),
+                                                   RangePlacement(10, 2));
+  PartitionedSystem system(options, &partitioner);
+  LoadKeys(system, 100, 5);
+  core::ClientState client;
+  client.id = 1;
+  core::TxnProfile read;
+  read.read_only = true;
+  read.read_keys = {RecordKey{kTable, 5}, RecordKey{kTable, 95}};
+  uint64_t total = 0;
+  auto logic = [&total](core::TxnContext& ctx) -> Status {
+    for (uint64_t key : {5ull, 95ull}) {
+      std::string value;
+      Status s = ctx.Get(RecordKey{kTable, key}, &value);
+      if (!s.ok()) return s;
+      total += AsNum(value);
+    }
+    return Status::OK();
+  };
+  core::TxnResult result;
+  ASSERT_TRUE(system.Execute(client, read, logic, &result).ok());
+  EXPECT_EQ(total, 10u);
+  EXPECT_TRUE(result.distributed);
+  system.Shutdown();
+}
+
+TEST(PartitionStoreTest, DistributedWriteCommitsAtomically) {
+  RangePartitioner partitioner(10, 10);
+  auto options = PartitionedSystem::PartitionStore(FastCluster(2),
+                                                   RangePlacement(10, 2));
+  PartitionedSystem system(options, &partitioner);
+  LoadKeys(system, 100, 100);
+  core::ClientState client;
+  client.id = 1;
+  core::TxnResult result;
+  ASSERT_TRUE(system
+                  .Execute(client, TransferProfile(5, 95),
+                           TransferLogic(5, 95, 25), &result)
+                  .ok());
+  std::string value;
+  ASSERT_TRUE(system.cluster().site(0)->engine().ReadLatest(
+      RecordKey{kTable, 5}, &value).ok());
+  EXPECT_EQ(AsNum(value), 75u);
+  ASSERT_TRUE(system.cluster().site(1)->engine().ReadLatest(
+      RecordKey{kTable, 95}, &value).ok());
+  EXPECT_EQ(AsNum(value), 125u);
+  system.Shutdown();
+}
+
+// ---- LEAP ---------------------------------------------------------------------
+
+TEST(LeapTest, ShipsPartitionsToExecutionSite) {
+  RangePartitioner partitioner(10, 10);
+  LeapSystem::Options options;
+  options.cluster = FastCluster(2);
+  options.cluster.replicated = false;
+  options.placement = RangePlacement(10, 2);
+  LeapSystem system(options, &partitioner);
+  LoadKeys(system, 100, 50);
+
+  core::ClientState client;
+  client.id = 1;
+  core::TxnResult result;
+  // Keys 5 (partition 0, site 0) and 95 (partition 9, site 1): LEAP must
+  // localize one of the partitions by shipping its data.
+  ASSERT_TRUE(system
+                  .Execute(client, TransferProfile(5, 95),
+                           TransferLogic(5, 95, 10), &result)
+                  .ok());
+  EXPECT_GE(system.partitions_shipped(), 1u);
+  EXPECT_GT(system.bytes_shipped(), 0u);
+  // Both partitions now owned at the execution site.
+  EXPECT_EQ(system.OwnerOf(0), result.executed_at);
+  EXPECT_EQ(system.OwnerOf(9), result.executed_at);
+
+  // Values correct at the new owner.
+  std::string value;
+  ASSERT_TRUE(system.cluster().site(result.executed_at)->engine().ReadLatest(
+      RecordKey{kTable, 5}, &value).ok());
+  EXPECT_EQ(AsNum(value), 40u);
+  system.Shutdown();
+}
+
+TEST(LeapTest, ReadOnlyTransactionsAlsoLocalize) {
+  RangePartitioner partitioner(10, 10);
+  LeapSystem::Options options;
+  options.cluster = FastCluster(2);
+  options.cluster.replicated = false;
+  options.placement = RangePlacement(10, 2);
+  LeapSystem system(options, &partitioner);
+  LoadKeys(system, 100, 5);
+
+  core::ClientState client;
+  client.id = 1;
+  core::TxnProfile read;
+  read.read_only = true;
+  read.read_keys = {RecordKey{kTable, 5}, RecordKey{kTable, 95}};
+  uint64_t total = 0;
+  auto logic = [&total](core::TxnContext& ctx) -> Status {
+    for (uint64_t key : {5ull, 95ull}) {
+      std::string value;
+      Status s = ctx.Get(RecordKey{kTable, key}, &value);
+      if (!s.ok()) return s;
+      total += AsNum(value);
+    }
+    return Status::OK();
+  };
+  core::TxnResult result;
+  ASSERT_TRUE(system.Execute(client, read, logic, &result).ok());
+  EXPECT_EQ(total, 10u);
+  EXPECT_GE(system.partitions_shipped(), 1u);  // no replicas: must ship
+  system.Shutdown();
+}
+
+TEST(LeapTest, RepeatedAccessAmortizesShipping) {
+  RangePartitioner partitioner(10, 10);
+  LeapSystem::Options options;
+  options.cluster = FastCluster(2);
+  options.cluster.replicated = false;
+  options.placement = RangePlacement(10, 2);
+  LeapSystem system(options, &partitioner);
+  LoadKeys(system, 100, 50);
+  core::ClientState client;
+  client.id = 1;
+  core::TxnResult r1, r2;
+  ASSERT_TRUE(system
+                  .Execute(client, TransferProfile(5, 95),
+                           TransferLogic(5, 95, 1), &r1)
+                  .ok());
+  const uint64_t after_first = system.partitions_shipped();
+  ASSERT_TRUE(system
+                  .Execute(client, TransferProfile(5, 95),
+                           TransferLogic(5, 95, 1), &r2)
+                  .ok());
+  EXPECT_EQ(system.partitions_shipped(), after_first);  // already local
+  system.Shutdown();
+}
+
+TEST(LeapTest, StaticPartitionsNeverShipped) {
+  RangePartitioner partitioner(10, 10);
+  LeapSystem::Options options;
+  options.cluster = FastCluster(2);
+  options.cluster.replicated = false;
+  options.placement = RangePlacement(10, 2);
+  LeapSystem system(options, &partitioner);
+  ASSERT_TRUE(system.CreateTable(kTable).ok());
+  // Partition 9 loaded as static (replicated).
+  for (uint64_t key = 90; key < 100; ++key) {
+    ASSERT_TRUE(system.LoadReplicatedRow(RecordKey{kTable, key}, Num(3)).ok());
+  }
+  for (uint64_t key = 0; key < 10; ++key) {
+    ASSERT_TRUE(system.LoadRow(RecordKey{kTable, key}, Num(4)).ok());
+  }
+  system.Seal();
+  core::ClientState client;
+  client.id = 1;
+  core::TxnProfile profile;
+  profile.write_keys = {RecordKey{kTable, 5}};
+  profile.read_keys = {RecordKey{kTable, 5}, RecordKey{kTable, 95}};
+  auto logic = [](core::TxnContext& ctx) -> Status {
+    std::string value;
+    Status s = ctx.Get(RecordKey{kTable, 95}, &value);  // static row
+    if (!s.ok()) return s;
+    return ctx.Put(RecordKey{kTable, 5}, Num(AsNum(value) + 1));
+  };
+  core::TxnResult result;
+  ASSERT_TRUE(system.Execute(client, profile, logic, &result).ok());
+  EXPECT_EQ(system.partitions_shipped(), 0u);
+  system.Shutdown();
+}
+
+}  // namespace
+}  // namespace dynamast::baselines

@@ -1,0 +1,244 @@
+// Tests for the durable log substrate: record serialization, topic
+// ordering, cursors, close semantics, and redo-log integrity checking.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/random.h"
+#include "log/durable_log.h"
+#include "log/log_record.h"
+
+namespace dynamast::log {
+namespace {
+
+LogRecord MakeUpdateRecord() {
+  LogRecord record;
+  record.type = LogRecord::Type::kUpdate;
+  record.origin = 2;
+  record.tvv = VersionVector(std::vector<uint64_t>{1, 0, 5});
+  record.writes.push_back(WriteEntry{RecordKey{1, 42}, "value-a", false});
+  record.writes.push_back(WriteEntry{RecordKey{3, 7}, "value-b", true});
+  return record;
+}
+
+TEST(LogRecordTest, RoundTripUpdate) {
+  const LogRecord record = MakeUpdateRecord();
+  LogRecord parsed;
+  ASSERT_TRUE(LogRecord::Deserialize(record.Serialize(), &parsed).ok());
+  EXPECT_EQ(parsed, record);
+}
+
+TEST(LogRecordTest, RoundTripReleaseMarker) {
+  LogRecord record;
+  record.type = LogRecord::Type::kRelease;
+  record.origin = 1;
+  record.tvv = VersionVector(std::vector<uint64_t>{0, 3});
+  record.partitions = {5, 9, 11};
+  record.transfer_peer = 0;
+  LogRecord parsed;
+  ASSERT_TRUE(LogRecord::Deserialize(record.Serialize(), &parsed).ok());
+  EXPECT_EQ(parsed, record);
+}
+
+TEST(LogRecordTest, RoundTripGrantMarker) {
+  LogRecord record;
+  record.type = LogRecord::Type::kGrant;
+  record.origin = 0;
+  record.tvv = VersionVector(std::vector<uint64_t>{7, 3});
+  record.partitions = {1};
+  record.transfer_peer = 1;
+  LogRecord parsed;
+  ASSERT_TRUE(LogRecord::Deserialize(record.Serialize(), &parsed).ok());
+  EXPECT_EQ(parsed, record);
+}
+
+TEST(LogRecordTest, SerializedSizeMatches) {
+  const LogRecord record = MakeUpdateRecord();
+  EXPECT_EQ(record.Serialize().size(), record.SerializedSize());
+}
+
+TEST(LogRecordTest, RejectsEveryTruncation) {
+  const std::string encoded = MakeUpdateRecord().Serialize();
+  LogRecord parsed;
+  for (size_t cut = 0; cut < encoded.size(); ++cut) {
+    EXPECT_FALSE(LogRecord::Deserialize(encoded.substr(0, cut), &parsed).ok())
+        << "cut at " << cut;
+  }
+}
+
+TEST(LogRecordTest, RejectsTrailingGarbage) {
+  LogRecord parsed;
+  EXPECT_TRUE(LogRecord::Deserialize(MakeUpdateRecord().Serialize() + "zz",
+                                     &parsed)
+                  .IsCorruption());
+}
+
+TEST(LogRecordTest, RejectsBadType) {
+  std::string encoded = MakeUpdateRecord().Serialize();
+  encoded[0] = 9;
+  LogRecord parsed;
+  EXPECT_TRUE(LogRecord::Deserialize(encoded, &parsed).IsCorruption());
+}
+
+TEST(LogRecordTest, RandomRoundTripProperty) {
+  Random rng(77);
+  for (int i = 0; i < 100; ++i) {
+    LogRecord record;
+    record.type = static_cast<LogRecord::Type>(rng.Uniform(3));
+    record.origin = static_cast<SiteId>(rng.Uniform(8));
+    std::vector<uint64_t> vv(1 + rng.Uniform(8));
+    for (auto& x : vv) x = rng.Uniform(1000);
+    record.tvv = VersionVector(vv);
+    const size_t writes = rng.Uniform(5);
+    for (size_t w = 0; w < writes; ++w) {
+      std::string value(rng.Uniform(64), 'q');
+      record.writes.push_back(WriteEntry{
+          RecordKey{static_cast<TableId>(rng.Uniform(4)), rng.Next()},
+          std::move(value), rng.Bernoulli(0.5)});
+    }
+    const size_t parts = rng.Uniform(4);
+    for (size_t p = 0; p < parts; ++p) record.partitions.push_back(rng.Next());
+    record.transfer_peer = static_cast<SiteId>(rng.Uniform(8));
+    LogRecord parsed;
+    ASSERT_TRUE(LogRecord::Deserialize(record.Serialize(), &parsed).ok());
+    EXPECT_EQ(parsed, record);
+  }
+}
+
+// ---- DurableLog -----------------------------------------------------------
+
+TEST(DurableLogTest, AppendAssignsDenseOffsets) {
+  DurableLog log;
+  EXPECT_EQ(log.Append("a"), 0u);
+  EXPECT_EQ(log.Append("b"), 1u);
+  EXPECT_EQ(log.Size(), 2u);
+}
+
+TEST(DurableLogTest, TryReadSemantics) {
+  DurableLog log;
+  log.Append("a");
+  std::string out;
+  ASSERT_TRUE(log.TryRead(0, &out).ok());
+  EXPECT_EQ(out, "a");
+  EXPECT_TRUE(log.TryRead(1, &out).IsNotFound());
+}
+
+TEST(DurableLogTest, BlockingReadWokenByAppend) {
+  DurableLog log;
+  std::string out;
+  std::thread appender([&log] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    log.Append("late");
+  });
+  Status s = log.Read(0, &out,
+                      std::chrono::steady_clock::now() +
+                          std::chrono::seconds(5));
+  appender.join();
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(out, "late");
+}
+
+TEST(DurableLogTest, BlockingReadTimesOut) {
+  DurableLog log;
+  std::string out;
+  EXPECT_TRUE(log.Read(0, &out,
+                       std::chrono::steady_clock::now() +
+                           std::chrono::milliseconds(30))
+                  .IsTimedOut());
+}
+
+TEST(DurableLogTest, CloseUnblocksReaders) {
+  DurableLog log;
+  std::string out;
+  std::thread closer([&log] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    log.Close();
+  });
+  Status s = log.Read(0, &out,
+                      std::chrono::steady_clock::now() +
+                          std::chrono::seconds(5));
+  closer.join();
+  EXPECT_TRUE(s.IsUnavailable());
+  EXPECT_TRUE(log.closed());
+}
+
+TEST(DurableLogTest, ReadsExistingEntriesAfterClose) {
+  DurableLog log;
+  log.Append("still-there");
+  log.Close();
+  std::string out;
+  ASSERT_TRUE(log.Read(0, &out, std::chrono::steady_clock::now()).ok());
+  EXPECT_EQ(out, "still-there");
+}
+
+TEST(LogCursorTest, IteratesInOrder) {
+  DurableLog log;
+  for (int i = 0; i < 5; ++i) log.Append(std::to_string(i));
+  LogCursor cursor(&log);
+  std::string out;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(cursor.TryNext(&out).ok());
+    EXPECT_EQ(out, std::to_string(i));
+  }
+  EXPECT_TRUE(cursor.TryNext(&out).IsNotFound());
+  EXPECT_EQ(cursor.offset(), 5u);
+}
+
+TEST(LogCursorTest, SeekSupportsReplay) {
+  DurableLog log;
+  log.Append("a");
+  log.Append("b");
+  LogCursor cursor(&log);
+  std::string out;
+  ASSERT_TRUE(cursor.TryNext(&out).ok());
+  ASSERT_TRUE(cursor.TryNext(&out).ok());
+  cursor.SeekTo(0);
+  ASSERT_TRUE(cursor.TryNext(&out).ok());
+  EXPECT_EQ(out, "a");
+}
+
+TEST(LogCursorTest, FailedNextDoesNotAdvance) {
+  DurableLog log;
+  LogCursor cursor(&log);
+  std::string out;
+  EXPECT_TRUE(cursor.TryNext(&out).IsNotFound());
+  EXPECT_EQ(cursor.offset(), 0u);
+}
+
+TEST(LogManagerTest, OneTopicPerSite) {
+  LogManager logs(3);
+  EXPECT_EQ(logs.num_sites(), 3u);
+  logs.TopicFor(0)->Append("x");
+  EXPECT_EQ(logs.TopicFor(0)->Size(), 1u);
+  EXPECT_EQ(logs.TopicFor(1)->Size(), 0u);
+  logs.CloseAll();
+  EXPECT_TRUE(logs.TopicFor(2)->closed());
+}
+
+TEST(DurableLogTest, ConcurrentAppendersTotalOrder) {
+  DurableLog log;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&log, t] {
+      for (int i = 0; i < 250; ++i) {
+        log.Append(std::to_string(t) + ":" + std::to_string(i));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(log.Size(), 1000u);
+  // Per-producer subsequences must appear in order.
+  std::vector<int> last_seen(4, -1);
+  std::string out;
+  for (uint64_t off = 0; off < 1000; ++off) {
+    ASSERT_TRUE(log.TryRead(off, &out).ok());
+    const int producer = out[0] - '0';
+    const int seq = std::stoi(out.substr(2));
+    EXPECT_GT(seq, last_seen[producer]);
+    last_seen[producer] = seq;
+  }
+}
+
+}  // namespace
+}  // namespace dynamast::log

@@ -1,0 +1,210 @@
+// Tests for the simulated network, admission gate, partitioners, the
+// system factory and the DynaMast phase instrumentation.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/latency_recorder.h"
+#include "common/partitioner.h"
+#include "core/dynamast_system.h"
+#include "net/sim_network.h"
+#include "site/admission_gate.h"
+#include "workloads/system_factory.h"
+#include "workloads/ycsb.h"
+
+namespace dynamast {
+namespace {
+
+// ---- SimulatedNetwork --------------------------------------------------
+
+TEST(SimulatedNetworkTest, CountsMessagesAndBytes) {
+  net::SimulatedNetwork::Options options;
+  options.charge_delays = false;
+  net::SimulatedNetwork network(options);
+  network.Send(net::TrafficClass::kPropagation, 1000);
+  network.Send(net::TrafficClass::kPropagation, 500);
+  network.Send(net::TrafficClass::kRemastering, 64);
+  EXPECT_EQ(network.MessageCount(net::TrafficClass::kPropagation), 2u);
+  EXPECT_EQ(network.ByteCount(net::TrafficClass::kPropagation), 1500u);
+  EXPECT_EQ(network.MessageCount(net::TrafficClass::kRemastering), 1u);
+  EXPECT_EQ(network.TotalMessages(), 3u);
+  EXPECT_EQ(network.TotalBytes(), 1564u);
+}
+
+TEST(SimulatedNetworkTest, RoundTripIsTwoMessages) {
+  net::SimulatedNetwork::Options options;
+  options.charge_delays = false;
+  net::SimulatedNetwork network(options);
+  network.RoundTrip(net::TrafficClass::kClientRequest, 100, 50);
+  EXPECT_EQ(network.MessageCount(net::TrafficClass::kClientRequest), 2u);
+  EXPECT_EQ(network.ByteCount(net::TrafficClass::kClientRequest), 150u);
+}
+
+TEST(SimulatedNetworkTest, ChargesLatencyWhenEnabled) {
+  net::SimulatedNetwork::Options options;
+  options.one_way_latency = std::chrono::microseconds(2000);
+  options.charge_delays = true;
+  net::SimulatedNetwork network(options);
+  Stopwatch watch;
+  network.Send(net::TrafficClass::kClientRequest, 10);
+  EXPECT_GE(watch.ElapsedMicros(), 2000u);
+}
+
+TEST(SimulatedNetworkTest, NoDelayWhenDisabled) {
+  net::SimulatedNetwork::Options options;
+  options.one_way_latency = std::chrono::seconds(10);
+  options.charge_delays = false;
+  net::SimulatedNetwork network(options);
+  Stopwatch watch;
+  network.Send(net::TrafficClass::kClientRequest, 10);
+  EXPECT_LT(watch.ElapsedMicros(), 1000000u);
+}
+
+TEST(SimulatedNetworkTest, ResetClearsCounters) {
+  net::SimulatedNetwork::Options options;
+  options.charge_delays = false;
+  net::SimulatedNetwork network(options);
+  network.Send(net::TrafficClass::kDataShipping, 9);
+  network.ResetCounters();
+  EXPECT_EQ(network.TotalMessages(), 0u);
+  EXPECT_EQ(network.TotalBytes(), 0u);
+}
+
+TEST(SimulatedNetworkTest, ReportNamesEveryClass) {
+  net::SimulatedNetwork::Options options;
+  options.charge_delays = false;
+  net::SimulatedNetwork network(options);
+  const std::string report = network.ReportCounters();
+  for (const char* name : {"client_request", "propagation", "remastering",
+                           "coordination", "data_shipping"}) {
+    EXPECT_NE(report.find(name), std::string::npos) << name;
+  }
+}
+
+// ---- AdmissionGate -------------------------------------------------------
+
+TEST(AdmissionGateTest, LimitsConcurrency) {
+  site::AdmissionGate gate(2);
+  std::atomic<int> inside{0};
+  std::atomic<int> max_inside{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 20; ++i) {
+        site::AdmissionGate::Scoped slot(gate);
+        const int now = inside.fetch_add(1) + 1;
+        int expected = max_inside.load();
+        while (now > expected &&
+               !max_inside.compare_exchange_weak(expected, now)) {
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        inside.fetch_sub(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_LE(max_inside.load(), 2);
+  EXPECT_GT(max_inside.load(), 0);
+}
+
+TEST(AdmissionGateTest, QueueDepthReflectsWaiters) {
+  site::AdmissionGate gate(1);
+  gate.Enter();
+  std::thread waiter([&gate] {
+    site::AdmissionGate::Scoped slot(gate);
+  });
+  // Give the waiter time to queue.
+  for (int i = 0; i < 100 && gate.QueueDepth() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(gate.QueueDepth(), 1u);
+  gate.Exit();
+  waiter.join();
+  EXPECT_EQ(gate.QueueDepth(), 0u);
+}
+
+// ---- Partitioners ----------------------------------------------------------
+
+TEST(PartitionerTest, RangePartitioner) {
+  RangePartitioner partitioner(100, 10);
+  EXPECT_EQ(partitioner.NumPartitions(), 10u);
+  EXPECT_EQ(partitioner.PartitionOf(RecordKey{0, 0}), 0u);
+  EXPECT_EQ(partitioner.PartitionOf(RecordKey{0, 99}), 0u);
+  EXPECT_EQ(partitioner.PartitionOf(RecordKey{0, 100}), 1u);
+  EXPECT_EQ(partitioner.PartitionOf(RecordKey{5, 999}), 9u);  // table-blind
+}
+
+TEST(PartitionerTest, FunctionPartitioner) {
+  FunctionPartitioner partitioner(
+      [](const RecordKey& key) { return key.table * 10 + key.row % 10; }, 40);
+  EXPECT_EQ(partitioner.NumPartitions(), 40u);
+  EXPECT_EQ(partitioner.PartitionOf(RecordKey{2, 7}), 27u);
+}
+
+// ---- System factory -------------------------------------------------------
+
+TEST(SystemFactoryTest, AllFiveSystemsConstruct) {
+  RangePartitioner partitioner(10, 10);
+  workloads::DeploymentOptions options;
+  options.num_sites = 2;
+  options.charge_network = false;
+  options.read_op_cost = options.write_op_cost = options.apply_op_cost =
+      std::chrono::microseconds(0);
+  for (workloads::SystemKind kind : workloads::AllSystems()) {
+    auto system = workloads::MakeSystem(kind, options, partitioner);
+    ASSERT_NE(system, nullptr);
+    EXPECT_EQ(system->name(), workloads::SystemKindName(kind));
+    EXPECT_TRUE(system->CreateTable(0).ok());
+    EXPECT_TRUE(system->LoadRow(RecordKey{0, 1}, "x").ok());
+    system->Seal();
+    system->Shutdown();
+  }
+}
+
+TEST(SystemFactoryTest, NamesAreDistinct) {
+  std::set<std::string> names;
+  for (workloads::SystemKind kind : workloads::AllSystems()) {
+    names.insert(workloads::SystemKindName(kind));
+  }
+  EXPECT_EQ(names.size(), 5u);
+}
+
+// ---- Phase instrumentation ---------------------------------------------------
+
+TEST(PhaseStatsTest, WriteTransactionRecordsAllPhases) {
+  RangePartitioner partitioner(10, 10);
+  core::DynaMastSystem::Options options;
+  options.cluster.num_sites = 2;
+  options.cluster.network.charge_delays = false;
+  options.cluster.site.read_op_cost = options.cluster.site.write_op_cost =
+      options.cluster.site.apply_op_cost = std::chrono::microseconds(0);
+  core::DynaMastSystem system(options, &partitioner);
+  ASSERT_TRUE(system.CreateTable(0).ok());
+  ASSERT_TRUE(system.LoadRow(RecordKey{0, 1}, "x").ok());
+  system.Seal();
+
+  core::ClientState client;
+  client.id = 1;
+  core::TxnProfile profile;
+  profile.write_keys = {RecordKey{0, 1}};
+  core::TxnResult result;
+  ASSERT_TRUE(system
+                  .Execute(client, profile,
+                           [](core::TxnContext& ctx) {
+                             return ctx.Put(RecordKey{0, 1}, "y");
+                           },
+                           &result)
+                  .ok());
+  EXPECT_EQ(system.phase_stats().routing.count(), 1u);
+  EXPECT_EQ(system.phase_stats().network.count(), 1u);
+  EXPECT_EQ(system.phase_stats().begin.count(), 1u);
+  EXPECT_EQ(system.phase_stats().logic.count(), 1u);
+  EXPECT_EQ(system.phase_stats().commit.count(), 1u);
+  system.Shutdown();
+}
+
+}  // namespace
+}  // namespace dynamast

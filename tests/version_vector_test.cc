@@ -1,0 +1,170 @@
+#include "common/version_vector.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace dynamast {
+namespace {
+
+TEST(VersionVectorTest, DefaultIsEmpty) {
+  VersionVector v;
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.Total(), 0u);
+}
+
+TEST(VersionVectorTest, ZeroConstruction) {
+  VersionVector v(4);
+  EXPECT_EQ(v.size(), 4u);
+  for (size_t i = 0; i < 4; ++i) EXPECT_EQ(v[i], 0u);
+}
+
+TEST(VersionVectorTest, ValueConstruction) {
+  VersionVector v(std::vector<uint64_t>{1, 2, 3});
+  EXPECT_EQ(v[0], 1u);
+  EXPECT_EQ(v[2], 3u);
+  EXPECT_EQ(v.Total(), 6u);
+}
+
+TEST(VersionVectorTest, DominatesReflexive) {
+  VersionVector v(std::vector<uint64_t>{5, 0, 7});
+  EXPECT_TRUE(v.DominatesOrEquals(v));
+}
+
+TEST(VersionVectorTest, DominatesStrict) {
+  VersionVector a(std::vector<uint64_t>{2, 3, 4});
+  VersionVector b(std::vector<uint64_t>{1, 3, 4});
+  EXPECT_TRUE(a.DominatesOrEquals(b));
+  EXPECT_FALSE(b.DominatesOrEquals(a));
+}
+
+TEST(VersionVectorTest, IncomparableVectors) {
+  VersionVector a(std::vector<uint64_t>{2, 0});
+  VersionVector b(std::vector<uint64_t>{0, 2});
+  EXPECT_FALSE(a.DominatesOrEquals(b));
+  EXPECT_FALSE(b.DominatesOrEquals(a));
+}
+
+TEST(VersionVectorTest, EmptyIsDominatedByAnything) {
+  VersionVector empty;
+  VersionVector v(std::vector<uint64_t>{0, 0});
+  EXPECT_TRUE(v.DominatesOrEquals(empty));
+  EXPECT_TRUE(empty.DominatesOrEquals(empty));
+}
+
+TEST(VersionVectorTest, ShorterVectorTreatedAsZeroExtended) {
+  VersionVector a(std::vector<uint64_t>{1});
+  VersionVector b(std::vector<uint64_t>{1, 0, 0});
+  EXPECT_TRUE(a.DominatesOrEquals(b));
+  EXPECT_TRUE(b.DominatesOrEquals(a));
+}
+
+TEST(VersionVectorTest, MaxWithGrows) {
+  VersionVector a(std::vector<uint64_t>{1, 5});
+  VersionVector b(std::vector<uint64_t>{3, 2, 9});
+  a.MaxWith(b);
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_EQ(a[0], 3u);
+  EXPECT_EQ(a[1], 5u);
+  EXPECT_EQ(a[2], 9u);
+}
+
+TEST(VersionVectorTest, ElementwiseMaxIsCommutative) {
+  VersionVector a(std::vector<uint64_t>{1, 7, 2});
+  VersionVector b(std::vector<uint64_t>{4, 3, 2});
+  EXPECT_EQ(VersionVector::ElementwiseMax(a, b),
+            VersionVector::ElementwiseMax(b, a));
+}
+
+TEST(VersionVectorTest, MaxDominatesBothInputs) {
+  VersionVector a(std::vector<uint64_t>{1, 7, 2});
+  VersionVector b(std::vector<uint64_t>{4, 3, 2});
+  const VersionVector m = VersionVector::ElementwiseMax(a, b);
+  EXPECT_TRUE(m.DominatesOrEquals(a));
+  EXPECT_TRUE(m.DominatesOrEquals(b));
+}
+
+TEST(VersionVectorTest, MissingUpdatesCountsPositivePart) {
+  VersionVector mine(std::vector<uint64_t>{5, 0, 2});
+  VersionVector target(std::vector<uint64_t>{3, 4, 2});
+  // index 0: ahead (0 missing), index 1: 4 missing, index 2: equal.
+  EXPECT_EQ(mine.MissingUpdates(target), 4u);
+}
+
+TEST(VersionVectorTest, MissingUpdatesZeroWhenDominating) {
+  VersionVector mine(std::vector<uint64_t>{5, 5});
+  VersionVector target(std::vector<uint64_t>{5, 4});
+  EXPECT_EQ(mine.MissingUpdates(target), 0u);
+}
+
+TEST(VersionVectorTest, ToString) {
+  VersionVector v(std::vector<uint64_t>{1, 0, 2});
+  EXPECT_EQ(v.ToString(), "[1, 0, 2]");
+}
+
+// ---- Property sweeps ---------------------------------------------------
+
+class VersionVectorPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(VersionVectorPropertyTest, MaxIsLeastUpperBound) {
+  Random rng(GetParam());
+  for (int iteration = 0; iteration < 200; ++iteration) {
+    const size_t dim = 1 + rng.Uniform(8);
+    std::vector<uint64_t> av(dim), bv(dim);
+    for (size_t i = 0; i < dim; ++i) {
+      av[i] = rng.Uniform(10);
+      bv[i] = rng.Uniform(10);
+    }
+    VersionVector a(av), b(bv);
+    const VersionVector m = VersionVector::ElementwiseMax(a, b);
+    EXPECT_TRUE(m.DominatesOrEquals(a));
+    EXPECT_TRUE(m.DominatesOrEquals(b));
+    // Least: every coordinate of m equals a's or b's.
+    for (size_t i = 0; i < dim; ++i) {
+      EXPECT_TRUE(m[i] == a[i] || m[i] == b[i]);
+    }
+  }
+}
+
+TEST_P(VersionVectorPropertyTest, DominanceIsPartialOrder) {
+  Random rng(GetParam() ^ 0xabcdef);
+  for (int iteration = 0; iteration < 200; ++iteration) {
+    const size_t dim = 1 + rng.Uniform(6);
+    std::vector<uint64_t> av(dim), bv(dim), cv(dim);
+    for (size_t i = 0; i < dim; ++i) {
+      av[i] = rng.Uniform(5);
+      bv[i] = rng.Uniform(5);
+      cv[i] = rng.Uniform(5);
+    }
+    VersionVector a(av), b(bv), c(cv);
+    // Transitivity.
+    if (a.DominatesOrEquals(b) && b.DominatesOrEquals(c)) {
+      EXPECT_TRUE(a.DominatesOrEquals(c));
+    }
+    // Antisymmetry.
+    if (a.DominatesOrEquals(b) && b.DominatesOrEquals(a)) {
+      EXPECT_EQ(a, b);
+    }
+  }
+}
+
+TEST_P(VersionVectorPropertyTest, MissingUpdatesConsistentWithDominance) {
+  Random rng(GetParam() ^ 0x777);
+  for (int iteration = 0; iteration < 200; ++iteration) {
+    const size_t dim = 1 + rng.Uniform(6);
+    std::vector<uint64_t> av(dim), bv(dim);
+    for (size_t i = 0; i < dim; ++i) {
+      av[i] = rng.Uniform(8);
+      bv[i] = rng.Uniform(8);
+    }
+    VersionVector a(av), b(bv);
+    EXPECT_EQ(a.MissingUpdates(b) == 0, a.DominatesOrEquals(b));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VersionVectorPropertyTest,
+                         ::testing::Values(1, 2, 3, 17, 99));
+
+}  // namespace
+}  // namespace dynamast
