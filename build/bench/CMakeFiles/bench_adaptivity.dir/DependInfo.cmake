@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_adaptivity.cc" "bench/CMakeFiles/bench_adaptivity.dir/bench_adaptivity.cc.o" "gcc" "bench/CMakeFiles/bench_adaptivity.dir/bench_adaptivity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/dynamast_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/dynamast_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dynamast_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/selector/CMakeFiles/dynamast_selector.dir/DependInfo.cmake"
+  "/root/repo/build/src/site/CMakeFiles/dynamast_site.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dynamast_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/log/CMakeFiles/dynamast_log.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dynamast_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dynamast_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

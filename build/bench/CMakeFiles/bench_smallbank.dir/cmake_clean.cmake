@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_smallbank.dir/bench_smallbank.cc.o"
+  "CMakeFiles/bench_smallbank.dir/bench_smallbank.cc.o.d"
+  "bench_smallbank"
+  "bench_smallbank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_smallbank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_smallbank_tails.dir/bench_smallbank_tails.cc.o"
+  "CMakeFiles/bench_smallbank_tails.dir/bench_smallbank_tails.cc.o.d"
+  "bench_smallbank_tails"
+  "bench_smallbank_tails.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_smallbank_tails.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

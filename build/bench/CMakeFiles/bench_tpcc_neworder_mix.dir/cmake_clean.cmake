@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tpcc_neworder_mix.dir/bench_tpcc_neworder_mix.cc.o"
+  "CMakeFiles/bench_tpcc_neworder_mix.dir/bench_tpcc_neworder_mix.cc.o.d"
+  "bench_tpcc_neworder_mix"
+  "bench_tpcc_neworder_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tpcc_neworder_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tpcc_payment.dir/bench_tpcc_payment.cc.o"
+  "CMakeFiles/bench_tpcc_payment.dir/bench_tpcc_payment.cc.o.d"
+  "bench_tpcc_payment"
+  "bench_tpcc_payment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tpcc_payment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tpcc_payment_crosswh.dir/bench_tpcc_payment_crosswh.cc.o"
+  "CMakeFiles/bench_tpcc_payment_crosswh.dir/bench_tpcc_payment_crosswh.cc.o.d"
+  "bench_tpcc_payment_crosswh"
+  "bench_tpcc_payment_crosswh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tpcc_payment_crosswh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tpcc_stocklevel_latency.dir/bench_tpcc_stocklevel_latency.cc.o"
+  "CMakeFiles/bench_tpcc_stocklevel_latency.dir/bench_tpcc_stocklevel_latency.cc.o.d"
+  "bench_tpcc_stocklevel_latency"
+  "bench_tpcc_stocklevel_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tpcc_stocklevel_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

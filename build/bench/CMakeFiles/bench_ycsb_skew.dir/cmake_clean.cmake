@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ycsb_skew.dir/bench_ycsb_skew.cc.o"
+  "CMakeFiles/bench_ycsb_skew.dir/bench_ycsb_skew.cc.o.d"
+  "bench_ycsb_skew"
+  "bench_ycsb_skew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ycsb_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

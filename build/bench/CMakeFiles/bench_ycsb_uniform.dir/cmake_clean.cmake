@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ycsb_uniform.dir/bench_ycsb_uniform.cc.o"
+  "CMakeFiles/bench_ycsb_uniform.dir/bench_ycsb_uniform.cc.o.d"
+  "bench_ycsb_uniform"
+  "bench_ycsb_uniform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ycsb_uniform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ycsb_writeheavy.dir/bench_ycsb_writeheavy.cc.o"
+  "CMakeFiles/bench_ycsb_writeheavy.dir/bench_ycsb_writeheavy.cc.o.d"
+  "bench_ycsb_writeheavy"
+  "bench_ycsb_writeheavy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ycsb_writeheavy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_remastering.dir/adaptive_remastering.cpp.o"
+  "CMakeFiles/adaptive_remastering.dir/adaptive_remastering.cpp.o.d"
+  "adaptive_remastering"
+  "adaptive_remastering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_remastering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamast_baselines.dir/leap_system.cc.o"
+  "CMakeFiles/dynamast_baselines.dir/leap_system.cc.o.d"
+  "CMakeFiles/dynamast_baselines.dir/partitioned_system.cc.o"
+  "CMakeFiles/dynamast_baselines.dir/partitioned_system.cc.o.d"
+  "libdynamast_baselines.a"
+  "libdynamast_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamast_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamast_common.dir/latency_recorder.cc.o"
+  "CMakeFiles/dynamast_common.dir/latency_recorder.cc.o.d"
+  "CMakeFiles/dynamast_common.dir/random.cc.o"
+  "CMakeFiles/dynamast_common.dir/random.cc.o.d"
+  "CMakeFiles/dynamast_common.dir/status.cc.o"
+  "CMakeFiles/dynamast_common.dir/status.cc.o.d"
+  "CMakeFiles/dynamast_common.dir/version_vector.cc.o"
+  "CMakeFiles/dynamast_common.dir/version_vector.cc.o.d"
+  "libdynamast_common.a"
+  "libdynamast_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamast_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamast_core.dir/cluster.cc.o"
+  "CMakeFiles/dynamast_core.dir/cluster.cc.o.d"
+  "CMakeFiles/dynamast_core.dir/dynamast_system.cc.o"
+  "CMakeFiles/dynamast_core.dir/dynamast_system.cc.o.d"
+  "libdynamast_core.a"
+  "libdynamast_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamast_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

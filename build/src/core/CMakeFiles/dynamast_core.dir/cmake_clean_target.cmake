@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdynamast_core.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamast_log.dir/durable_log.cc.o"
+  "CMakeFiles/dynamast_log.dir/durable_log.cc.o.d"
+  "CMakeFiles/dynamast_log.dir/log_record.cc.o"
+  "CMakeFiles/dynamast_log.dir/log_record.cc.o.d"
+  "libdynamast_log.a"
+  "libdynamast_log.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamast_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

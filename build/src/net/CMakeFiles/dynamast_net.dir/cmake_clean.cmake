@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamast_net.dir/sim_network.cc.o"
+  "CMakeFiles/dynamast_net.dir/sim_network.cc.o.d"
+  "libdynamast_net.a"
+  "libdynamast_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamast_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/selector/access_statistics.cc" "src/selector/CMakeFiles/dynamast_selector.dir/access_statistics.cc.o" "gcc" "src/selector/CMakeFiles/dynamast_selector.dir/access_statistics.cc.o.d"
+  "/root/repo/src/selector/partition_map.cc" "src/selector/CMakeFiles/dynamast_selector.dir/partition_map.cc.o" "gcc" "src/selector/CMakeFiles/dynamast_selector.dir/partition_map.cc.o.d"
+  "/root/repo/src/selector/replica_selector.cc" "src/selector/CMakeFiles/dynamast_selector.dir/replica_selector.cc.o" "gcc" "src/selector/CMakeFiles/dynamast_selector.dir/replica_selector.cc.o.d"
+  "/root/repo/src/selector/site_selector.cc" "src/selector/CMakeFiles/dynamast_selector.dir/site_selector.cc.o" "gcc" "src/selector/CMakeFiles/dynamast_selector.dir/site_selector.cc.o.d"
+  "/root/repo/src/selector/strategy.cc" "src/selector/CMakeFiles/dynamast_selector.dir/strategy.cc.o" "gcc" "src/selector/CMakeFiles/dynamast_selector.dir/strategy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dynamast_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/site/CMakeFiles/dynamast_site.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dynamast_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dynamast_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/log/CMakeFiles/dynamast_log.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamast_selector.dir/access_statistics.cc.o"
+  "CMakeFiles/dynamast_selector.dir/access_statistics.cc.o.d"
+  "CMakeFiles/dynamast_selector.dir/partition_map.cc.o"
+  "CMakeFiles/dynamast_selector.dir/partition_map.cc.o.d"
+  "CMakeFiles/dynamast_selector.dir/replica_selector.cc.o"
+  "CMakeFiles/dynamast_selector.dir/replica_selector.cc.o.d"
+  "CMakeFiles/dynamast_selector.dir/site_selector.cc.o"
+  "CMakeFiles/dynamast_selector.dir/site_selector.cc.o.d"
+  "CMakeFiles/dynamast_selector.dir/strategy.cc.o"
+  "CMakeFiles/dynamast_selector.dir/strategy.cc.o.d"
+  "libdynamast_selector.a"
+  "libdynamast_selector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamast_selector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

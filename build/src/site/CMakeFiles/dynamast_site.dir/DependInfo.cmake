@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/site/admission_gate.cc" "src/site/CMakeFiles/dynamast_site.dir/admission_gate.cc.o" "gcc" "src/site/CMakeFiles/dynamast_site.dir/admission_gate.cc.o.d"
+  "/root/repo/src/site/site_manager.cc" "src/site/CMakeFiles/dynamast_site.dir/site_manager.cc.o" "gcc" "src/site/CMakeFiles/dynamast_site.dir/site_manager.cc.o.d"
+  "/root/repo/src/site/transaction.cc" "src/site/CMakeFiles/dynamast_site.dir/transaction.cc.o" "gcc" "src/site/CMakeFiles/dynamast_site.dir/transaction.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dynamast_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dynamast_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/log/CMakeFiles/dynamast_log.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dynamast_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamast_site.dir/admission_gate.cc.o"
+  "CMakeFiles/dynamast_site.dir/admission_gate.cc.o.d"
+  "CMakeFiles/dynamast_site.dir/site_manager.cc.o"
+  "CMakeFiles/dynamast_site.dir/site_manager.cc.o.d"
+  "CMakeFiles/dynamast_site.dir/transaction.cc.o"
+  "CMakeFiles/dynamast_site.dir/transaction.cc.o.d"
+  "libdynamast_site.a"
+  "libdynamast_site.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamast_site.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamast_storage.dir/lock_manager.cc.o"
+  "CMakeFiles/dynamast_storage.dir/lock_manager.cc.o.d"
+  "CMakeFiles/dynamast_storage.dir/record.cc.o"
+  "CMakeFiles/dynamast_storage.dir/record.cc.o.d"
+  "CMakeFiles/dynamast_storage.dir/row_buffer.cc.o"
+  "CMakeFiles/dynamast_storage.dir/row_buffer.cc.o.d"
+  "CMakeFiles/dynamast_storage.dir/storage_engine.cc.o"
+  "CMakeFiles/dynamast_storage.dir/storage_engine.cc.o.d"
+  "CMakeFiles/dynamast_storage.dir/table.cc.o"
+  "CMakeFiles/dynamast_storage.dir/table.cc.o.d"
+  "libdynamast_storage.a"
+  "libdynamast_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamast_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

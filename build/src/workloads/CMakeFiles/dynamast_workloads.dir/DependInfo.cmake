@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/driver.cc" "src/workloads/CMakeFiles/dynamast_workloads.dir/driver.cc.o" "gcc" "src/workloads/CMakeFiles/dynamast_workloads.dir/driver.cc.o.d"
+  "/root/repo/src/workloads/smallbank.cc" "src/workloads/CMakeFiles/dynamast_workloads.dir/smallbank.cc.o" "gcc" "src/workloads/CMakeFiles/dynamast_workloads.dir/smallbank.cc.o.d"
+  "/root/repo/src/workloads/system_factory.cc" "src/workloads/CMakeFiles/dynamast_workloads.dir/system_factory.cc.o" "gcc" "src/workloads/CMakeFiles/dynamast_workloads.dir/system_factory.cc.o.d"
+  "/root/repo/src/workloads/tpcc.cc" "src/workloads/CMakeFiles/dynamast_workloads.dir/tpcc.cc.o" "gcc" "src/workloads/CMakeFiles/dynamast_workloads.dir/tpcc.cc.o.d"
+  "/root/repo/src/workloads/ycsb.cc" "src/workloads/CMakeFiles/dynamast_workloads.dir/ycsb.cc.o" "gcc" "src/workloads/CMakeFiles/dynamast_workloads.dir/ycsb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dynamast_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/dynamast_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dynamast_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/selector/CMakeFiles/dynamast_selector.dir/DependInfo.cmake"
+  "/root/repo/build/src/site/CMakeFiles/dynamast_site.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dynamast_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/log/CMakeFiles/dynamast_log.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dynamast_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

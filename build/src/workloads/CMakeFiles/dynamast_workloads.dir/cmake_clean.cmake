@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamast_workloads.dir/driver.cc.o"
+  "CMakeFiles/dynamast_workloads.dir/driver.cc.o.d"
+  "CMakeFiles/dynamast_workloads.dir/smallbank.cc.o"
+  "CMakeFiles/dynamast_workloads.dir/smallbank.cc.o.d"
+  "CMakeFiles/dynamast_workloads.dir/system_factory.cc.o"
+  "CMakeFiles/dynamast_workloads.dir/system_factory.cc.o.d"
+  "CMakeFiles/dynamast_workloads.dir/tpcc.cc.o"
+  "CMakeFiles/dynamast_workloads.dir/tpcc.cc.o.d"
+  "CMakeFiles/dynamast_workloads.dir/ycsb.cc.o"
+  "CMakeFiles/dynamast_workloads.dir/ycsb.cc.o.d"
+  "libdynamast_workloads.a"
+  "libdynamast_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamast_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamast_system_test.dir/dynamast_system_test.cc.o"
+  "CMakeFiles/dynamast_system_test.dir/dynamast_system_test.cc.o.d"
+  "dynamast_system_test"
+  "dynamast_system_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamast_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

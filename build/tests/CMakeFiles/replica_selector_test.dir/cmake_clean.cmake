@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replica_selector_test.dir/replica_selector_test.cc.o"
+  "CMakeFiles/replica_selector_test.dir/replica_selector_test.cc.o.d"
+  "replica_selector_test"
+  "replica_selector_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replica_selector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/site_manager_test.dir/site_manager_test.cc.o"
+  "CMakeFiles/site_manager_test.dir/site_manager_test.cc.o.d"
+  "site_manager_test"
+  "site_manager_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/site_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(common_test "/root/repo/build/tests/common_test")
+set_tests_properties(common_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;13;dynamast_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(version_vector_test "/root/repo/build/tests/version_vector_test")
+set_tests_properties(version_vector_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;14;dynamast_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(storage_test "/root/repo/build/tests/storage_test")
+set_tests_properties(storage_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;15;dynamast_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(log_test "/root/repo/build/tests/log_test")
+set_tests_properties(log_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;16;dynamast_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(site_manager_test "/root/repo/build/tests/site_manager_test")
+set_tests_properties(site_manager_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;17;dynamast_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(selector_test "/root/repo/build/tests/selector_test")
+set_tests_properties(selector_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;18;dynamast_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(dynamast_system_test "/root/repo/build/tests/dynamast_system_test")
+set_tests_properties(dynamast_system_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;19;dynamast_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(baselines_test "/root/repo/build/tests/baselines_test")
+set_tests_properties(baselines_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;20;dynamast_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(workloads_test "/root/repo/build/tests/workloads_test")
+set_tests_properties(workloads_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;21;dynamast_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(integration_test "/root/repo/build/tests/integration_test")
+set_tests_properties(integration_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;22;dynamast_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(net_and_misc_test "/root/repo/build/tests/net_and_misc_test")
+set_tests_properties(net_and_misc_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;23;dynamast_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(replica_selector_test "/root/repo/build/tests/replica_selector_test")
+set_tests_properties(replica_selector_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;24;dynamast_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(consistency_property_test "/root/repo/build/tests/consistency_property_test")
+set_tests_properties(consistency_property_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;25;dynamast_add_test;/root/repo/tests/CMakeLists.txt;0;")
