@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# The full correctness gate (see DESIGN.md, "Correctness tooling"):
+#
+#   1. format check           (.clang-format via scripts/format-check.sh)
+#   2. default build + ctest  (tier1 + tier2, uninstrumented)
+#   3. clang-tidy             (.clang-tidy over src/, compile_commands.json)
+#   4. ASan+UBSan build + ctest   (preset asan-ubsan: sanitizers,
+#                                  DYNAMAST_INVARIANTS, DYNAMAST_LOCK_DEBUG)
+#   5. TSan build + ctest         (preset tsan: same checkers under
+#                                  ThreadSanitizer)
+#
+# Steps needing tools the machine lacks (clang-format / clang-tidy) are
+# skipped with a warning rather than failed, so the gate is still useful
+# on a bare-gcc box. Environment knobs:
+#   JOBS=<n>        parallel build jobs (default: nproc)
+#   SKIP_TSAN=1     skip step 5 (TSan doubles the wall time)
+#   SKIP_ASAN=1     skip step 4
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${JOBS:-$(nproc)}"
+failures=0
+
+step() { echo; echo "==== check.sh: $* ===="; }
+
+# 1. Formatting -------------------------------------------------------------
+step "format check"
+if ! scripts/format-check.sh; then
+  echo "check.sh: FORMAT CHECK FAILED" >&2
+  failures=$((failures + 1))
+fi
+
+# 2. Default build + tests --------------------------------------------------
+step "default build"
+cmake --preset default
+cmake --build build -j "$JOBS"
+step "default ctest (tier1 + tier2)"
+if ! ctest --preset default; then
+  echo "check.sh: DEFAULT TESTS FAILED" >&2
+  failures=$((failures + 1))
+fi
+
+# 3. clang-tidy -------------------------------------------------------------
+step "clang-tidy"
+if command -v clang-tidy >/dev/null 2>&1; then
+  mapfile -t tidy_files < <(git ls-files 'src/*.cc')
+  if ! clang-tidy -p build --quiet "${tidy_files[@]}"; then
+    echo "check.sh: CLANG-TIDY FAILED" >&2
+    failures=$((failures + 1))
+  fi
+else
+  echo "check.sh: WARNING: clang-tidy not found; skipping lint step" >&2
+fi
+
+# 4. ASan + UBSan -----------------------------------------------------------
+if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
+  step "asan-ubsan build (tests only)"
+  cmake --preset asan-ubsan
+  cmake --build build-asan --target dynamast_tests -j "$JOBS"
+  step "asan-ubsan ctest"
+  if ! ctest --preset asan-ubsan; then
+    echo "check.sh: ASAN/UBSAN TESTS FAILED" >&2
+    failures=$((failures + 1))
+  fi
+else
+  echo "check.sh: skipping asan-ubsan (SKIP_ASAN=1)" >&2
+fi
+
+# 5. TSan -------------------------------------------------------------------
+if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
+  step "tsan build (tests only)"
+  cmake --preset tsan
+  cmake --build build-tsan --target dynamast_tests -j "$JOBS"
+  step "tsan ctest"
+  if ! ctest --preset tsan; then
+    echo "check.sh: TSAN TESTS FAILED" >&2
+    failures=$((failures + 1))
+  fi
+else
+  echo "check.sh: skipping tsan (SKIP_TSAN=1)" >&2
+fi
+
+# ---------------------------------------------------------------------------
+echo
+if [[ $failures -gt 0 ]]; then
+  echo "check.sh: FAILED ($failures step(s) failed)" >&2
+  exit 1
+fi
+echo "check.sh: all steps passed"

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Verifies that every tracked C++ source file is clang-format clean
+# (config: .clang-format). Exits non-zero listing offending files.
+# Pass --fix to rewrite files in place instead.
+#
+# If clang-format is not installed, prints a warning and exits 0 so the
+# rest of the check gate (scripts/check.sh) still runs.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+FIX=0
+if [[ "${1:-}" == "--fix" ]]; then
+  FIX=1
+fi
+
+CLANG_FORMAT="${CLANG_FORMAT:-clang-format}"
+if ! command -v "$CLANG_FORMAT" >/dev/null 2>&1; then
+  echo "format-check: WARNING: $CLANG_FORMAT not found; skipping format check" >&2
+  exit 0
+fi
+
+mapfile -t files < <(git ls-files '*.cc' '*.h')
+if [[ ${#files[@]} -eq 0 ]]; then
+  echo "format-check: no C++ files tracked"
+  exit 0
+fi
+
+if [[ $FIX -eq 1 ]]; then
+  "$CLANG_FORMAT" -i "${files[@]}"
+  echo "format-check: reformatted ${#files[@]} files"
+  exit 0
+fi
+
+bad=()
+for f in "${files[@]}"; do
+  if ! "$CLANG_FORMAT" --dry-run --Werror "$f" >/dev/null 2>&1; then
+    bad+=("$f")
+  fi
+done
+
+if [[ ${#bad[@]} -gt 0 ]]; then
+  echo "format-check: ${#bad[@]} files need formatting (run scripts/format-check.sh --fix):" >&2
+  printf '  %s\n' "${bad[@]}" >&2
+  exit 1
+fi
+echo "format-check: ${#files[@]} files clean"

@@ -17,14 +17,22 @@ VersionVector MaskToIndex(const VersionVector& v, SiteId s) {
   if (s < v.size()) out[s] = v[s];
   return out;
 }
+
+// LEAP keeps no replicas, so its cluster must never run refresh appliers.
+// The flag has to be cleared *before* Cluster is constructed: an applier
+// re-applying an old remote update after a partition ships in would
+// shadow the freshly copied rows (versions append newest-at-back).
+core::Cluster::Options UnreplicatedCluster(core::Cluster::Options o) {
+  o.replicated = false;
+  return o;
+}
 }  // namespace
 
 LeapSystem::LeapSystem(const Options& options, const Partitioner* partitioner)
     : options_(options),
       partitioner_(partitioner),
-      cluster_(options.cluster, partitioner),
+      cluster_(UnreplicatedCluster(options.cluster), partitioner),
       ownership_(partitioner->NumPartitions(), 0) {
-  // LEAP keeps no replicas: the cluster runs no refresh appliers.
   options_.cluster.replicated = false;
   if (options_.placement.size() < partitioner->NumPartitions()) {
     options_.placement.resize(partitioner->NumPartitions(), 0);
@@ -117,6 +125,9 @@ Status LeapSystem::Execute(core::ClientState& client,
                            const core::TxnProfile& profile,
                            const core::TxnLogic& logic,
                            core::TxnResult* result) {
+  // `result` is an optional out-param; the code below assumes non-null.
+  core::TxnResult scratch;
+  if (result == nullptr) result = &scratch;
   net::SimulatedNetwork& net = cluster_.network();
   // Same client->router hop as every system in the framework (see
   // PartitionedSystem::Execute).

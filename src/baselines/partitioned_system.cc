@@ -172,6 +172,9 @@ Status PartitionedSystem::Execute(core::ClientState& client,
                                   const core::TxnProfile& profile,
                                   const core::TxnLogic& logic,
                                   core::TxnResult* result) {
+  // `result` is an optional out-param; the helpers below assume non-null.
+  core::TxnResult scratch;
+  if (result == nullptr) result = &scratch;
   // All evaluated systems share the framework's client->router hop
   // (Section VI-A1: every design is implemented within the DynaMast
   // framework), so baselines pay the same routing round trip DynaMast

@@ -1,0 +1,286 @@
+#ifndef DYNAMAST_COMMON_DEBUG_MUTEX_H_
+#define DYNAMAST_COMMON_DEBUG_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <shared_mutex>
+
+namespace dynamast {
+
+/// Lock-order and deadlock checking for the debug builds (see DESIGN.md,
+/// "Correctness tooling").
+///
+/// Every mutex in the concurrent subsystems (lock_manager, site_manager,
+/// admission_gate, durable_log, sim_network, storage engine, partition map)
+/// is declared as a DebugMutex / DebugSharedMutex with a lock-*class* name
+/// ("site.state", "log.topic", ...). In default builds these wrappers
+/// compile to plain std::mutex / std::shared_mutex forwarding (zero cost);
+/// when the build is configured with -DDYNAMAST_LOCK_DEBUG=ON every
+/// acquisition is checked against a process-wide lock-order graph:
+///
+///  * recursive acquisition of the same instance aborts immediately
+///    (std::mutex self-deadlock / UB);
+///  * acquiring a lock of class B while holding class A records the edge
+///    A -> B; if the edge closes a cycle in the graph, the process aborts
+///    with the full cycle and the acquiring thread's held-lock stack;
+///  * classes whose instances are nested intentionally (e.g. the partition
+///    map's per-partition locks, taken in sorted order) carry a per-instance
+///    *rank*; holding two instances of one class requires strictly
+///    ascending ranks, otherwise the process aborts.
+///
+/// The checker itself (lockdebug::*) is always compiled into
+/// dynamast_common so its unit tests run in every build configuration; the
+/// DYNAMAST_LOCK_DEBUG macro only selects which wrapper the production
+/// types alias.
+namespace lockdebug {
+
+/// Rank for lock classes whose instances must never be held together.
+inline constexpr uint64_t kNoRank = UINT64_MAX;
+
+/// Checks an impending blocking acquisition and pushes it on the calling
+/// thread's held-lock stack. Aborts (after printing a report to stderr) on
+/// recursive acquisition, same-class rank inversion, or a cross-class
+/// lock-order cycle.
+void OnLock(const void* instance, const char* name, uint64_t rank);
+
+/// Records a successful try_lock: the lock joins the held stack (so later
+/// blocking acquisitions see it) but records no ordering edges — a
+/// non-blocking acquisition cannot complete a deadlock cycle.
+void OnTryLock(const void* instance, const char* name, uint64_t rank);
+
+/// Pops `instance` from the calling thread's held-lock stack.
+void OnUnlock(const void* instance);
+
+/// Number of distinct lock-order edges observed so far (diagnostics).
+size_t EdgeCount();
+
+/// Number of locks the calling thread currently holds (diagnostics).
+size_t HeldCount();
+
+/// Clears the global lock-order graph. Test isolation only.
+void ResetGraphForTest();
+
+/// If set, order violations call this instead of aborting (unit tests
+/// observing detection without death tests). Pass nullptr to restore the
+/// default abort behaviour.
+using ViolationHandler = void (*)(const char* report);
+void SetViolationHandlerForTest(ViolationHandler handler);
+
+// ---------------------------------------------------------------------
+// Checked wrappers (used directly by the checker's own tests; production
+// code names them via the DebugMutex / DebugSharedMutex aliases below).
+// ---------------------------------------------------------------------
+
+class TrackedMutex {
+ public:
+  explicit TrackedMutex(const char* name, uint64_t rank = kNoRank)
+      : name_(name), rank_(rank) {}
+
+  TrackedMutex(const TrackedMutex&) = delete;
+  TrackedMutex& operator=(const TrackedMutex&) = delete;
+
+  void lock() {
+    OnLock(this, name_, rank_);
+    mu_.lock();
+  }
+  bool try_lock() {
+    if (!mu_.try_lock()) return false;
+    OnTryLock(this, name_, rank_);
+    return true;
+  }
+  void unlock() {
+    OnUnlock(this);
+    mu_.unlock();
+  }
+
+  void set_rank(uint64_t rank) { rank_ = rank; }
+
+  // DebugCondVar support: the native mutex a condition variable waits on,
+  // and the held-stack bookkeeping around the wait's release/reacquire.
+  std::mutex& native() { return mu_; }
+  void OnCvWaitRelease() { OnUnlock(this); }
+  void OnCvWaitReacquire() { OnLock(this, name_, rank_); }
+
+ private:
+  std::mutex mu_;
+  const char* name_;
+  uint64_t rank_;
+};
+
+class TrackedSharedMutex {
+ public:
+  explicit TrackedSharedMutex(const char* name, uint64_t rank = kNoRank)
+      : name_(name), rank_(rank) {}
+
+  TrackedSharedMutex(const TrackedSharedMutex&) = delete;
+  TrackedSharedMutex& operator=(const TrackedSharedMutex&) = delete;
+
+  void lock() {
+    OnLock(this, name_, rank_);
+    mu_.lock();
+  }
+  bool try_lock() {
+    if (!mu_.try_lock()) return false;
+    OnTryLock(this, name_, rank_);
+    return true;
+  }
+  void unlock() {
+    OnUnlock(this);
+    mu_.unlock();
+  }
+
+  // Shared acquisitions participate in ordering checks too: a reader
+  // blocked behind a queued writer is still a wait-for edge.
+  void lock_shared() {
+    OnLock(this, name_, rank_);
+    mu_.lock_shared();
+  }
+  bool try_lock_shared() {
+    if (!mu_.try_lock_shared()) return false;
+    OnTryLock(this, name_, rank_);
+    return true;
+  }
+  void unlock_shared() {
+    OnUnlock(this);
+    mu_.unlock_shared();
+  }
+
+  void set_rank(uint64_t rank) { rank_ = rank; }
+
+ private:
+  std::shared_mutex mu_;
+  const char* name_;
+  uint64_t rank_;
+};
+
+// ---------------------------------------------------------------------
+// Zero-cost pass-through wrappers (default builds).
+// ---------------------------------------------------------------------
+
+class PlainMutex {
+ public:
+  explicit PlainMutex(const char* /*name*/, uint64_t /*rank*/ = kNoRank) {}
+
+  PlainMutex(const PlainMutex&) = delete;
+  PlainMutex& operator=(const PlainMutex&) = delete;
+
+  void lock() { mu_.lock(); }
+  bool try_lock() { return mu_.try_lock(); }
+  void unlock() { mu_.unlock(); }
+  void set_rank(uint64_t /*rank*/) {}
+
+  std::mutex& native() { return mu_; }
+  void OnCvWaitRelease() {}
+  void OnCvWaitReacquire() {}
+
+ private:
+  std::mutex mu_;
+};
+
+class PlainSharedMutex {
+ public:
+  explicit PlainSharedMutex(const char* /*name*/, uint64_t /*rank*/ = kNoRank) {}
+
+  PlainSharedMutex(const PlainSharedMutex&) = delete;
+  PlainSharedMutex& operator=(const PlainSharedMutex&) = delete;
+
+  void lock() { mu_.lock(); }
+  bool try_lock() { return mu_.try_lock(); }
+  void unlock() { mu_.unlock(); }
+  void lock_shared() { mu_.lock_shared(); }
+  bool try_lock_shared() { return mu_.try_lock_shared(); }
+  void unlock_shared() { mu_.unlock_shared(); }
+  void set_rank(uint64_t /*rank*/) {}
+
+ private:
+  std::shared_mutex mu_;
+};
+
+}  // namespace lockdebug
+
+#if defined(DYNAMAST_LOCK_DEBUG) && DYNAMAST_LOCK_DEBUG
+using DebugMutex = lockdebug::TrackedMutex;
+using DebugSharedMutex = lockdebug::TrackedSharedMutex;
+#else
+using DebugMutex = lockdebug::PlainMutex;
+using DebugSharedMutex = lockdebug::PlainSharedMutex;
+#endif
+
+/// Condition variable usable with std::unique_lock<DebugMutex>. Waits run
+/// on the wrapped std::mutex directly (no condition_variable_any), so the
+/// default build is exactly a std::condition_variable; in lock-debug
+/// builds the wait notifies the checker that the mutex is released for the
+/// duration of the wait.
+template <class MutexT>
+class BasicDebugCondVar {
+ public:
+  BasicDebugCondVar() = default;
+  BasicDebugCondVar(const BasicDebugCondVar&) = delete;
+  BasicDebugCondVar& operator=(const BasicDebugCondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  void wait(std::unique_lock<MutexT>& lock) {
+    WaitScope scope(lock);
+    cv_.wait(scope.inner);
+  }
+
+  template <class Pred>
+  void wait(std::unique_lock<MutexT>& lock, Pred pred) {
+    while (!pred()) wait(lock);
+  }
+
+  template <class Clock, class Duration>
+  std::cv_status wait_until(
+      std::unique_lock<MutexT>& lock,
+      const std::chrono::time_point<Clock, Duration>& deadline) {
+    WaitScope scope(lock);
+    return cv_.wait_until(scope.inner, deadline);
+  }
+
+  template <class Clock, class Duration, class Pred>
+  bool wait_until(std::unique_lock<MutexT>& lock,
+                  const std::chrono::time_point<Clock, Duration>& deadline,
+                  Pred pred) {
+    while (!pred()) {
+      if (wait_until(lock, deadline) == std::cv_status::timeout) return pred();
+    }
+    return true;
+  }
+
+  template <class Rep, class Period>
+  std::cv_status wait_for(std::unique_lock<MutexT>& lock,
+                          const std::chrono::duration<Rep, Period>& rel) {
+    WaitScope scope(lock);
+    return cv_.wait_for(scope.inner, rel);
+  }
+
+ private:
+  // Adopts the caller's DebugMutex as a std::unique_lock<std::mutex> over
+  // its native mutex for the duration of one wait, so the standard
+  // condition variable can unlock/relock it. The outer unique_lock keeps
+  // ownership; the checker sees the release and reacquisition.
+  struct WaitScope {
+    explicit WaitScope(std::unique_lock<MutexT>& outer)
+        : mutex(outer.mutex()), inner(mutex->native(), std::adopt_lock) {
+      mutex->OnCvWaitRelease();
+    }
+    ~WaitScope() {
+      inner.release();
+      mutex->OnCvWaitReacquire();
+    }
+    MutexT* mutex;
+    std::unique_lock<std::mutex> inner;
+  };
+
+  std::condition_variable cv_;
+};
+
+using DebugCondVar = BasicDebugCondVar<DebugMutex>;
+
+}  // namespace dynamast
+
+#endif  // DYNAMAST_COMMON_DEBUG_MUTEX_H_

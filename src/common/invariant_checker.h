@@ -1,0 +1,50 @@
+#ifndef DYNAMAST_COMMON_INVARIANT_CHECKER_H_
+#define DYNAMAST_COMMON_INVARIANT_CHECKER_H_
+
+#include <string>
+
+namespace dynamast {
+
+/// Runtime checking of the paper's safety properties (see DESIGN.md,
+/// "Correctness tooling"). The reporting machinery is always compiled so
+/// tests can exercise it in any build; the hot-path assertions sprinkled
+/// through site_manager / site_selector / dynamast_system are compiled in
+/// only when the build is configured with -DDYNAMAST_INVARIANTS=ON:
+///
+///  * mastership uniqueness — at most one site masters a partition at any
+///    instant, exactly one when no transfer is in flight (site/invariants.h
+///    holds the cluster-wide scans);
+///  * version-vector monotonicity — a site's svv advances one local commit
+///    at a time and never regresses on refresh application (Eq. 1);
+///  * snapshot validity — a transaction's begin snapshot dominates the
+///    session vector and any remastering grant vector it was routed with
+///    (strong-session SI).
+namespace invariants {
+
+/// Prints "invariant violated" with the expression, location and message
+/// to stderr, then aborts. Never returns.
+[[noreturn]] void Failure(const char* file, int line, const char* expr,
+                          const std::string& message);
+
+/// If set, invariant failures call this instead of aborting (unit tests).
+/// Pass nullptr to restore the default abort behaviour. Not thread-safe
+/// with concurrent failures; tests install it before spawning threads.
+using FailureHandler = void (*)(const char* report);
+void SetFailureHandlerForTest(FailureHandler handler);
+
+}  // namespace invariants
+}  // namespace dynamast
+
+#if defined(DYNAMAST_INVARIANTS) && DYNAMAST_INVARIANTS
+#define DYNAMAST_INVARIANTS_ENABLED 1
+/// Evaluates `cond`; on failure reports expression + `msg` and aborts.
+/// Compiles to nothing (cond unevaluated) when invariants are off.
+#define DYNAMAST_INVARIANT(cond, msg)                                \
+  ((cond) ? (void)0                                                  \
+          : ::dynamast::invariants::Failure(__FILE__, __LINE__, #cond, (msg)))
+#else
+#define DYNAMAST_INVARIANTS_ENABLED 0
+#define DYNAMAST_INVARIANT(cond, msg) ((void)0)
+#endif
+
+#endif  // DYNAMAST_COMMON_INVARIANT_CHECKER_H_

@@ -2,7 +2,11 @@
 
 #include <algorithm>
 
+#include "common/invariant_checker.h"
 #include "core/site_txn_context.h"
+#if DYNAMAST_INVARIANTS_ENABLED
+#include "site/invariants.h"
+#endif
 
 namespace dynamast::core {
 
@@ -54,11 +58,20 @@ void DynaMastSystem::Seal() {
       break;
   }
   selector_->InstallPlacement(placement);
+#if DYNAMAST_INVARIANTS_ENABLED
+  // The cluster is quiesced at seal: every partition must have exactly one
+  // master.
+  site::CheckMastershipInvariant(cluster_.site_pointers(), n,
+                                 /*require_exactly_one=*/true, "seal");
+#endif
   cluster_.Start();
 }
 
 Status DynaMastSystem::Execute(ClientState& client, const TxnProfile& profile,
                                const TxnLogic& logic, TxnResult* result) {
+  // `result` is an optional out-param; downstream code assumes non-null.
+  TxnResult scratch;
+  if (result == nullptr) result = &scratch;
   return profile.read_only ? ExecuteRead(client, profile, logic, result)
                            : ExecuteWrite(client, profile, logic, result);
 }
@@ -123,6 +136,13 @@ Status DynaMastSystem::ExecuteWrite(ClientState& client,
       continue;
     }
     if (!s.ok()) return s;
+    // SI read-snapshot validity (strong-session SI): the begin snapshot
+    // includes the client's session and any remastering grant point the
+    // router required (route.min_begin_version folds both).
+    DYNAMAST_INVARIANT(
+        txn.begin_version().DominatesOrEquals(route.min_begin_version),
+        "write txn began at " + txn.begin_version().ToString() +
+            " below routed minimum " + route.min_begin_version.ToString());
 
     SiteTxnContext context(site, &txn);
     watch.Restart();
@@ -155,38 +175,70 @@ Status DynaMastSystem::ExecuteRead(ClientState& client,
                                    const TxnLogic& logic, TxnResult* result) {
   (void)profile;
   net::SimulatedNetwork& net = cluster_.network();
-  net.RoundTrip(net::TrafficClass::kClientRequest, kRouteRequestBytes,
-                kRouteResponseBytes);
-  SiteId site_id = 0;
-  Status s = selector_->RouteRead(client.id, client.session, &site_id);
-  if (!s.ok()) return s;
+  Status last_error = Status::Internal("no attempt made");
+  for (uint32_t attempt = 0; attempt <= options_.max_retries; ++attempt) {
+    net.RoundTrip(net::TrafficClass::kClientRequest, kRouteRequestBytes,
+                  kRouteResponseBytes);
+    SiteId site_id = 0;
+    Status s = selector_->RouteRead(client.id, client.session, &site_id);
+    if (!s.ok()) return s;
 
-  site::SiteManager* site = cluster_.site(site_id);
-  net.RoundTrip(net::TrafficClass::kClientRequest, kExecRequestBaseBytes,
-                kExecResponseBytes);
-  site::AdmissionGate::Scoped slot(site->gate());
+    site::SiteManager* site = cluster_.site(site_id);
+    net.RoundTrip(net::TrafficClass::kClientRequest, kExecRequestBaseBytes,
+                  kExecResponseBytes);
+    site::AdmissionGate::Scoped slot(site->gate());
 
-  site::TxnOptions txn_options;
-  txn_options.read_only = true;
-  txn_options.min_begin_version = client.session;
-  site::Transaction txn;
-  s = site->BeginTransaction(txn_options, &txn);
-  if (!s.ok()) return s;
+    site::TxnOptions txn_options;
+    txn_options.read_only = true;
+    txn_options.min_begin_version = client.session;
+    site::Transaction txn;
+    s = site->BeginTransaction(txn_options, &txn);
+    if (!s.ok()) return s;
+    // Strong-session SI: the read snapshot must include everything this
+    // client has already observed.
+    DYNAMAST_INVARIANT(txn.begin_version().DominatesOrEquals(client.session),
+                       "read txn began at " + txn.begin_version().ToString() +
+                           " below client session " +
+                           client.session.ToString());
 
-  SiteTxnContext context(site, &txn);
-  s = logic(context);
-  if (!s.ok()) {
-    site->Abort(&txn);
-    return s;
+    SiteTxnContext context(site, &txn);
+    s = logic(context);
+    if (!s.ok()) {
+      site->Abort(&txn);
+      // A hot writer can prune every version a just-taken snapshot could
+      // see (retention is bounded per record). Read-only transactions hold
+      // no locks and have no effects, so simply rerun on a fresher
+      // snapshot; strong-session SI is preserved because any newer
+      // snapshot still dominates the session.
+      if (s.IsSnapshotTooOld()) {
+        last_error = s;
+        result->retries++;
+        continue;
+      }
+      return s;
+    }
+    VersionVector commit_version;
+    s = site->Commit(&txn, &commit_version);
+    if (!s.ok()) return s;
+    client.session.MaxWith(commit_version);
+    result->executed_at = site_id;
+    return Status::OK();
   }
-  VersionVector commit_version;
-  s = site->Commit(&txn, &commit_version);
-  if (!s.ok()) return s;
-  client.session.MaxWith(commit_version);
-  result->executed_at = site_id;
-  return Status::OK();
+  return last_error;
 }
 
-void DynaMastSystem::Shutdown() { cluster_.Stop(); }
+void DynaMastSystem::Shutdown() {
+#if DYNAMAST_INVARIANTS_ENABLED
+  // At most one master per partition holds at every instant, including
+  // with a transfer in flight (a released-but-ungranted partition has zero
+  // masters, never two).
+  if (sealed_) {
+    site::CheckMastershipInvariant(cluster_.site_pointers(),
+                                   partitioner_->NumPartitions(),
+                                   /*require_exactly_one=*/false, "shutdown");
+  }
+#endif
+  cluster_.Stop();
+}
 
 }  // namespace dynamast::core

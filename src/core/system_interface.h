@@ -31,7 +31,11 @@ class TxnContext {
 };
 
 /// Stored-procedure body. Returning non-OK aborts the transaction; the
-/// status is propagated to the caller.
+/// status is propagated to the caller. A system may run the body more
+/// than once per Execute (e.g. rerunning a read on a fresher snapshot
+/// after SnapshotTooOld), so it must be restartable: reinitialize any
+/// captured accumulator state at entry and derive results only from the
+/// context's reads.
 using TxnLogic = std::function<Status(TxnContext&)>;
 
 /// What a transaction declares up front (the paper's model assumes write

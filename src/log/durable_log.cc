@@ -3,7 +3,7 @@
 namespace dynamast::log {
 
 uint64_t DurableLog::Append(std::string serialized) {
-  std::lock_guard<std::mutex> guard(mu_);
+  std::lock_guard guard(mu_);
   entries_.push_back(std::move(serialized));
   const uint64_t offset = entries_.size() - 1;
   cv_.notify_all();
@@ -11,13 +11,13 @@ uint64_t DurableLog::Append(std::string serialized) {
 }
 
 uint64_t DurableLog::Size() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  std::lock_guard guard(mu_);
   return entries_.size();
 }
 
 Status DurableLog::Read(uint64_t offset, std::string* out,
                         std::chrono::steady_clock::time_point deadline) const {
-  std::unique_lock<std::mutex> lock(mu_);
+  std::unique_lock lock(mu_);
   while (offset >= entries_.size()) {
     if (closed_) return Status::Unavailable("log closed");
     if (cv_.wait_until(lock, deadline) == std::cv_status::timeout &&
@@ -30,20 +30,20 @@ Status DurableLog::Read(uint64_t offset, std::string* out,
 }
 
 Status DurableLog::TryRead(uint64_t offset, std::string* out) const {
-  std::lock_guard<std::mutex> guard(mu_);
+  std::lock_guard guard(mu_);
   if (offset >= entries_.size()) return Status::NotFound("offset beyond end");
   *out = entries_[offset];
   return Status::OK();
 }
 
 void DurableLog::Close() {
-  std::lock_guard<std::mutex> guard(mu_);
+  std::lock_guard guard(mu_);
   closed_ = true;
   cv_.notify_all();
 }
 
 bool DurableLog::closed() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  std::lock_guard guard(mu_);
   return closed_;
 }
 

@@ -2,13 +2,13 @@
 #define DYNAMAST_LOG_DURABLE_LOG_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/debug_mutex.h"
 #include "common/status.h"
 
 namespace dynamast::log {
@@ -54,8 +54,8 @@ class DurableLog {
   bool closed() const;
 
  private:
-  mutable std::mutex mu_;
-  mutable std::condition_variable cv_;
+  mutable DebugMutex mu_{"log.topic"};
+  mutable DebugCondVar cv_;
   std::vector<std::string> entries_;
   bool closed_ = false;
 };

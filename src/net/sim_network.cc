@@ -29,7 +29,21 @@ void SimulatedNetwork::Send(TrafficClass c, size_t bytes) {
   counter.bytes.fetch_add(bytes, std::memory_order_relaxed);
   if (!options_.charge_delays) return;
   const auto transmission = options_.per_kilobyte * (bytes / 1024 + 1);
-  std::this_thread::sleep_for(options_.one_way_latency + transmission);
+  if (!options_.serialize_link) {
+    std::this_thread::sleep_for(options_.one_way_latency + transmission);
+    return;
+  }
+  // Reserve a slot on the shared wire: transmission occupies the link
+  // back-to-back, while propagation latency overlaps across messages.
+  std::chrono::steady_clock::time_point done;
+  {
+    std::lock_guard guard(link_mu_);
+    const auto now = std::chrono::steady_clock::now();
+    const auto start = link_busy_until_ > now ? link_busy_until_ : now;
+    link_busy_until_ = start + transmission;
+    done = link_busy_until_;
+  }
+  std::this_thread::sleep_until(done + options_.one_way_latency);
 }
 
 void SimulatedNetwork::RoundTrip(TrafficClass c, size_t request_bytes,

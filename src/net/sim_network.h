@@ -7,6 +7,8 @@
 #include <cstdint>
 #include <string>
 
+#include "common/debug_mutex.h"
+
 namespace dynamast::net {
 
 /// Categories of network traffic, matching the breakdown reported in the
@@ -44,6 +46,11 @@ class SimulatedNetwork {
     std::chrono::nanoseconds per_kilobyte{800};
     /// If false, no delay is charged (unit tests); counters still update.
     bool charge_delays = true;
+    /// If true, transmission time is serialized on a single shared link
+    /// (senders queue for the wire, as on one NIC) instead of every sender
+    /// paying its transmission cost independently (infinite parallel
+    /// bandwidth). Propagation latency still overlaps across messages.
+    bool serialize_link = false;
   };
 
   SimulatedNetwork() : SimulatedNetwork(Options{}) {}
@@ -79,6 +86,10 @@ class SimulatedNetwork {
   };
   std::array<Counter, static_cast<size_t>(TrafficClass::kNumClasses)>
       counters_;
+  // Serialized-link state: when the wire frees up. Leaf lock, held only to
+  // reserve a transmission slot (the sleep happens outside the lock).
+  DebugMutex link_mu_{"net.link"};
+  std::chrono::steady_clock::time_point link_busy_until_{};
 };
 
 }  // namespace dynamast::net

@@ -4,6 +4,7 @@
 #include <shared_mutex>
 #include <vector>
 
+#include "common/debug_mutex.h"
 #include "common/key.h"
 
 namespace dynamast::selector {
@@ -21,7 +22,13 @@ class PartitionMap {
  public:
   explicit PartitionMap(size_t num_partitions, SiteId initial_master = 0)
       : entries_(num_partitions) {
-    for (auto& e : entries_) e.master = initial_master;
+    for (PartitionId p = 0; p < entries_.size(); ++p) {
+      entries_[p].master = initial_master;
+      // Partition locks nest (routing holds its whole write set's locks)
+      // but only in ascending partition order; the rank lets the debug
+      // checker enforce exactly that protocol.
+      entries_[p].mu.set_rank(p);
+    }
   }
 
   PartitionMap(const PartitionMap&) = delete;
@@ -36,7 +43,7 @@ class PartitionMap {
   /// Locked single-partition lookup, for diagnostics and read paths that
   /// tolerate immediate staleness.
   SiteId MasterOfLocked(PartitionId p) const {
-    std::shared_lock<std::shared_mutex> lock(entries_[p].mu);
+    std::shared_lock lock(entries_[p].mu);
     return entries_[p].master;
   }
 
@@ -51,7 +58,7 @@ class PartitionMap {
 
  private:
   struct Entry {
-    mutable std::shared_mutex mu;
+    mutable DebugSharedMutex mu{"selector.partition"};
     SiteId master = 0;
   };
   // Fixed at construction; Entry is neither movable nor copyable.

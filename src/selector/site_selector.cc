@@ -4,6 +4,11 @@
 #include <thread>
 #include <unordered_map>
 
+#include "common/invariant_checker.h"
+#if DYNAMAST_INVARIANTS_ENABLED
+#include "site/invariants.h"
+#endif
+
 namespace dynamast::selector {
 
 namespace {
@@ -187,6 +192,12 @@ Status SiteSelector::RouteWritePartitions(ClientId client,
       stats_->OnRemaster(partitions[i], dest);
     }
   }
+#if DYNAMAST_INVARIANTS_ENABLED
+  // Still holding the partitions' exclusive transfer locks: every
+  // partition of this write set must now be mastered at dest and nowhere
+  // else (single-master-per-key, Section III).
+  site::CheckMasteredExactlyAt(sites_, partitions, dest, "post-remaster");
+#endif
   for (auto it = partitions.rbegin(); it != partitions.rend(); ++it) {
     map_.UnlockExclusive(*it);
   }

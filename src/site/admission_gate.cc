@@ -3,7 +3,7 @@
 namespace dynamast::site {
 
 void AdmissionGate::Enter() {
-  std::unique_lock<std::mutex> lock(mu_);
+  std::unique_lock lock(mu_);
   ++waiting_;
   cv_.wait(lock, [&] { return free_slots_ > 0; });
   --waiting_;
@@ -11,13 +11,13 @@ void AdmissionGate::Enter() {
 }
 
 void AdmissionGate::Exit() {
-  std::lock_guard<std::mutex> guard(mu_);
+  std::lock_guard guard(mu_);
   ++free_slots_;
   cv_.notify_one();
 }
 
 uint64_t AdmissionGate::QueueDepth() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  std::lock_guard guard(mu_);
   return waiting_;
 }
 

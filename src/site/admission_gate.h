@@ -1,9 +1,10 @@
 #ifndef DYNAMAST_SITE_ADMISSION_GATE_H_
 #define DYNAMAST_SITE_ADMISSION_GATE_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <mutex>
+
+#include "common/debug_mutex.h"
 
 namespace dynamast::site {
 
@@ -41,8 +42,8 @@ class AdmissionGate {
   };
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
+  mutable DebugMutex mu_{"site.admission_gate"};
+  DebugCondVar cv_;
   size_t free_slots_;
   uint64_t waiting_ = 0;
 };

@@ -1,0 +1,63 @@
+#include "site/invariants.h"
+
+#include <string>
+
+#include "common/invariant_checker.h"
+
+namespace dynamast::site {
+
+namespace {
+
+std::string OwnersString(const std::vector<SiteManager*>& sites,
+                         PartitionId p) {
+  std::string owners;
+  for (SiteManager* site : sites) {
+    if (site->IsMasterOf(p)) {
+      if (!owners.empty()) owners += ", ";
+      owners += std::to_string(site->site_id());
+    }
+  }
+  return owners.empty() ? "none" : owners;
+}
+
+}  // namespace
+
+void CheckMastershipInvariant(const std::vector<SiteManager*>& sites,
+                              size_t num_partitions, bool require_exactly_one,
+                              const char* context) {
+  for (PartitionId p = 0; p < num_partitions; ++p) {
+    size_t masters = 0;
+    for (SiteManager* site : sites) {
+      if (site->IsMasterOf(p)) ++masters;
+    }
+    if (masters > 1 || (require_exactly_one && masters == 0)) {
+      invariants::Failure(
+          __FILE__, __LINE__, "one master per partition",
+          std::string(context) + ": partition " + std::to_string(p) +
+              " is mastered by sites {" + OwnersString(sites, p) + "}" +
+              (require_exactly_one ? " (expected exactly one)"
+                                   : " (expected at most one)"));
+    }
+  }
+}
+
+void CheckMasteredExactlyAt(const std::vector<SiteManager*>& sites,
+                            const std::vector<PartitionId>& partitions,
+                            SiteId dest, const char* context) {
+  for (PartitionId p : partitions) {
+    for (SiteManager* site : sites) {
+      const bool is_master = site->IsMasterOf(p);
+      const bool should_be = site->site_id() == dest;
+      if (is_master != should_be) {
+        invariants::Failure(
+            __FILE__, __LINE__, "post-remaster mastership",
+            std::string(context) + ": partition " + std::to_string(p) +
+                " should be mastered exactly at site " +
+                std::to_string(dest) + " but site masters are {" +
+                OwnersString(sites, p) + "}");
+      }
+    }
+  }
+}
+
+}  // namespace dynamast::site

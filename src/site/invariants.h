@@ -1,0 +1,38 @@
+#ifndef DYNAMAST_SITE_INVARIANTS_H_
+#define DYNAMAST_SITE_INVARIANTS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/key.h"
+#include "site/site_manager.h"
+
+namespace dynamast::site {
+
+/// Cluster-wide mastership scans backing the invariant checker (see
+/// common/invariant_checker.h). Always compiled so any build can unit-test
+/// them; production call sites are gated on DYNAMAST_INVARIANTS. Both
+/// functions take each site's state mutex in turn (never two at once), so
+/// they are safe to call while the cluster is running.
+
+/// Aborts if any partition in [0, num_partitions) is mastered by more than
+/// one site — the paper's single-master-per-key property. A partition mid
+/// transfer (released, not yet granted) has zero masters, never two, so
+/// this holds at every instant. With `require_exactly_one` (quiesced
+/// clusters only: after initial placement, before shutdown) zero masters
+/// is a violation too.
+void CheckMastershipInvariant(const std::vector<SiteManager*>& sites,
+                              size_t num_partitions, bool require_exactly_one,
+                              const char* context);
+
+/// Aborts unless every partition in `partitions` is mastered by `dest` and
+/// by no other site. Called after a remastering transfer completes, while
+/// the selector still holds the partitions' transfer locks (so no
+/// concurrent transfer can move them again mid-check).
+void CheckMasteredExactlyAt(const std::vector<SiteManager*>& sites,
+                            const std::vector<PartitionId>& partitions,
+                            SiteId dest, const char* context);
+
+}  // namespace dynamast::site
+
+#endif  // DYNAMAST_SITE_INVARIANTS_H_

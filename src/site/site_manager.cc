@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <thread>
 
+#include "common/invariant_checker.h"
+
 namespace dynamast::site {
 
 namespace {
@@ -48,14 +50,14 @@ void SiteManager::Stop() {
 }
 
 VersionVector SiteManager::CurrentVersion() const {
-  std::lock_guard<std::mutex> guard(state_mu_);
+  std::lock_guard guard(state_mu_);
   return svv_;
 }
 
 Status SiteManager::WaitForVersion(const VersionVector& min) const {
   const auto deadline =
       std::chrono::steady_clock::now() + options_.freshness_timeout;
-  std::unique_lock<std::mutex> lock(state_mu_);
+  std::unique_lock lock(state_mu_);
   while (!svv_.DominatesOrEquals(min)) {
     if (stopping_.load()) return Status::Unavailable("site stopping");
     if (state_cv_.wait_until(lock, deadline) == std::cv_status::timeout &&
@@ -96,8 +98,16 @@ Status SiteManager::BeginTransaction(const TxnOptions& opts, Transaction* txn) {
   txn->op_count_ = 0;
 
   if (opts.read_only) {
-    std::lock_guard<std::mutex> guard(state_mu_);
+    std::lock_guard guard(state_mu_);
     txn->begin_version_ = svv_;
+    // Strong-session SI: the begin snapshot must include everything the
+    // session has already observed (WaitForVersion blocked until it did,
+    // and svv only grows).
+    DYNAMAST_INVARIANT(
+        txn->begin_version_.DominatesOrEquals(opts.min_begin_version),
+        "read snapshot " + txn->begin_version_.ToString() +
+            " does not dominate session minimum " +
+            opts.min_begin_version.ToString());
     txn->active_ = true;
     return Status::OK();
   }
@@ -115,7 +125,7 @@ Status SiteManager::BeginTransaction(const TxnOptions& opts, Transaction* txn) {
   // Admission: mastership check + active-writer registration must be
   // atomic with respect to Release draining this partition.
   {
-    std::lock_guard<std::mutex> guard(state_mu_);
+    std::lock_guard guard(state_mu_);
     if (options_.enforce_mastership && !opts.skip_mastership_check) {
       for (PartitionId p : partitions) {
         if (mastered_.find(p) == mastered_.end()) {
@@ -136,7 +146,7 @@ Status SiteManager::BeginTransaction(const TxnOptions& opts, Transaction* txn) {
   Status s = engine_.lock_manager().AcquireAll(opts.write_keys, txn->id_,
                                                deadline);
   if (!s.ok()) {
-    std::lock_guard<std::mutex> guard(state_mu_);
+    std::lock_guard guard(state_mu_);
     for (PartitionId p : txn->write_partitions_) {
       if (--active_writers_[p] == 0) active_writers_.erase(p);
     }
@@ -153,8 +163,13 @@ Status SiteManager::BeginTransaction(const TxnOptions& opts, Transaction* txn) {
   // Begin snapshot is taken after lock acquisition (Appendix A, Case 1:
   // if T1 locks after T2 commits, T2's commit is in T1's begin vector).
   {
-    std::lock_guard<std::mutex> guard(state_mu_);
+    std::lock_guard guard(state_mu_);
     txn->begin_version_ = svv_;
+    DYNAMAST_INVARIANT(
+        txn->begin_version_.DominatesOrEquals(opts.min_begin_version),
+        "write snapshot " + txn->begin_version_.ToString() +
+            " does not dominate begin minimum " +
+            opts.min_begin_version.ToString());
   }
   txn->active_ = true;
   return Status::OK();
@@ -184,7 +199,7 @@ Status SiteManager::TxnPut(Transaction* txn, const RecordKey& key,
     // Dynamic insert: register its partition and lock the key.
     const PartitionId p = partitioner_->PartitionOf(key);
     {
-      std::lock_guard<std::mutex> guard(state_mu_);
+      std::lock_guard guard(state_mu_);
       if (options_.enforce_mastership &&
           mastered_.find(p) == mastered_.end()) {
         return Status::NotMaster("insert into unmastered partition " +
@@ -219,7 +234,7 @@ Status SiteManager::Commit(Transaction* txn, VersionVector* commit_version) {
     // Nothing to install; release any locks and unregister.
     engine_.lock_manager().ReleaseAll(txn->locked_keys_, txn->id_);
     if (!txn->write_partitions_.empty()) {
-      std::lock_guard<std::mutex> guard(state_mu_);
+      std::lock_guard guard(state_mu_);
       for (PartitionId p : txn->write_partitions_) {
         auto it = active_writers_.find(p);
         if (it != active_writers_.end() && --it->second == 0) {
@@ -242,12 +257,18 @@ Status SiteManager::Commit(Transaction* txn, VersionVector* commit_version) {
   }
 
   {
-    std::lock_guard<std::mutex> guard(state_mu_);
+    std::lock_guard guard(state_mu_);
     const uint64_t seq = svv_[site_id()] + 1;
     // Commit timestamp: begin vector with this site's slot set to the new
     // local sequence number (Section III-A).
     VersionVector tvv = txn->begin_version_;
     tvv[site_id()] = seq;
+    // svv monotonicity: local commits advance this site's slot by exactly
+    // one, and the commit timestamp dominates the begin snapshot.
+    DYNAMAST_INVARIANT(tvv.DominatesOrEquals(txn->begin_version_),
+                       "commit timestamp " + tvv.ToString() +
+                           " regressed below begin snapshot " +
+                           txn->begin_version_.ToString());
     record.tvv = tvv;
     // Install versions before publishing the new svv so no concurrent
     // snapshot can observe seq without the versions being readable.
@@ -279,7 +300,7 @@ void SiteManager::Abort(Transaction* txn) {
   txn->staged_.clear();
   engine_.lock_manager().ReleaseAll(txn->locked_keys_, txn->id_);
   if (!txn->write_partitions_.empty()) {
-    std::lock_guard<std::mutex> guard(state_mu_);
+    std::lock_guard guard(state_mu_);
     for (PartitionId p : txn->write_partitions_) {
       auto it = active_writers_.find(p);
       if (it != active_writers_.end() && --it->second == 0) {
@@ -296,7 +317,7 @@ void SiteManager::Abort(Transaction* txn) {
 // ---------------------------------------------------------------------
 
 void SiteManager::SetMasterOf(PartitionId partition, bool is_master) {
-  std::lock_guard<std::mutex> guard(state_mu_);
+  std::lock_guard guard(state_mu_);
   if (is_master) {
     mastered_.insert(partition);
   } else {
@@ -305,12 +326,12 @@ void SiteManager::SetMasterOf(PartitionId partition, bool is_master) {
 }
 
 bool SiteManager::IsMasterOf(PartitionId partition) const {
-  std::lock_guard<std::mutex> guard(state_mu_);
+  std::lock_guard guard(state_mu_);
   return mastered_.find(partition) != mastered_.end();
 }
 
 std::vector<PartitionId> SiteManager::MasteredPartitions() const {
-  std::lock_guard<std::mutex> guard(state_mu_);
+  std::lock_guard guard(state_mu_);
   return std::vector<PartitionId>(mastered_.begin(), mastered_.end());
 }
 
@@ -335,7 +356,7 @@ Status SiteManager::Release(const std::vector<PartitionId>& partitions,
                             SiteId to_site, VersionVector* release_version) {
   const auto deadline =
       std::chrono::steady_clock::now() + options_.freshness_timeout;
-  std::unique_lock<std::mutex> lock(state_mu_);
+  std::unique_lock lock(state_mu_);
   for (PartitionId p : partitions) {
     if (mastered_.find(p) == mastered_.end()) {
       return Status::NotMaster("release of unmastered partition " +
@@ -378,9 +399,15 @@ Status SiteManager::Grant(const std::vector<PartitionId>& partitions,
   // to the remastered items.
   Status s = WaitForVersion(release_version);
   if (!s.ok()) return s;
-  std::lock_guard<std::mutex> guard(state_mu_);
+  std::lock_guard guard(state_mu_);
   *grant_version =
       AppendMarkerLocked(log::LogRecord::Type::kGrant, partitions, from_site);
+  // The grant point must include every update committed before the
+  // release, so the first transaction on the new master reads them all.
+  DYNAMAST_INVARIANT(grant_version->DominatesOrEquals(release_version),
+                     "grant vector " + grant_version->ToString() +
+                         " does not dominate release vector " +
+                         release_version.ToString());
   for (PartitionId p : partitions) mastered_.insert(p);
   counters_.grants.fetch_add(1);
   return Status::OK();
@@ -393,7 +420,7 @@ Status SiteManager::Grant(const std::vector<PartitionId>& partitions,
 bool SiteManager::ApplyRefreshRecord(const log::LogRecord& record) {
   const SiteId origin = record.origin;
   const uint64_t seq = record.tvv[origin];
-  std::unique_lock<std::mutex> lock(state_mu_);
+  std::unique_lock lock(state_mu_);
   // Update application rule, Eq. 1: all cross-origin dependencies applied
   // and this record is the next in the origin's commit order.
   auto applicable = [&] {
@@ -408,6 +435,17 @@ bool SiteManager::ApplyRefreshRecord(const log::LogRecord& record) {
     if (stopping_.load()) return false;
     state_cv_.wait_for(lock, kApplierPollInterval);
   }
+  // Update application rule (Eq. 1): the record is the next in its
+  // origin's commit order and all its cross-origin dependencies are
+  // already applied, so the svv advances monotonically (one step in the
+  // origin slot, no other slot moves).
+  DYNAMAST_INVARIANT(record.tvv.size() == svv_.size(),
+                     "refresh tvv " + record.tvv.ToString() +
+                         " has wrong dimension for svv " + svv_.ToString());
+  DYNAMAST_INVARIANT(svv_[origin] + 1 == seq,
+                     "refresh from origin " + std::to_string(origin) +
+                         " seq " + std::to_string(seq) +
+                         " is not dense after svv " + svv_.ToString());
   for (const log::WriteEntry& w : record.writes) {
     engine_.Install(w.key, origin, seq, w.value);
   }
@@ -511,7 +549,7 @@ Status SiteManager::RecoverFromLogs(
   }
   // Adopt the mastership this site is entitled to.
   {
-    std::lock_guard<std::mutex> guard(state_mu_);
+    std::lock_guard guard(state_mu_);
     mastered_.clear();
     for (const auto& [p, owner] : *recovered_masters) {
       if (owner == site_id()) mastered_.insert(p);

@@ -2,7 +2,6 @@
 #define DYNAMAST_SITE_SITE_MANAGER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -10,6 +9,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/debug_mutex.h"
 #include "common/key.h"
 #include "common/partitioner.h"
 #include "common/status.h"
@@ -171,8 +171,8 @@ class SiteManager {
   AdmissionGate gate_;
   SiteCounters counters_;
 
-  mutable std::mutex state_mu_;
-  mutable std::condition_variable state_cv_;
+  mutable DebugMutex state_mu_{"site.state"};
+  mutable DebugCondVar state_cv_;
   VersionVector svv_;
   // Partitions this site masters; a partition being released is removed
   // before the drain so no new writers are admitted.

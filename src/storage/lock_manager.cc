@@ -7,7 +7,7 @@ namespace dynamast::storage {
 Status LockManager::Acquire(const RecordKey& key, TxnId txn,
                             std::chrono::steady_clock::time_point deadline) {
   Stripe& stripe = StripeFor(key);
-  std::unique_lock<std::mutex> lock(stripe.mu);
+  std::unique_lock lock(stripe.mu);
   while (true) {
     auto it = stripe.held.find(key);
     if (it == stripe.held.end()) {
@@ -45,7 +45,7 @@ Status LockManager::AcquireAll(std::vector<RecordKey> keys, TxnId txn,
 
 void LockManager::Release(const RecordKey& key, TxnId txn) {
   Stripe& stripe = StripeFor(key);
-  std::lock_guard<std::mutex> guard(stripe.mu);
+  std::lock_guard guard(stripe.mu);
   auto it = stripe.held.find(key);
   if (it != stripe.held.end() && it->second == txn) {
     stripe.held.erase(it);
@@ -59,7 +59,7 @@ void LockManager::ReleaseAll(const std::vector<RecordKey>& keys, TxnId txn) {
 
 bool LockManager::Holds(const RecordKey& key, TxnId txn) const {
   const Stripe& stripe = StripeFor(key);
-  std::lock_guard<std::mutex> guard(stripe.mu);
+  std::lock_guard guard(stripe.mu);
   auto it = stripe.held.find(key);
   return it != stripe.held.end() && it->second == txn;
 }
@@ -67,7 +67,7 @@ bool LockManager::Holds(const RecordKey& key, TxnId txn) const {
 size_t LockManager::NumHeldLocks() const {
   size_t total = 0;
   for (const Stripe& stripe : stripes_) {
-    std::lock_guard<std::mutex> guard(stripe.mu);
+    std::lock_guard guard(stripe.mu);
     total += stripe.held.size();
   }
   return total;

@@ -3,12 +3,12 @@
 
 #include <array>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/debug_mutex.h"
 #include "common/key.h"
 #include "common/status.h"
 
@@ -58,8 +58,10 @@ class LockManager {
  private:
   static constexpr size_t kNumStripes = 256;
   struct Stripe {
-    mutable std::mutex mu;
-    std::condition_variable cv;
+    // Stripes never nest (Acquire holds one stripe at a time; AcquireAll
+    // releases each stripe's mutex before moving to the next key).
+    mutable DebugMutex mu{"storage.lock_stripe"};
+    DebugCondVar cv;
     std::unordered_map<RecordKey, TxnId, RecordKeyHash> held;
   };
   Stripe& StripeFor(const RecordKey& key) {

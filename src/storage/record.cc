@@ -3,7 +3,7 @@
 namespace dynamast::storage {
 
 void VersionedRecord::Install(SiteId origin, uint64_t seq, std::string value) {
-  std::lock_guard<std::mutex> guard(mu_);
+  std::lock_guard guard(mu_);
   versions_.push_back(RecordVersion{origin, seq, std::move(value)});
   if (versions_.size() > max_versions_) {
     versions_.pop_front();
@@ -13,7 +13,7 @@ void VersionedRecord::Install(SiteId origin, uint64_t seq, std::string value) {
 
 Status VersionedRecord::ReadAtSnapshot(const VersionVector& snapshot,
                                        std::string* out) const {
-  std::lock_guard<std::mutex> guard(mu_);
+  std::lock_guard guard(mu_);
   for (auto it = versions_.rbegin(); it != versions_.rend(); ++it) {
     const uint64_t visible_up_to =
         it->origin < snapshot.size() ? snapshot[it->origin] : 0;
@@ -29,19 +29,19 @@ Status VersionedRecord::ReadAtSnapshot(const VersionVector& snapshot,
 }
 
 Status VersionedRecord::ReadLatest(std::string* out) const {
-  std::lock_guard<std::mutex> guard(mu_);
+  std::lock_guard guard(mu_);
   if (versions_.empty()) return Status::NotFound("no versions");
   *out = versions_.back().value;
   return Status::OK();
 }
 
 size_t VersionedRecord::NumVersions() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  std::lock_guard guard(mu_);
   return versions_.size();
 }
 
 uint64_t VersionedRecord::PrunedCount() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  std::lock_guard guard(mu_);
   return pruned_;
 }
 

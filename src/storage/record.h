@@ -6,6 +6,7 @@
 #include <mutex>
 #include <string>
 
+#include "common/debug_mutex.h"
 #include "common/key.h"
 #include "common/status.h"
 #include "common/version_vector.h"
@@ -58,7 +59,9 @@ class VersionedRecord {
   uint64_t PrunedCount() const;
 
  private:
-  mutable std::mutex mu_;
+  // Leaf lock: held only around version-chain reads/appends, never while
+  // acquiring any other lock.
+  mutable DebugMutex mu_{"storage.record"};
   std::deque<RecordVersion> versions_;  // oldest at front, newest at back
   size_t max_versions_;
   uint64_t pruned_ = 0;

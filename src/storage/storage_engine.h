@@ -2,11 +2,12 @@
 #define DYNAMAST_STORAGE_STORAGE_ENGINE_H_
 
 #include <memory>
-#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/debug_mutex.h"
 #include "common/key.h"
 #include "common/status.h"
 #include "common/version_vector.h"
@@ -61,7 +62,9 @@ class StorageEngine {
 
  private:
   Options options_;
-  mutable std::mutex tables_mu_;  // guards the table map, not table contents
+  // Guards the table map, not table contents. Reader-writer: table lookup
+  // is on every operation's path, table creation happens only at load.
+  mutable DebugSharedMutex tables_mu_{"storage.tables"};
   std::unordered_map<TableId, std::unique_ptr<Table>> tables_;
   LockManager lock_manager_;
 };

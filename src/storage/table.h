@@ -9,6 +9,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/debug_mutex.h"
 #include "common/key.h"
 #include "common/status.h"
 #include "common/version_vector.h"
@@ -57,7 +58,9 @@ class Table {
  private:
   static constexpr size_t kNumShards = 64;
   struct Shard {
-    mutable std::shared_mutex mu;
+    // Shards never nest: every operation touches exactly one shard at a
+    // time (ForEachRowId iterates shard by shard).
+    mutable DebugSharedMutex mu{"storage.table_shard"};
     std::unordered_map<uint64_t, std::unique_ptr<VersionedRecord>> rows;
   };
   Shard& ShardFor(uint64_t row) { return shards_[ShardIndex(row)]; }

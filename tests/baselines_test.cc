@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <thread>
 
@@ -199,6 +200,7 @@ TEST(MultiMasterTest, ConcurrentMixConservesTotal) {
   }
   uint64_t total = 0;
   auto logic = [&total](core::TxnContext& ctx) -> Status {
+    total = 0;  // logic may rerun on a fresher snapshot
     for (uint64_t key = 0; key < 60; ++key) {
       std::string value;
       Status s = ctx.Get(RecordKey{kTable, key}, &value);
@@ -252,6 +254,7 @@ TEST(PartitionStoreTest, MultiSiteReadGathers) {
   read.read_keys = {RecordKey{kTable, 5}, RecordKey{kTable, 95}};
   uint64_t total = 0;
   auto logic = [&total](core::TxnContext& ctx) -> Status {
+    total = 0;  // logic may rerun on a fresher snapshot
     for (uint64_t key : {5ull, 95ull}) {
       std::string value;
       Status s = ctx.Get(RecordKey{kTable, key}, &value);
@@ -340,6 +343,7 @@ TEST(LeapTest, ReadOnlyTransactionsAlsoLocalize) {
   read.read_keys = {RecordKey{kTable, 5}, RecordKey{kTable, 95}};
   uint64_t total = 0;
   auto logic = [&total](core::TxnContext& ctx) -> Status {
+    total = 0;  // logic may rerun on a fresher snapshot
     for (uint64_t key : {5ull, 95ull}) {
       std::string value;
       Status s = ctx.Get(RecordKey{kTable, key}, &value);
@@ -409,6 +413,42 @@ TEST(LeapTest, StaticPartitionsNeverShipped) {
   core::TxnResult result;
   ASSERT_TRUE(system.Execute(client, profile, logic, &result).ok());
   EXPECT_EQ(system.partitions_shipped(), 0u);
+  system.Shutdown();
+}
+
+TEST(LeapTest, ClusterRunsNoRefreshAppliers) {
+  // Regression: LeapSystem once constructed its Cluster before clearing
+  // options.cluster.replicated, so refresh appliers ran — and an applier
+  // re-applying an old remote commit after a partition shipped in would
+  // shadow the freshly copied rows (versions append newest-at-back).
+  RangePartitioner partitioner(4, 4);
+  LeapSystem::Options options;
+  options.cluster = FastCluster(2);
+  options.placement = RangePlacement(4, 2);
+  LeapSystem system(options, &partitioner);
+  LoadKeys(system, 16, 100);
+
+  // Commit an update at site 0 (its own partitions; no shipping).
+  core::ClientState client;
+  client.id = 1;
+  core::TxnProfile profile;
+  profile.write_keys = {RecordKey{kTable, 0}};
+  profile.read_keys = profile.write_keys;
+  ASSERT_TRUE(system
+                  .Execute(
+                      client, profile,
+                      [](core::TxnContext& ctx) {
+                        return ctx.Put(RecordKey{kTable, 0}, Num(42));
+                      },
+                      nullptr)
+                  .ok());
+
+  // Give a (buggy) applier ample time to pick up site 0's log record.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  // No replicas: site 1 must never apply site 0's commit.
+  EXPECT_EQ(system.cluster().site(1)->counters().refresh_applied.load(), 0u);
+  EXPECT_EQ(system.cluster().site(1)->CurrentVersion()[0], 0u);
   system.Shutdown();
 }
 

@@ -124,6 +124,7 @@ TEST_P(SiScheduleTest, EverySiteSnapshotConservesSum) {
         audit.read_only = true;
         uint64_t total = 0;
         auto logic = [&total](core::TxnContext& ctx) -> Status {
+          total = 0;  // logic may rerun on a fresher snapshot
           for (uint64_t key = 0; key < kKeys; ++key) {
             std::string value;
             Status s = ctx.Get(RecordKey{kTable, key}, &value);

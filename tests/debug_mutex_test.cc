@@ -1,0 +1,236 @@
+// Tests for the DebugMutex lock-order checker (common/debug_mutex.h).
+// The tracked wrappers are exercised directly, so these run in every
+// build configuration regardless of DYNAMAST_LOCK_DEBUG.
+
+#include "common/debug_mutex.h"
+
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <shared_mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+namespace dynamast::lockdebug {
+namespace {
+
+// Routes violations into an exception so a test observes detection
+// without a death test; restores abort-on-violation on scope exit.
+class ThrowOnViolation {
+ public:
+  ThrowOnViolation() {
+    SetViolationHandlerForTest(
+        [](const char* report) { throw std::runtime_error(report); });
+  }
+  ~ThrowOnViolation() { SetViolationHandlerForTest(nullptr); }
+};
+
+std::string Caught(const std::function<void()>& fn) {
+  try {
+    fn();
+  } catch (const std::runtime_error& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(DebugMutexTest, ConsistentOrderIsSilent) {
+  ResetGraphForTest();
+  TrackedMutex a("silent.A");
+  TrackedMutex b("silent.B");
+  for (int i = 0; i < 3; ++i) {
+    std::lock_guard ga(a);
+    std::lock_guard gb(b);
+  }
+  EXPECT_EQ(HeldCount(), 0u);
+  EXPECT_GE(EdgeCount(), 1u);
+}
+
+TEST(DebugMutexTest, DetectsAbBaInversion) {
+  ResetGraphForTest();
+  ThrowOnViolation guard;
+  TrackedMutex a("inv.A");
+  TrackedMutex b("inv.B");
+  {
+    std::lock_guard ga(a);
+    std::lock_guard gb(b);  // establishes inv.A -> inv.B
+  }
+  std::lock_guard gb(b);
+  const std::string report = Caught([&] { a.lock(); });  // inv.B -> inv.A
+  EXPECT_NE(report.find("lock-order inversion"), std::string::npos) << report;
+  EXPECT_NE(report.find("inv.A"), std::string::npos) << report;
+  EXPECT_NE(report.find("inv.B"), std::string::npos) << report;
+}
+
+TEST(DebugMutexTest, DetectsInversionAcrossThreads) {
+  ResetGraphForTest();
+  ThrowOnViolation guard;
+  TrackedMutex a("xthr.A");
+  TrackedMutex b("xthr.B");
+  // Thread 1 establishes A -> B and releases both before thread 2 runs,
+  // so there is no actual deadlock — only the ordering hazard.
+  std::thread t([&] {
+    std::lock_guard ga(a);
+    std::lock_guard gb(b);
+  });
+  t.join();
+  std::string report;
+  std::thread u([&] {
+    std::lock_guard gb(b);
+    report = Caught([&] { a.lock(); });
+  });
+  u.join();
+  EXPECT_NE(report.find("lock-order inversion"), std::string::npos) << report;
+}
+
+TEST(DebugMutexTest, DetectsThreeLockCycle) {
+  ResetGraphForTest();
+  ThrowOnViolation guard;
+  TrackedMutex a("tri.A");
+  TrackedMutex b("tri.B");
+  TrackedMutex c("tri.C");
+  {
+    std::lock_guard ga(a);
+    std::lock_guard gb(b);  // tri.A -> tri.B
+  }
+  {
+    std::lock_guard gb(b);
+    std::lock_guard gc(c);  // tri.B -> tri.C
+  }
+  std::lock_guard gc(c);
+  const std::string report = Caught([&] { a.lock(); });  // closes the cycle
+  EXPECT_NE(report.find("lock-order inversion"), std::string::npos) << report;
+  EXPECT_NE(report.find("tri.B"), std::string::npos) << report;
+}
+
+TEST(DebugMutexTest, DetectsRecursiveAcquisition) {
+  ResetGraphForTest();
+  ThrowOnViolation guard;
+  TrackedMutex a("rec.A");
+  a.lock();
+  const std::string report = Caught([&] { a.lock(); });
+  EXPECT_NE(report.find("recursive acquisition"), std::string::npos) << report;
+  a.unlock();
+}
+
+TEST(DebugMutexTest, SameClassNestingRequiresAscendingRanks) {
+  ResetGraphForTest();
+  ThrowOnViolation guard;
+  TrackedMutex p0("ranked.partition", 0);
+  TrackedMutex p1("ranked.partition", 1);
+  {  // ascending is the sorted-order protocol: silent
+    std::lock_guard g0(p0);
+    std::lock_guard g1(p1);
+  }
+  std::lock_guard g1(p1);
+  const std::string report = Caught([&] { p0.lock(); });  // descending
+  EXPECT_NE(report.find("same-class nesting"), std::string::npos) << report;
+}
+
+TEST(DebugMutexTest, SameClassNestingWithoutRanksIsAViolation) {
+  ResetGraphForTest();
+  ThrowOnViolation guard;
+  TrackedMutex a("unranked.X");
+  TrackedMutex b("unranked.X");
+  std::lock_guard ga(a);
+  const std::string report = Caught([&] { b.lock(); });
+  EXPECT_NE(report.find("same-class nesting"), std::string::npos) << report;
+}
+
+TEST(DebugMutexTest, TryLockRecordsHeldButNoEdges) {
+  ResetGraphForTest();
+  TrackedMutex a("try.A");
+  TrackedMutex b("try.B");
+  ASSERT_TRUE(a.try_lock());
+  EXPECT_EQ(HeldCount(), 1u);
+  EXPECT_EQ(EdgeCount(), 0u);  // try_lock cannot complete a deadlock cycle
+  b.lock();                    // blocking: records try.A -> try.B
+  EXPECT_EQ(EdgeCount(), 1u);
+  b.unlock();
+  a.unlock();
+  EXPECT_EQ(HeldCount(), 0u);
+}
+
+TEST(DebugMutexTest, SharedMutexParticipatesInOrdering) {
+  ResetGraphForTest();
+  ThrowOnViolation guard;
+  TrackedSharedMutex a("shared.A");
+  TrackedMutex b("shared.B");
+  {
+    a.lock_shared();
+    std::lock_guard gb(b);  // shared.A -> shared.B
+    a.unlock_shared();
+  }
+  std::lock_guard gb(b);
+  const std::string report = Caught([&] { a.lock_shared(); });
+  EXPECT_NE(report.find("lock-order inversion"), std::string::npos) << report;
+}
+
+TEST(DebugMutexTest, CondVarWaitReleasesAndReacquires) {
+  ResetGraphForTest();
+  TrackedMutex m("cv.M");
+  BasicDebugCondVar<TrackedMutex> cv;
+  bool ready = false;
+  std::thread t([&] {
+    std::lock_guard g(m);  // must be acquirable while the main thread waits
+    ready = true;
+    cv.notify_all();
+  });
+  {
+    std::unique_lock lock(m);
+    cv.wait(lock, [&] { return ready; });
+    EXPECT_EQ(HeldCount(), 1u);  // reacquired after the wait
+  }
+  t.join();
+  EXPECT_EQ(HeldCount(), 0u);
+}
+
+TEST(DebugMutexTest, CondVarWaitUntilTimesOut) {
+  ResetGraphForTest();
+  TrackedMutex m("cvto.M");
+  BasicDebugCondVar<TrackedMutex> cv;
+  std::unique_lock lock(m);
+  const auto r = cv.wait_until(
+      lock, std::chrono::steady_clock::now() + std::chrono::milliseconds(10));
+  EXPECT_EQ(r, std::cv_status::timeout);
+  EXPECT_EQ(HeldCount(), 1u);
+}
+
+// The real abort path (no handler installed): a deliberate A->B / B->A
+// inversion kills the process with a cycle report on stderr.
+TEST(DebugMutexDeathTest, InversionAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        SetViolationHandlerForTest(nullptr);
+        ResetGraphForTest();
+        TrackedMutex a("death.A");
+        TrackedMutex b("death.B");
+        {
+          std::lock_guard ga(a);
+          std::lock_guard gb(b);
+        }
+        std::lock_guard gb(b);
+        a.lock();
+      },
+      "lock-order inversion");
+}
+
+TEST(DebugMutexTest, PlainWrappersForwardLocking) {
+  PlainMutex m("plain.M");
+  PlainSharedMutex sm("plain.SM");
+  {
+    std::lock_guard g(m);
+    std::shared_lock s(sm);
+  }
+  EXPECT_TRUE(m.try_lock());
+  m.unlock();
+  sm.lock();
+  sm.unlock();
+  // Plain wrappers never touch the registry.
+  EXPECT_EQ(HeldCount(), 0u);
+}
+
+}  // namespace
+}  // namespace dynamast::lockdebug

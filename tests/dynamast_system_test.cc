@@ -90,7 +90,8 @@ class DynaMastFixture : public ::testing::Test {
       return Status::OK();
     };
     TxnResult result;
-    EXPECT_TRUE(system_->Execute(client, profile, logic, &result).ok());
+    Status s = system_->Execute(client, profile, logic, &result);
+    EXPECT_TRUE(s.ok()) << s.ToString();
     return out;
   }
 
@@ -226,6 +227,7 @@ TEST_F(DynaMastFixture, ConcurrentTransfersConserveTotal) {
   audit.read_only = true;
   uint64_t total = 0;
   auto audit_logic = [&total](TxnContext& ctx) -> Status {
+    total = 0;  // logic may rerun on a fresher snapshot
     for (uint64_t key = 0; key < 60; ++key) {
       std::string value;
       Status s = ctx.Get(RecordKey{kTable, key}, &value);
@@ -367,6 +369,7 @@ TEST_P(DynaMastSweep, TransfersConserveAcrossSiteCounts) {
   audit.read_only = true;
   uint64_t total = 0;
   auto audit_logic = [&total](TxnContext& ctx) -> Status {
+    total = 0;  // logic may rerun on a fresher snapshot
     for (uint64_t key = 0; key < 60; ++key) {
       std::string value;
       Status s = ctx.Get(RecordKey{kTable, key}, &value);

@@ -103,6 +103,7 @@ TEST_P(SystemMatrix, SmallBankConservesMoney) {
   }
   double total = 0;
   auto logic = [&](core::TxnContext& ctx) -> Status {
+    total = 0;  // logic may rerun on a fresher snapshot
     for (const RecordKey& key : audit.read_keys) {
       std::string value;
       Status s = ctx.Get(key, &value);

@@ -1,0 +1,185 @@
+// Tests for the invariant checker: the reporting machinery in
+// common/invariant_checker.h and the cluster-wide mastership scans in
+// site/invariants.h. The scans are always compiled, so these run in every
+// build configuration regardless of DYNAMAST_INVARIANTS.
+
+#include "site/invariants.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/invariant_checker.h"
+#include "common/partitioner.h"
+#include "log/durable_log.h"
+#include "site/site_manager.h"
+
+namespace dynamast::site {
+namespace {
+
+constexpr TableId kTable = 0;
+constexpr size_t kPartitions = 10;
+
+// Routes invariant failures into an exception so tests observe the report
+// without dying; restores abort-on-failure on scope exit.
+class ThrowOnFailure {
+ public:
+  ThrowOnFailure() {
+    invariants::SetFailureHandlerForTest(
+        [](const char* report) { throw std::runtime_error(report); });
+  }
+  ~ThrowOnFailure() { invariants::SetFailureHandlerForTest(nullptr); }
+};
+
+class InvariantsFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    partitioner_ = std::make_unique<RangePartitioner>(10, kPartitions);
+    logs_ = std::make_unique<log::LogManager>(2);
+    for (uint32_t i = 0; i < 2; ++i) {
+      SiteOptions options;
+      options.site_id = i;
+      options.num_sites = 2;
+      options.read_op_cost = options.write_op_cost = options.apply_op_cost =
+          std::chrono::microseconds(0);
+      sites_.push_back(std::make_unique<SiteManager>(
+          options, partitioner_.get(), logs_.get(), nullptr));
+      EXPECT_TRUE(sites_.back()->CreateTable(kTable).ok());
+    }
+    // Site 0 masters everything: a valid placement.
+    for (PartitionId p = 0; p < kPartitions; ++p) {
+      sites_[0]->SetMasterOf(p, true);
+    }
+  }
+
+  void TearDown() override {
+    logs_->CloseAll();
+    for (auto& s : sites_) s->Stop();
+  }
+
+  std::vector<SiteManager*> Pointers() {
+    std::vector<SiteManager*> out;
+    for (auto& s : sites_) out.push_back(s.get());
+    return out;
+  }
+
+  std::unique_ptr<RangePartitioner> partitioner_;
+  std::unique_ptr<log::LogManager> logs_;
+  std::vector<std::unique_ptr<SiteManager>> sites_;
+};
+
+TEST_F(InvariantsFixture, ValidPlacementPasses) {
+  CheckMastershipInvariant(Pointers(), kPartitions,
+                           /*require_exactly_one=*/true, "test");
+}
+
+TEST_F(InvariantsFixture, DoubleMasterIsReported) {
+  ThrowOnFailure guard;
+  sites_[1]->SetMasterOf(3, true);  // injected violation: two masters for p3
+  std::string report;
+  try {
+    CheckMastershipInvariant(Pointers(), kPartitions,
+                             /*require_exactly_one=*/false, "unit-test");
+  } catch (const std::runtime_error& e) {
+    report = e.what();
+  }
+  EXPECT_NE(report.find("INVARIANT VIOLATED"), std::string::npos) << report;
+  EXPECT_NE(report.find("unit-test"), std::string::npos) << report;
+}
+
+TEST_F(InvariantsFixture, ZeroMastersAllowedMidTransfer) {
+  // A released-but-not-granted partition has no master; legal while a
+  // transfer is in flight.
+  sites_[0]->SetMasterOf(5, false);
+  CheckMastershipInvariant(Pointers(), kPartitions,
+                           /*require_exactly_one=*/false, "test");
+}
+
+TEST_F(InvariantsFixture, ZeroMastersRejectedWhenQuiesced) {
+  ThrowOnFailure guard;
+  sites_[0]->SetMasterOf(5, false);
+  std::string report;
+  try {
+    CheckMastershipInvariant(Pointers(), kPartitions,
+                             /*require_exactly_one=*/true, "seal-test");
+  } catch (const std::runtime_error& e) {
+    report = e.what();
+  }
+  EXPECT_NE(report.find("INVARIANT VIOLATED"), std::string::npos) << report;
+}
+
+TEST_F(InvariantsFixture, MasteredExactlyAtPassesAfterTransfer) {
+  sites_[0]->SetMasterOf(2, false);
+  sites_[1]->SetMasterOf(2, true);
+  CheckMasteredExactlyAt(Pointers(), {2}, /*dest=*/1, "test");
+}
+
+TEST_F(InvariantsFixture, MasteredExactlyAtCatchesMissingGrant) {
+  ThrowOnFailure guard;
+  sites_[0]->SetMasterOf(2, false);  // released but never granted to site 1
+  std::string report;
+  try {
+    CheckMasteredExactlyAt(Pointers(), {2}, /*dest=*/1, "grant-test");
+  } catch (const std::runtime_error& e) {
+    report = e.what();
+  }
+  EXPECT_NE(report.find("INVARIANT VIOLATED"), std::string::npos) << report;
+}
+
+TEST_F(InvariantsFixture, MasteredExactlyAtCatchesStaleOldMaster) {
+  ThrowOnFailure guard;
+  sites_[1]->SetMasterOf(2, true);  // granted, but site 0 never released
+  std::string report;
+  try {
+    CheckMasteredExactlyAt(Pointers(), {2}, /*dest=*/1, "release-test");
+  } catch (const std::runtime_error& e) {
+    report = e.what();
+  }
+  EXPECT_NE(report.find("INVARIANT VIOLATED"), std::string::npos) << report;
+}
+
+// The real abort path (no handler): an injected double-master violation
+// kills the process with the report on stderr.
+TEST_F(InvariantsFixture, DoubleMasterAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  sites_[1]->SetMasterOf(3, true);
+  EXPECT_DEATH(CheckMastershipInvariant(Pointers(), kPartitions,
+                                        /*require_exactly_one=*/false,
+                                        "death-test"),
+               "INVARIANT VIOLATED");
+}
+
+TEST(InvariantMacroTest, MatchesBuildConfiguration) {
+#if DYNAMAST_INVARIANTS_ENABLED
+  ThrowOnFailure guard;
+  EXPECT_THROW(DYNAMAST_INVARIANT(1 + 1 == 3, "arithmetic is broken"),
+               std::runtime_error);
+  DYNAMAST_INVARIANT(1 + 1 == 2, "never fires");
+#else
+  // Compiled out: the condition is not even evaluated.
+  bool evaluated = false;
+  DYNAMAST_INVARIANT(((evaluated = true)), "disabled");
+  EXPECT_FALSE(evaluated);
+#endif
+}
+
+TEST(InvariantMacroTest, FailureReportContainsLocation) {
+  invariants::SetFailureHandlerForTest(
+      [](const char* report) { throw std::runtime_error(report); });
+  std::string report;
+  try {
+    invariants::Failure("some_file.cc", 42, "x == y", "custom message");
+  } catch (const std::runtime_error& e) {
+    report = e.what();
+  }
+  invariants::SetFailureHandlerForTest(nullptr);
+  EXPECT_NE(report.find("some_file.cc:42"), std::string::npos) << report;
+  EXPECT_NE(report.find("x == y"), std::string::npos) << report;
+  EXPECT_NE(report.find("custom message"), std::string::npos) << report;
+}
+
+}  // namespace
+}  // namespace dynamast::site

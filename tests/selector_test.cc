@@ -49,11 +49,20 @@ TEST(PartitionMapTest, MasterCounts) {
 }
 
 TEST(PartitionMapTest, SharedLocksAllowConcurrentReaders) {
+  // The second reader must be a separate thread: recursive lock_shared
+  // from one thread is UB on std::shared_mutex (and the lock-order
+  // checker flags it as a potential self-deadlock).
   PartitionMap map(2, 0);
   map.LockShared(0);
-  map.LockShared(0);  // second reader does not deadlock
-  EXPECT_EQ(map.MasterOf(0), 0u);
-  map.UnlockShared(0);
+  std::atomic<bool> got_shared{false};
+  std::thread reader([&] {
+    map.LockShared(0);  // concurrent reader does not block
+    got_shared.store(true);
+    EXPECT_EQ(map.MasterOf(0), 0u);
+    map.UnlockShared(0);
+  });
+  reader.join();
+  EXPECT_TRUE(got_shared.load());
   map.UnlockShared(0);
 }
 
