@@ -77,11 +77,12 @@ BENCHMARK(BM_LogRecordDeserialize)->Arg(3);
 
 void BM_MvccInstallAndRead(benchmark::State& state) {
   storage::StorageEngine engine;
-  engine.CreateTable(0);
+  (void)engine.CreateTable(0);
   VersionVector snapshot(std::vector<uint64_t>{1});
   uint64_t key = 0;
   for (auto _ : state) {
-    engine.Install(RecordKey{0, key % 10000}, 0, 1, "value");
+    benchmark::DoNotOptimize(
+        engine.Install(RecordKey{0, key % 10000}, 0, 1, "value"));
     std::string out;
     benchmark::DoNotOptimize(engine.Read(RecordKey{0, key % 10000},
                                          snapshot, &out));
@@ -116,12 +117,12 @@ struct ProtocolFixture {
           std::chrono::microseconds(0);
       sites.push_back(std::make_unique<site::SiteManager>(
           options, &partitioner, &logs, nullptr));
-      sites.back()->CreateTable(0);
+      (void)sites.back()->CreateTable(0);
     }
     for (PartitionId p = 0; p < 100; ++p) sites[0]->SetMasterOf(p, true);
     for (uint64_t key = 0; key < 1000; ++key) {
-      sites[0]->LoadRecord(RecordKey{0, key}, "v");
-      sites[1]->LoadRecord(RecordKey{0, key}, "v");
+      (void)sites[0]->LoadRecord(RecordKey{0, key}, "v");
+      (void)sites[1]->LoadRecord(RecordKey{0, key}, "v");
     }
     for (auto& s : sites) s->Start();
   }
@@ -141,10 +142,10 @@ void BM_LocalCommit(benchmark::State& state) {
     site::TxnOptions options;
     options.write_keys = {RecordKey{0, key % 1000}};
     site::Transaction txn;
-    fixture.sites[0]->BeginTransaction(options, &txn);
-    txn.Put(RecordKey{0, key % 1000}, "v2");
+    benchmark::DoNotOptimize(fixture.sites[0]->BeginTransaction(options, &txn));
+    benchmark::DoNotOptimize(txn.Put(RecordKey{0, key % 1000}, "v2"));
     VersionVector tvv;
-    fixture.sites[0]->Commit(&txn, &tvv);
+    benchmark::DoNotOptimize(fixture.sites[0]->Commit(&txn, &tvv));
     ++key;
   }
 }
@@ -159,8 +160,9 @@ void BM_RemasterReleaseGrant(benchmark::State& state) {
   for (auto _ : state) {
     const SiteId next = 1 - owner;
     VersionVector release_vv, grant_vv;
-    fixture.sites[owner]->Release({5}, next, &release_vv);
-    fixture.sites[next]->Grant({5}, owner, release_vv, &grant_vv);
+    benchmark::DoNotOptimize(fixture.sites[owner]->Release({5}, next, &release_vv));
+    benchmark::DoNotOptimize(
+        fixture.sites[next]->Grant({5}, owner, release_vv, &grant_vv));
     owner = next;
   }
 }

@@ -56,9 +56,10 @@ int main() {
   options.placement = core::InitialPlacement::kRoundRobin;
   core::DynaMastSystem dynamast(options, &partitioner);
 
-  dynamast.CreateTable(kTable);
+  (void)dynamast.CreateTable(kTable);
   for (uint64_t key = 0; key < 4000; ++key) {
-    dynamast.LoadRow(RecordKey{kTable, key}, YcsbWorkload::MakeValue(0, 64));
+    (void)dynamast.LoadRow(RecordKey{kTable, key},
+                           YcsbWorkload::MakeValue(0, 64));
   }
   dynamast.Seal();
 

@@ -36,8 +36,8 @@ int main() {
     return 1;
   }
   for (uint64_t key = 0; key < 1000; ++key) {
-    dynamast.LoadRow(RecordKey{kTable, key},
-                     workloads::YcsbWorkload::MakeValue(0, 64));
+    (void)dynamast.LoadRow(RecordKey{kTable, key},
+                           workloads::YcsbWorkload::MakeValue(0, 64));
   }
   dynamast.Seal();  // install round-robin mastership, start appliers
 

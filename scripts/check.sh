@@ -1,89 +1,174 @@
 #!/usr/bin/env bash
-# The full correctness gate (see DESIGN.md, "Correctness tooling"):
+# The full correctness gate (see DESIGN.md, "Correctness tooling" and
+# "Schedule exploration & history auditing"):
 #
-#   1. format check           (.clang-format via scripts/format-check.sh)
-#   2. default build + ctest  (tier1 + tier2, uninstrumented)
-#   3. clang-tidy             (.clang-tidy over src/, compile_commands.json)
-#   4. ASan+UBSan build + ctest   (preset asan-ubsan: sanitizers,
-#                                  DYNAMAST_INVARIANTS, DYNAMAST_LOCK_DEBUG)
-#   5. TSan build + ctest         (preset tsan: same checkers under
-#                                  ThreadSanitizer)
+#   format       .clang-format via scripts/format-check.sh
+#   build        default build (everything: tests, examples, benches)
+#   tier1/tier2  default ctest
+#   clang-tidy   .clang-tidy over src/ (compile_commands.json)
+#   asan-ubsan   sanitizer preset build + ctest (invariants, lock checks)
+#   tsan         ThreadSanitizer preset build + ctest
+#   sched-fuzz   schedule-exploration preset: sync-point fuzzing across
+#                $FUZZ_SEEDS seeds per test, histories audited by
+#                tools/si_checker (tier2 schedule_explore_test)
+#   break-si     deliberately broken grant wait; proves the auditor
+#                detects the anomaly class (BreakSiProofTest)
 #
-# Steps needing tools the machine lacks (clang-format / clang-tidy) are
-# skipped with a warning rather than failed, so the gate is still useful
-# on a bare-gcc box. Environment knobs:
-#   JOBS=<n>        parallel build jobs (default: nproc)
-#   SKIP_TSAN=1     skip step 5 (TSan doubles the wall time)
-#   SKIP_ASAN=1     skip step 4
-set -euo pipefail
+# Every stage runs even if an earlier one failed; the summary table at the
+# end shows PASS/FAIL/SKIP per stage and the exit code propagates any
+# failure. Stages needing tools the machine lacks (clang-format /
+# clang-tidy) are SKIPped rather than failed, so the gate is still useful
+# on a bare-gcc box.
+#
+# Environment knobs:
+#   JOBS=<n>         parallel build jobs (default: nproc)
+#   SKIP_ASAN=1      skip the asan-ubsan stage
+#   SKIP_TSAN=1      skip the tsan stage (TSan doubles the wall time)
+#   SKIP_FUZZ=1      skip the sched-fuzz and break-si stages
+#   FUZZ_SEEDS=<n>   seeds per fuzzed test (default 5; CI weekly uses 50)
+#   DYNAMAST_SCHED_SEED=<s>  replay one failing schedule seed exactly
+set -uo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
-failures=0
+FUZZ_SEEDS="${FUZZ_SEEDS:-5}"
+
+stages=()
+results=()
+notes=()
+
+record() {  # record <stage> <PASS|FAIL|SKIP> [note]
+  stages+=("$1")
+  results+=("$2")
+  notes+=("${3:-}")
+}
 
 step() { echo; echo "==== check.sh: $* ===="; }
 
+run_stage() {  # run_stage <name> <cmd...>
+  local name="$1"
+  shift
+  step "$name"
+  if "$@"; then
+    record "$name" PASS
+  else
+    record "$name" FAIL
+  fi
+}
+
 # 1. Formatting -------------------------------------------------------------
-step "format check"
-if ! scripts/format-check.sh; then
-  echo "check.sh: FORMAT CHECK FAILED" >&2
-  failures=$((failures + 1))
+step "format"
+if ! command -v clang-format >/dev/null 2>&1; then
+  echo "check.sh: clang-format not found; skipping" >&2
+  record format SKIP "clang-format not installed"
+elif scripts/format-check.sh; then
+  record format PASS
+else
+  record format FAIL
 fi
 
 # 2. Default build + tests --------------------------------------------------
-step "default build"
-cmake --preset default
-cmake --build build -j "$JOBS"
-step "default ctest (tier1 + tier2)"
-if ! ctest --preset default; then
-  echo "check.sh: DEFAULT TESTS FAILED" >&2
-  failures=$((failures + 1))
+step "build (default)"
+if cmake --preset default && cmake --build build -j "$JOBS"; then
+  record build PASS
+  run_stage "tier1+tier2" ctest --preset default
+else
+  record build FAIL
+  record "tier1+tier2" SKIP "build failed"
 fi
 
 # 3. clang-tidy -------------------------------------------------------------
 step "clang-tidy"
 if command -v clang-tidy >/dev/null 2>&1; then
   mapfile -t tidy_files < <(git ls-files 'src/*.cc')
-  if ! clang-tidy -p build --quiet "${tidy_files[@]}"; then
-    echo "check.sh: CLANG-TIDY FAILED" >&2
-    failures=$((failures + 1))
+  if clang-tidy -p build --quiet "${tidy_files[@]}"; then
+    record clang-tidy PASS
+  else
+    record clang-tidy FAIL
   fi
 else
-  echo "check.sh: WARNING: clang-tidy not found; skipping lint step" >&2
+  echo "check.sh: clang-tidy not found; skipping" >&2
+  record clang-tidy SKIP "clang-tidy not installed"
 fi
 
-# 4. ASan + UBSan -----------------------------------------------------------
+# 4. Sanitizer configurations ----------------------------------------------
+sanitizer_stage() {  # sanitizer_stage <preset>
+  local preset="$1"
+  step "$preset build (tests only)"
+  if cmake --preset "$preset" &&
+     cmake --build "build-$preset" --target dynamast_tests -j "$JOBS"; then
+    run_stage "$preset" ctest --preset "$preset"
+  else
+    record "$preset" FAIL "build failed"
+  fi
+}
+
 if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
-  step "asan-ubsan build (tests only)"
-  cmake --preset asan-ubsan
-  cmake --build build-asan --target dynamast_tests -j "$JOBS"
-  step "asan-ubsan ctest"
-  if ! ctest --preset asan-ubsan; then
-    echo "check.sh: ASAN/UBSAN TESTS FAILED" >&2
-    failures=$((failures + 1))
-  fi
+  sanitizer_stage asan-ubsan
 else
-  echo "check.sh: skipping asan-ubsan (SKIP_ASAN=1)" >&2
+  record asan-ubsan SKIP "SKIP_ASAN=1"
 fi
 
-# 5. TSan -------------------------------------------------------------------
 if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
-  step "tsan build (tests only)"
-  cmake --preset tsan
-  cmake --build build-tsan --target dynamast_tests -j "$JOBS"
-  step "tsan ctest"
-  if ! ctest --preset tsan; then
-    echo "check.sh: TSAN TESTS FAILED" >&2
-    failures=$((failures + 1))
-  fi
+  sanitizer_stage tsan
 else
-  echo "check.sh: skipping tsan (SKIP_TSAN=1)" >&2
+  record tsan SKIP "SKIP_TSAN=1"
 fi
 
-# ---------------------------------------------------------------------------
+# 5. Schedule exploration + SI audit ---------------------------------------
+if [[ "${SKIP_FUZZ:-0}" != "1" ]]; then
+  step "sched-fuzz build (tests only)"
+  if cmake --preset sched-fuzz &&
+     cmake --build build-sched-fuzz --target dynamast_tests -j "$JOBS"; then
+    step "sched-fuzz: tier1 under schedule perturbation"
+    if ctest --preset sched-fuzz -L tier1; then
+      record sched-fuzz-tier1 PASS
+    else
+      record sched-fuzz-tier1 FAIL
+    fi
+    step "sched-fuzz: schedule_explore ($FUZZ_SEEDS seeds, si_checker audit)"
+    if DYNAMAST_SCHED_SEEDS="$FUZZ_SEEDS" \
+       ./build-sched-fuzz/tests/schedule_explore_test; then
+      record sched-fuzz-explore PASS "$FUZZ_SEEDS seeds"
+    else
+      # The test prints the failing DYNAMAST_SCHED_SEED and dumps the
+      # offending history for offline si_checker analysis.
+      record sched-fuzz-explore FAIL "see replay seed above"
+    fi
+  else
+    record sched-fuzz-tier1 FAIL "build failed"
+    record sched-fuzz-explore SKIP "build failed"
+  fi
+
+  step "break-si build (auditor detection proof)"
+  if cmake --preset break-si &&
+     cmake --build build-break-si --target schedule_explore_test -j "$JOBS"; then
+    if ./build-break-si/tests/schedule_explore_test \
+         --gtest_filter='BreakSiProofTest.*'; then
+      record break-si PASS
+    else
+      record break-si FAIL "auditor missed the injected anomaly"
+    fi
+  else
+    record break-si FAIL "build failed"
+  fi
+else
+  record sched-fuzz-tier1 SKIP "SKIP_FUZZ=1"
+  record sched-fuzz-explore SKIP "SKIP_FUZZ=1"
+  record break-si SKIP "SKIP_FUZZ=1"
+fi
+
+# ---- Summary --------------------------------------------------------------
+echo
+echo "==== check.sh summary ===="
+failures=0
+for i in "${!stages[@]}"; do
+  printf '  %-20s %-4s %s\n' "${stages[$i]}" "${results[$i]}" "${notes[$i]}"
+  [[ "${results[$i]}" == "FAIL" ]] && failures=$((failures + 1))
+done
 echo
 if [[ $failures -gt 0 ]]; then
-  echo "check.sh: FAILED ($failures step(s) failed)" >&2
+  echo "check.sh: FAILED ($failures stage(s) failed)" >&2
   exit 1
 fi
-echo "check.sh: all steps passed"
+echo "check.sh: all stages passed"

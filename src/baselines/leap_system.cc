@@ -109,7 +109,8 @@ Status LeapSystem::ShipPartition(PartitionId partition, SiteId src,
     // Install as an always-visible base version at the destination (LEAP
     // has no cross-site snapshots; single-copy consistency comes from
     // exclusive ownership plus write locks).
-    dest_site->LoadRecord(key, std::move(value));
+    Status install = dest_site->LoadRecord(key, std::move(value));
+    if (!install.ok()) return install;
   }
   cluster_.network().Send(net::TrafficClass::kDataShipping,
                           kShipRequestBytes);
@@ -128,6 +129,7 @@ Status LeapSystem::Execute(core::ClientState& client,
   // `result` is an optional out-param; the code below assumes non-null.
   core::TxnResult scratch;
   if (result == nullptr) result = &scratch;
+  client.issued_txns++;
   net::SimulatedNetwork& net = cluster_.network();
   // Same client->router hop as every system in the framework (see
   // PartitionedSystem::Execute).
@@ -208,6 +210,8 @@ Status LeapSystem::Execute(core::ClientState& client,
     txn_options.read_only = profile.read_only;
     txn_options.write_keys = profile.write_keys;
     txn_options.min_begin_version = MaskToIndex(client.session, dest);
+    txn_options.client = client.id;
+    txn_options.client_txn = client.issued_txns;
     site::Transaction txn;
     Status s = site->BeginTransaction(txn_options, &txn);
     if (s.IsNotMaster()) {

@@ -175,6 +175,7 @@ Status PartitionedSystem::Execute(core::ClientState& client,
   // `result` is an optional out-param; the helpers below assume non-null.
   core::TxnResult scratch;
   if (result == nullptr) result = &scratch;
+  client.issued_txns++;
   // All evaluated systems share the framework's client->router hop
   // (Section VI-A1: every design is implemented within the DynaMast
   // framework), so baselines pay the same routing round trip DynaMast
@@ -246,6 +247,8 @@ Status PartitionedSystem::ExecuteLocalWrite(core::ClientState& client,
   options.min_begin_version = options_.replicated
                                   ? client.session
                                   : MaskToIndex(client.session, site_id);
+  options.client = client.id;
+  options.client_txn = client.issued_txns;
   site::Transaction txn;
   Status s = site->BeginTransaction(options, &txn);
   if (!s.ok()) return s;
@@ -299,6 +302,8 @@ Status PartitionedSystem::ExecuteDistributedWrite(
     options.min_begin_version = options_.replicated
                                     ? client.session
                                     : MaskToIndex(client.session, p);
+    options.client = client.id;
+    options.client_txn = client.issued_txns;
     site::Transaction txn;
     // Participant work does not take a slot (see CoordinatedTxnContext::Get
     // on the slot-in-slot deadlock); lock acquisition inside Begin is
@@ -386,6 +391,8 @@ Status PartitionedSystem::ExecuteRead(core::ClientState& client,
     site::TxnOptions options;
     options.read_only = true;
     options.min_begin_version = client.session;
+    options.client = client.id;
+    options.client_txn = client.issued_txns;
     site::Transaction txn;
     Status s = site->BeginTransaction(options, &txn);
     if (!s.ok()) return s;

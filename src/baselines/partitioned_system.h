@@ -83,6 +83,7 @@ class PartitionedSystem final : public core::SystemInterface {
                  const core::TxnLogic& logic,
                  core::TxnResult* result) override;
   void Shutdown() override;
+  history::Recorder* history() override { return cluster_.history(); }
 
   core::Cluster& cluster() { return cluster_; }
 

@@ -7,6 +7,8 @@
 #include <mutex>
 #include <shared_mutex>
 
+#include "common/scheduler.h"
+
 namespace dynamast {
 
 /// Lock-order and deadlock checking for the debug builds (see DESIGN.md,
@@ -82,6 +84,7 @@ class TrackedMutex {
   TrackedMutex& operator=(const TrackedMutex&) = delete;
 
   void lock() {
+    DYNAMAST_SCHED_POINT("mutex.lock");
     OnLock(this, name_, rank_);
     mu_.lock();
   }
@@ -91,6 +94,8 @@ class TrackedMutex {
     return true;
   }
   void unlock() {
+    // Perturbing before release stretches the critical section.
+    DYNAMAST_SCHED_POINT("mutex.unlock");
     OnUnlock(this);
     mu_.unlock();
   }
@@ -118,6 +123,7 @@ class TrackedSharedMutex {
   TrackedSharedMutex& operator=(const TrackedSharedMutex&) = delete;
 
   void lock() {
+    DYNAMAST_SCHED_POINT("mutex.lock");
     OnLock(this, name_, rank_);
     mu_.lock();
   }
@@ -127,6 +133,7 @@ class TrackedSharedMutex {
     return true;
   }
   void unlock() {
+    DYNAMAST_SCHED_POINT("mutex.unlock");
     OnUnlock(this);
     mu_.unlock();
   }
@@ -134,6 +141,7 @@ class TrackedSharedMutex {
   // Shared acquisitions participate in ordering checks too: a reader
   // blocked behind a queued writer is still a wait-for edge.
   void lock_shared() {
+    DYNAMAST_SCHED_POINT("mutex.lock_shared");
     OnLock(this, name_, rank_);
     mu_.lock_shared();
   }
@@ -143,6 +151,7 @@ class TrackedSharedMutex {
     return true;
   }
   void unlock_shared() {
+    DYNAMAST_SCHED_POINT("mutex.unlock_shared");
     OnUnlock(this);
     mu_.unlock_shared();
   }
@@ -166,9 +175,15 @@ class PlainMutex {
   PlainMutex(const PlainMutex&) = delete;
   PlainMutex& operator=(const PlainMutex&) = delete;
 
-  void lock() { mu_.lock(); }
+  void lock() {
+    DYNAMAST_SCHED_POINT("mutex.lock");
+    mu_.lock();
+  }
   bool try_lock() { return mu_.try_lock(); }
-  void unlock() { mu_.unlock(); }
+  void unlock() {
+    DYNAMAST_SCHED_POINT("mutex.unlock");
+    mu_.unlock();
+  }
   void set_rank(uint64_t /*rank*/) {}
 
   std::mutex& native() { return mu_; }
@@ -186,12 +201,24 @@ class PlainSharedMutex {
   PlainSharedMutex(const PlainSharedMutex&) = delete;
   PlainSharedMutex& operator=(const PlainSharedMutex&) = delete;
 
-  void lock() { mu_.lock(); }
+  void lock() {
+    DYNAMAST_SCHED_POINT("mutex.lock");
+    mu_.lock();
+  }
   bool try_lock() { return mu_.try_lock(); }
-  void unlock() { mu_.unlock(); }
-  void lock_shared() { mu_.lock_shared(); }
+  void unlock() {
+    DYNAMAST_SCHED_POINT("mutex.unlock");
+    mu_.unlock();
+  }
+  void lock_shared() {
+    DYNAMAST_SCHED_POINT("mutex.lock_shared");
+    mu_.lock_shared();
+  }
   bool try_lock_shared() { return mu_.try_lock_shared(); }
-  void unlock_shared() { mu_.unlock_shared(); }
+  void unlock_shared() {
+    DYNAMAST_SCHED_POINT("mutex.unlock_shared");
+    mu_.unlock_shared();
+  }
   void set_rank(uint64_t /*rank*/) {}
 
  private:

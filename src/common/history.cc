@@ -1,0 +1,290 @@
+#include "common/history.h"
+
+#include <fstream>
+#include <mutex>
+#include <sstream>
+
+namespace dynamast::history {
+
+namespace {
+
+// --- serialization helpers ---------------------------------------------
+//
+// One event per line, space-separated `field=value` tokens. Lists are
+// comma-separated, `-` when empty:
+//
+//   kind=commit seq=12 site=0 client=5 ctxn=3 ro=0 begin=1,0 commit=2,0
+//     inst=2 reads=0:17@0:1,0:18@1:3 writes=0:17@4 parts=- peer=- rv=-
+//
+// Reads are table:row@origin:seq, writes are table:row@partition.
+
+std::string JoinVector(const VersionVector& v) {
+  if (v.empty()) return "-";
+  std::string out;
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(v[i]);
+  }
+  return out;
+}
+
+bool ParseU64(std::string_view text, uint64_t* out) {
+  if (text.empty()) return false;
+  uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+std::vector<std::string_view> Split(std::string_view text, char sep) {
+  std::vector<std::string_view> parts;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find(sep, start);
+    if (end == std::string_view::npos) end = text.size();
+    parts.push_back(text.substr(start, end - start));
+    start = end + 1;
+    if (end == text.size()) break;
+  }
+  return parts;
+}
+
+bool ParseVector(std::string_view text, VersionVector* out) {
+  *out = VersionVector();
+  if (text == "-") return true;
+  std::vector<uint64_t> values;
+  for (std::string_view part : Split(text, ',')) {
+    uint64_t v = 0;
+    if (!ParseU64(part, &v)) return false;
+    values.push_back(v);
+  }
+  *out = VersionVector(std::move(values));
+  return true;
+}
+
+bool ParseKey(std::string_view text, RecordKey* out) {
+  const auto parts = Split(text, ':');
+  if (parts.size() != 2) return false;
+  uint64_t table = 0;
+  if (!ParseU64(parts[0], &table) || !ParseU64(parts[1], &out->row)) {
+    return false;
+  }
+  out->table = static_cast<TableId>(table);
+  return true;
+}
+
+}  // namespace
+
+const char* EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kCommit:
+      return "commit";
+    case EventKind::kAbort:
+      return "abort";
+    case EventKind::kRelease:
+      return "release";
+    case EventKind::kGrant:
+      return "grant";
+  }
+  return "unknown";
+}
+
+void Recorder::Record(HistoryEvent event) {
+  std::lock_guard guard(mu_);
+  event.seq = events_.size() + 1;
+  events_.push_back(std::move(event));
+}
+
+size_t Recorder::size() const {
+  std::lock_guard guard(mu_);
+  return events_.size();
+}
+
+std::vector<HistoryEvent> Recorder::Snapshot() const {
+  std::lock_guard guard(mu_);
+  return events_;
+}
+
+void Recorder::Clear() {
+  std::lock_guard guard(mu_);
+  events_.clear();
+}
+
+std::string Recorder::Serialize() const {
+  const std::vector<HistoryEvent> events = Snapshot();
+  std::string out;
+  for (const HistoryEvent& event : events) {
+    out += SerializeEvent(event);
+    out += '\n';
+  }
+  return out;
+}
+
+Status Recorder::DumpToFile(const std::string& path) const {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file.is_open()) {
+    return Status::Internal("cannot open history dump file: " + path);
+  }
+  file << Serialize();
+  file.close();
+  if (!file) return Status::Internal("short write to " + path);
+  return Status::OK();
+}
+
+std::string SerializeEvent(const HistoryEvent& event) {
+  std::ostringstream out;
+  out << "kind=" << EventKindName(event.kind) << " seq=" << event.seq
+      << " site=" << event.site << " client=" << event.client
+      << " ctxn=" << event.client_txn << " ro=" << (event.read_only ? 1 : 0)
+      << " begin=" << JoinVector(event.begin)
+      << " commit=" << JoinVector(event.commit)
+      << " inst=" << event.installed_seq;
+
+  out << " reads=";
+  if (event.reads.empty()) {
+    out << '-';
+  } else {
+    for (size_t i = 0; i < event.reads.size(); ++i) {
+      const ReadObservation& r = event.reads[i];
+      if (i > 0) out << ',';
+      out << r.key.table << ':' << r.key.row << '@' << r.origin << ':'
+          << r.seq;
+    }
+  }
+
+  out << " writes=";
+  if (event.writes.empty()) {
+    out << '-';
+  } else {
+    for (size_t i = 0; i < event.writes.size(); ++i) {
+      const WriteObservation& w = event.writes[i];
+      if (i > 0) out << ',';
+      out << w.key.table << ':' << w.key.row << '@' << w.partition;
+    }
+  }
+
+  out << " parts=";
+  if (event.partitions.empty()) {
+    out << '-';
+  } else {
+    for (size_t i = 0; i < event.partitions.size(); ++i) {
+      if (i > 0) out << ',';
+      out << event.partitions[i];
+    }
+  }
+
+  out << " peer=";
+  if (event.peer == kInvalidSite) {
+    out << '-';
+  } else {
+    out << event.peer;
+  }
+
+  out << " rv=" << JoinVector(event.release_version);
+  return out.str();
+}
+
+Status ParseEvent(std::string_view line, HistoryEvent* out) {
+  *out = HistoryEvent();
+  const auto bad = [&line](const std::string& why) {
+    return Status::InvalidArgument("bad history line (" + why +
+                                   "): " + std::string(line));
+  };
+  for (std::string_view token : Split(line, ' ')) {
+    if (token.empty()) continue;
+    const size_t eq = token.find('=');
+    if (eq == std::string_view::npos) return bad("token without '='");
+    const std::string_view field = token.substr(0, eq);
+    const std::string_view value = token.substr(eq + 1);
+    uint64_t num = 0;
+    if (field == "kind") {
+      if (value == "commit") {
+        out->kind = EventKind::kCommit;
+      } else if (value == "abort") {
+        out->kind = EventKind::kAbort;
+      } else if (value == "release") {
+        out->kind = EventKind::kRelease;
+      } else if (value == "grant") {
+        out->kind = EventKind::kGrant;
+      } else {
+        return bad("unknown kind");
+      }
+    } else if (field == "seq") {
+      if (!ParseU64(value, &out->seq)) return bad("seq");
+    } else if (field == "site") {
+      if (!ParseU64(value, &num)) return bad("site");
+      out->site = static_cast<SiteId>(num);
+    } else if (field == "client") {
+      if (!ParseU64(value, &out->client)) return bad("client");
+    } else if (field == "ctxn") {
+      if (!ParseU64(value, &out->client_txn)) return bad("ctxn");
+    } else if (field == "ro") {
+      if (!ParseU64(value, &num)) return bad("ro");
+      out->read_only = num != 0;
+    } else if (field == "begin") {
+      if (!ParseVector(value, &out->begin)) return bad("begin");
+    } else if (field == "commit") {
+      if (!ParseVector(value, &out->commit)) return bad("commit");
+    } else if (field == "inst") {
+      if (!ParseU64(value, &out->installed_seq)) return bad("inst");
+    } else if (field == "reads") {
+      if (value == "-") continue;
+      for (std::string_view entry : Split(value, ',')) {
+        const auto at = entry.find('@');
+        if (at == std::string_view::npos) return bad("read entry");
+        ReadObservation r;
+        if (!ParseKey(entry.substr(0, at), &r.key)) return bad("read key");
+        const auto ver = Split(entry.substr(at + 1), ':');
+        if (ver.size() != 2) return bad("read version");
+        if (!ParseU64(ver[0], &num)) return bad("read origin");
+        r.origin = static_cast<SiteId>(num);
+        if (!ParseU64(ver[1], &r.seq)) return bad("read seq");
+        out->reads.push_back(r);
+      }
+    } else if (field == "writes") {
+      if (value == "-") continue;
+      for (std::string_view entry : Split(value, ',')) {
+        const auto at = entry.find('@');
+        if (at == std::string_view::npos) return bad("write entry");
+        WriteObservation w;
+        if (!ParseKey(entry.substr(0, at), &w.key)) return bad("write key");
+        if (!ParseU64(entry.substr(at + 1), &w.partition)) {
+          return bad("write partition");
+        }
+        out->writes.push_back(w);
+      }
+    } else if (field == "parts") {
+      if (value == "-") continue;
+      for (std::string_view entry : Split(value, ',')) {
+        if (!ParseU64(entry, &num)) return bad("partition");
+        out->partitions.push_back(num);
+      }
+    } else if (field == "peer") {
+      if (value == "-") continue;
+      if (!ParseU64(value, &num)) return bad("peer");
+      out->peer = static_cast<SiteId>(num);
+    } else if (field == "rv") {
+      if (!ParseVector(value, &out->release_version)) return bad("rv");
+    } else {
+      // Unknown fields are skipped so the format can grow.
+    }
+  }
+  return Status::OK();
+}
+
+Status ParseHistory(std::string_view text, std::vector<HistoryEvent>* out) {
+  out->clear();
+  for (std::string_view line : Split(text, '\n')) {
+    if (line.empty() || line[0] == '#') continue;
+    HistoryEvent event;
+    Status s = ParseEvent(line, &event);
+    if (!s.ok()) return s;
+    out->push_back(std::move(event));
+  }
+  return Status::OK();
+}
+
+}  // namespace dynamast::history

@@ -1,0 +1,121 @@
+#include "common/scheduler.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace dynamast::sched {
+namespace {
+
+struct Controller {
+  std::atomic<bool> enabled{false};
+  std::atomic<uint64_t> seed{0};
+  // Bumped on every Enable; threads compare it to their cached epoch and
+  // re-derive priority + decision stream when it moved.
+  std::atomic<uint64_t> epoch{1};
+  // Arrival-order thread identity within an epoch (folded into the
+  // per-thread stream so sibling threads diverge under one seed).
+  std::atomic<uint64_t> next_thread_token{0};
+  std::atomic<uint64_t> points{0};
+  std::atomic<uint64_t> perturbations{0};
+};
+
+Controller g_controller;
+
+// SplitMix64 finalizer: cheap, well-mixed, and stateless.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+struct ThreadState {
+  uint64_t epoch = 0;
+  uint64_t rng = 0;
+  // 0 = most perturbed .. 7 = nearly unperturbed (PCT-style priorities).
+  uint32_t priority = 0;
+};
+
+thread_local ThreadState t_state;
+
+uint64_t NextRand(ThreadState& state) {
+  state.rng = Mix(state.rng);
+  return state.rng;
+}
+
+uint64_t HashName(const char* name) {
+  // FNV-1a; hook-class names are short string literals.
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char* p = name; *p != '\0'; ++p) {
+    h = (h ^ static_cast<uint64_t>(*p)) * 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+void Enable(uint64_t seed) {
+  g_controller.seed.store(seed, std::memory_order_relaxed);
+  g_controller.next_thread_token.store(0, std::memory_order_relaxed);
+  g_controller.points.store(0, std::memory_order_relaxed);
+  g_controller.perturbations.store(0, std::memory_order_relaxed);
+  g_controller.epoch.fetch_add(1, std::memory_order_relaxed);
+  g_controller.enabled.store(true, std::memory_order_release);
+}
+
+void Disable() {
+  g_controller.enabled.store(false, std::memory_order_release);
+}
+
+bool IsEnabled() {
+  return g_controller.enabled.load(std::memory_order_acquire);
+}
+
+uint64_t CurrentSeed() {
+  return g_controller.seed.load(std::memory_order_relaxed);
+}
+
+uint64_t PointCount() {
+  return g_controller.points.load(std::memory_order_relaxed);
+}
+
+uint64_t PerturbationCount() {
+  return g_controller.perturbations.load(std::memory_order_relaxed);
+}
+
+void Point(const char* site_name) {
+  if (!g_controller.enabled.load(std::memory_order_acquire)) return;
+
+  ThreadState& st = t_state;
+  const uint64_t epoch = g_controller.epoch.load(std::memory_order_relaxed);
+  if (st.epoch != epoch) {
+    st.epoch = epoch;
+    const uint64_t token =
+        g_controller.next_thread_token.fetch_add(1, std::memory_order_relaxed);
+    st.rng = Mix(g_controller.seed.load(std::memory_order_relaxed) ^
+                 Mix(token + 0x51ed270b1a2f9d23ULL));
+    st.priority = static_cast<uint32_t>(NextRand(st) & 7);
+  }
+  g_controller.points.fetch_add(1, std::memory_order_relaxed);
+
+  const uint64_t r = NextRand(st) ^ HashName(site_name);
+  // Low-priority threads are perturbed often, high-priority ones almost
+  // never: 17% down to 3% of points.
+  const uint64_t roll = r % 100;
+  const uint64_t threshold = 17 - 2 * st.priority;
+  if (roll >= threshold) return;
+  g_controller.perturbations.fetch_add(1, std::memory_order_relaxed);
+
+  // Mostly cheap yields (lose the race, reorder the run queue); sometimes
+  // a short sleep to stretch whatever critical section or window the hook
+  // sits inside.
+  if ((r >> 8) % 4 != 0) {
+    std::this_thread::yield();
+  } else {
+    const auto micros = 1 + ((r >> 16) % 100);
+    std::this_thread::sleep_for(std::chrono::microseconds(micros));
+  }
+}
+
+}  // namespace dynamast::sched

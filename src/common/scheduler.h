@@ -1,0 +1,75 @@
+#ifndef DYNAMAST_COMMON_SCHEDULER_H_
+#define DYNAMAST_COMMON_SCHEDULER_H_
+
+#include <cstdint>
+
+namespace dynamast::sched {
+
+/// Seedable schedule-exploration controller (see DESIGN.md, "Schedule
+/// exploration & history auditing").
+///
+/// The concurrent subsystems mark their synchronization points — every
+/// DebugMutex acquisition/release, simulated-network delivery, admission-
+/// gate slot grant — with DYNAMAST_SCHED_POINT("name"). In default builds
+/// the macro expands to `((void)0)` (zero cost, nothing to optimize away);
+/// when the build is configured with -DDYNAMAST_SCHED_FUZZ=ON each point
+/// consults this controller, which injects priority-randomized yields and
+/// short sleeps driven by a per-test seed.
+///
+/// The model is PCT-lite (Burckhardt et al.), in the spirit of Loom or
+/// rr's chaos mode rather than a full model checker: each thread draws a
+/// random priority for the current seed epoch; low-priority threads are
+/// perturbed often (stretching their critical sections and losing races),
+/// high-priority threads run nearly unperturbed. Distinct seeds therefore
+/// explore distinct interleaving families, and a failing seed replays the
+/// same decision stream with high probability (thread identities are
+/// assigned in arrival order, so replay is probabilistic, not exact —
+/// "rr-lite").
+///
+/// The controller itself is always compiled into dynamast_common so its
+/// unit tests run in every configuration; the DYNAMAST_SCHED_FUZZ macro
+/// only decides whether the hook sites call into it.
+
+/// Arms the controller with `seed`. Threads re-derive their priority and
+/// decision stream lazily at their next schedule point. Thread-safe.
+void Enable(uint64_t seed);
+
+/// Disarms the controller: schedule points return immediately.
+void Disable();
+
+bool IsEnabled();
+uint64_t CurrentSeed();
+
+/// One synchronization point. `site_name` identifies the hook class
+/// ("mutex.lock", "net.deliver", ...) and is folded into the decision so
+/// different hook classes perturb differently under the same seed. Must be
+/// cheap when disabled: one relaxed atomic load.
+void Point(const char* site_name);
+
+/// Schedule points hit / perturbations injected since the last Enable.
+uint64_t PointCount();
+uint64_t PerturbationCount();
+
+/// RAII enable-for-scope, the shape tests use:
+///   for (uint64_t seed : seeds) { sched::ScopedSeed fuzz(seed); ... }
+class ScopedSeed {
+ public:
+  explicit ScopedSeed(uint64_t seed) { Enable(seed); }
+  ~ScopedSeed() { Disable(); }
+  ScopedSeed(const ScopedSeed&) = delete;
+  ScopedSeed& operator=(const ScopedSeed&) = delete;
+};
+
+}  // namespace dynamast::sched
+
+/// Hook-site macro. Compiles to nothing unless the build enables
+/// DYNAMAST_SCHED_FUZZ, so hot paths carry no branch in default builds.
+#if defined(DYNAMAST_SCHED_FUZZ) && DYNAMAST_SCHED_FUZZ
+#define DYNAMAST_SCHED_FUZZ_ENABLED 1
+#define DYNAMAST_SCHED_POINT(site_name) ::dynamast::sched::Point(site_name)
+#else
+#define DYNAMAST_SCHED_FUZZ_ENABLED 0
+#define DYNAMAST_SCHED_POINT(site_name) ((void)0)
+#endif
+
+#endif  // DYNAMAST_COMMON_SCHEDULER_H_

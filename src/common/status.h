@@ -13,7 +13,12 @@ namespace dynamast {
 ///
 /// A Status is cheap to copy in the OK case (no allocation) and carries a
 /// code plus a human-readable message otherwise.
-class Status {
+///
+/// [[nodiscard]]: silently dropping a Status hides failures (the classic
+/// unchecked-write bug); callers that genuinely don't care must say so
+/// with a `(void)` cast. Enforced in CI by -Wunused-result plus the
+/// clang-tidy checks bugprone-unused-return-value / cert-err33-c.
+class [[nodiscard]] Status {
  public:
   enum class Code {
     kOk = 0,

@@ -7,12 +7,15 @@ Cluster::Cluster(const Options& options, const Partitioner* partitioner)
       partitioner_(partitioner),
       network_(options.network),
       logs_(options.num_sites) {
+  if (options_.record_history) {
+    history_ = std::make_unique<history::Recorder>();
+  }
   for (uint32_t i = 0; i < options_.num_sites; ++i) {
     site::SiteOptions site_options = options_.site;
     site_options.site_id = i;
     site_options.num_sites = options_.num_sites;
     sites_.push_back(std::make_unique<site::SiteManager>(
-        site_options, partitioner_, &logs_, &network_));
+        site_options, partitioner_, &logs_, &network_, history_.get()));
   }
 }
 

@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/history.h"
 #include "common/key.h"
 #include "common/partitioner.h"
 #include "log/durable_log.h"
@@ -26,6 +27,10 @@ class Cluster {
     /// If false, sites do not run refresh appliers (partition-store and
     /// LEAP keep no replicas).
     bool replicated = true;
+    /// If true, every site records transaction/marker history into a
+    /// shared history::Recorder for the offline SI auditor
+    /// (tools/si_checker).
+    bool record_history = false;
   };
 
   /// `partitioner` must outlive the cluster.
@@ -50,6 +55,9 @@ class Cluster {
   site::SiteManager* site(SiteId id) { return sites_[id].get(); }
   std::vector<site::SiteManager*> site_pointers();
 
+  /// Null unless Options::record_history was set.
+  history::Recorder* history() { return history_.get(); }
+
   /// Creates a table at every site.
   Status CreateTable(TableId id);
 
@@ -58,6 +66,7 @@ class Cluster {
   const Partitioner* partitioner_;
   net::SimulatedNetwork network_;
   log::LogManager logs_;
+  std::unique_ptr<history::Recorder> history_;
   std::vector<std::unique_ptr<site::SiteManager>> sites_;
   bool stopped_ = false;
 };

@@ -72,6 +72,7 @@ Status DynaMastSystem::Execute(ClientState& client, const TxnProfile& profile,
   // `result` is an optional out-param; downstream code assumes non-null.
   TxnResult scratch;
   if (result == nullptr) result = &scratch;
+  client.issued_txns++;
   return profile.read_only ? ExecuteRead(client, profile, logic, result)
                            : ExecuteWrite(client, profile, logic, result);
 }
@@ -125,6 +126,8 @@ Status DynaMastSystem::ExecuteWrite(ClientState& client,
     site::TxnOptions txn_options;
     txn_options.write_keys = profile.write_keys;
     txn_options.min_begin_version = route.min_begin_version;
+    txn_options.client = client.id;
+    txn_options.client_txn = client.issued_txns;
     site::Transaction txn;
     watch.Restart();
     s = site->BeginTransaction(txn_options, &txn);
@@ -191,6 +194,8 @@ Status DynaMastSystem::ExecuteRead(ClientState& client,
     site::TxnOptions txn_options;
     txn_options.read_only = true;
     txn_options.min_begin_version = client.session;
+    txn_options.client = client.id;
+    txn_options.client_txn = client.issued_txns;
     site::Transaction txn;
     s = site->BeginTransaction(txn_options, &txn);
     if (!s.ok()) return s;

@@ -76,6 +76,7 @@ class DynaMastSystem final : public SystemInterface {
   Status Execute(ClientState& client, const TxnProfile& profile,
                  const TxnLogic& logic, TxnResult* result) override;
   void Shutdown() override;
+  history::Recorder* history() override { return cluster_.history(); }
 
   Cluster& cluster() { return cluster_; }
   selector::SiteSelector& site_selector() { return *selector_; }

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/history.h"
 #include "common/key.h"
 #include "common/status.h"
 #include "common/version_vector.h"
@@ -66,6 +67,9 @@ struct TxnProfile {
 struct ClientState {
   ClientId id = 0;
   VersionVector session;
+  /// Logical transactions issued so far; Execute bumps it once per call so
+  /// history records can group 2PC branches of one logical transaction.
+  uint64_t issued_txns = 0;
 };
 
 /// Per-execution result details (latency breakdowns come from here).
@@ -108,6 +112,11 @@ class SystemInterface {
 
   /// Stops background machinery (appliers). Idempotent.
   virtual void Shutdown() = 0;
+
+  /// The cluster's history recorder, when the system was deployed with
+  /// history recording on (tools/si_checker audits its events). Null
+  /// otherwise.
+  virtual history::Recorder* history() { return nullptr; }
 };
 
 }  // namespace dynamast::core

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <thread>
 
+#include "common/scheduler.h"
+
 namespace dynamast::net {
 
 const char* TrafficClassName(TrafficClass c) {
@@ -27,6 +29,9 @@ void SimulatedNetwork::Send(TrafficClass c, size_t bytes) {
   auto& counter = counters_[static_cast<size_t>(c)];
   counter.messages.fetch_add(1, std::memory_order_relaxed);
   counter.bytes.fetch_add(bytes, std::memory_order_relaxed);
+  // Delivery is a synchronization point even when delay charging is off:
+  // schedule fuzzing jitters message arrival order here.
+  DYNAMAST_SCHED_POINT("net.deliver");
   if (!options_.charge_delays) return;
   const auto transmission = options_.per_kilobyte * (bytes / 1024 + 1);
   if (!options_.serialize_link) {

@@ -1,13 +1,20 @@
 #include "site/admission_gate.h"
 
+#include "common/scheduler.h"
+
 namespace dynamast::site {
 
 void AdmissionGate::Enter() {
-  std::unique_lock lock(mu_);
-  ++waiting_;
-  cv_.wait(lock, [&] { return free_slots_ > 0; });
-  --waiting_;
-  --free_slots_;
+  {
+    std::unique_lock lock(mu_);
+    ++waiting_;
+    cv_.wait(lock, [&] { return free_slots_ > 0; });
+    --waiting_;
+    --free_slots_;
+  }
+  // Slot granted: schedule fuzzing reorders which admitted transaction
+  // actually reaches BeginTransaction first.
+  DYNAMAST_SCHED_POINT("gate.grant");
 }
 
 void AdmissionGate::Exit() {

@@ -13,16 +13,29 @@ constexpr std::chrono::milliseconds kApplierPollInterval{100};
 // Max refresh records applied per simulated network delivery (Kafka-style
 // consumer batching; see DESIGN.md on propagation-delay modelling).
 constexpr size_t kApplierBatchSize = 64;
+
+// Install into commit/refresh/replay paths can only fail if the table
+// vanished mid-run — a programming error, not a runtime condition. Check
+// under invariants rather than silently dropping the Status.
+void MustInstall(storage::StorageEngine& engine, const RecordKey& key,
+                 SiteId origin, uint64_t seq, std::string value) {
+  const Status s = engine.Install(key, origin, seq, std::move(value));
+  DYNAMAST_INVARIANT(s.ok(), "version install failed for " + key.ToString() +
+                                 ": " + s.ToString());
+  (void)s;
+}
 }  // namespace
 
 SiteManager::SiteManager(const SiteOptions& options,
                          const Partitioner* partitioner,
                          log::LogManager* logs,
-                         net::SimulatedNetwork* network)
+                         net::SimulatedNetwork* network,
+                         history::Recorder* history)
     : options_(options),
       partitioner_(partitioner),
       logs_(logs),
       network_(network),
+      history_(history),
       engine_(options.storage),
       gate_(options.worker_slots),
       svv_(options.num_sites) {}
@@ -92,9 +105,12 @@ Status SiteManager::BeginTransaction(const TxnOptions& opts, Transaction* txn) {
   txn->site_ = this;
   txn->id_ = next_txn_id_.fetch_add(1);
   txn->read_only_ = opts.read_only;
+  txn->client_ = opts.client;
+  txn->client_txn_ = opts.client_txn;
   txn->staged_.clear();
   txn->locked_keys_.clear();
   txn->write_partitions_.clear();
+  txn->observed_reads_.clear();
   txn->op_count_ = 0;
 
   if (opts.read_only) {
@@ -183,7 +199,18 @@ Status SiteManager::TxnGet(Transaction* txn, const RecordKey& key,
     *value = it->second.first;
     return Status::OK();
   }
-  return engine_.Read(key, txn->begin_version_, value);
+  if (history_ == nullptr) {
+    return engine_.Read(key, txn->begin_version_, value);
+  }
+  // History recording: capture which committed version this read observed
+  // (the auditor attributes it to the installing transaction).
+  storage::VersionStamp stamp;
+  Status s = engine_.Read(key, txn->begin_version_, value, &stamp);
+  if (s.ok()) {
+    txn->observed_reads_.push_back(
+        history::ReadObservation{key, stamp.origin, stamp.seq});
+  }
+  return s;
 }
 
 Status SiteManager::TxnPut(Transaction* txn, const RecordKey& key,
@@ -226,6 +253,24 @@ Status SiteManager::TxnPut(Transaction* txn, const RecordKey& key,
   return Status::OK();
 }
 
+history::HistoryEvent SiteManager::MakeTxnEvent(
+    const Transaction& txn, history::EventKind kind) const {
+  history::HistoryEvent event;
+  event.kind = kind;
+  event.site = site_id();
+  event.client = txn.client_;
+  event.client_txn = txn.client_txn_;
+  event.read_only = txn.read_only_;
+  event.begin = txn.begin_version_;
+  event.reads = txn.observed_reads_;
+  event.writes.reserve(txn.staged_.size());
+  for (const auto& [key, staged] : txn.staged_) {
+    event.writes.push_back(
+        history::WriteObservation{key, partitioner_->PartitionOf(key)});
+  }
+  return event;
+}
+
 Status SiteManager::Commit(Transaction* txn, VersionVector* commit_version) {
   if (!txn->active_) return Status::InvalidArgument("transaction not active");
   txn->active_ = false;
@@ -244,6 +289,12 @@ Status SiteManager::Commit(Transaction* txn, VersionVector* commit_version) {
       state_cv_.notify_all();
     }
     *commit_version = txn->begin_version_;
+    if (history_ != nullptr) {
+      history::HistoryEvent event =
+          MakeTxnEvent(*txn, history::EventKind::kCommit);
+      event.commit = *commit_version;
+      history_->Record(std::move(event));
+    }
     return Status::OK();
   }
 
@@ -273,7 +324,7 @@ Status SiteManager::Commit(Transaction* txn, VersionVector* commit_version) {
     // Install versions before publishing the new svv so no concurrent
     // snapshot can observe seq without the versions being readable.
     for (const log::WriteEntry& w : record.writes) {
-      engine_.Install(w.key, site_id(), seq, w.value);
+      MustInstall(engine_, w.key, site_id(), seq, w.value);
     }
     // Append to the redo/propagation log inside the critical section so
     // topic order equals commit order (appliers rely on it).
@@ -286,6 +337,16 @@ Status SiteManager::Commit(Transaction* txn, VersionVector* commit_version) {
       }
     }
     *commit_version = tvv;
+    if (history_ != nullptr) {
+      // Record inside the critical section so the recorder's global order
+      // is consistent with this site's commit order (and with any release
+      // marker that drains this partition).
+      history::HistoryEvent event =
+          MakeTxnEvent(*txn, history::EventKind::kCommit);
+      event.commit = tvv;
+      event.installed_seq = seq;
+      history_->Record(std::move(event));
+    }
     state_cv_.notify_all();
   }
 
@@ -297,6 +358,9 @@ Status SiteManager::Commit(Transaction* txn, VersionVector* commit_version) {
 void SiteManager::Abort(Transaction* txn) {
   if (!txn->active_) return;
   txn->active_ = false;
+  if (history_ != nullptr) {
+    history_->Record(MakeTxnEvent(*txn, history::EventKind::kAbort));
+  }
   txn->staged_.clear();
   engine_.lock_manager().ReleaseAll(txn->locked_keys_, txn->id_);
   if (!txn->write_partitions_.empty()) {
@@ -386,6 +450,16 @@ Status SiteManager::Release(const std::vector<PartitionId>& partitions,
   }
   *release_version =
       AppendMarkerLocked(log::LogRecord::Type::kRelease, partitions, to_site);
+  if (history_ != nullptr) {
+    history::HistoryEvent event;
+    event.kind = history::EventKind::kRelease;
+    event.site = site_id();
+    event.commit = *release_version;
+    event.installed_seq = (*release_version)[site_id()];
+    event.partitions = partitions;
+    event.peer = to_site;
+    history_->Record(std::move(event));
+  }
   counters_.releases.fetch_add(1);
   return Status::OK();
 }
@@ -394,20 +468,41 @@ Status SiteManager::Grant(const std::vector<PartitionId>& partitions,
                           SiteId from_site,
                           const VersionVector& release_version,
                           VersionVector* grant_version) {
+#if defined(DYNAMAST_BREAK_SI) && DYNAMAST_BREAK_SI
+  // Deliberately broken build (validates tools/si_checker): take
+  // mastership without waiting for the released site's updates to be
+  // applied here. The first writer on the new master can then begin below
+  // the release point — exactly the remastering-window anomaly the
+  // auditor's grant check detects.
+#else
   // Wait until every update up to the point of release has been applied
   // here, so the first transaction on the new master sees all prior writes
   // to the remastered items.
   Status s = WaitForVersion(release_version);
   if (!s.ok()) return s;
+#endif
   std::lock_guard guard(state_mu_);
   *grant_version =
       AppendMarkerLocked(log::LogRecord::Type::kGrant, partitions, from_site);
+#if !defined(DYNAMAST_BREAK_SI) || !DYNAMAST_BREAK_SI
   // The grant point must include every update committed before the
   // release, so the first transaction on the new master reads them all.
   DYNAMAST_INVARIANT(grant_version->DominatesOrEquals(release_version),
                      "grant vector " + grant_version->ToString() +
                          " does not dominate release vector " +
                          release_version.ToString());
+#endif
+  if (history_ != nullptr) {
+    history::HistoryEvent event;
+    event.kind = history::EventKind::kGrant;
+    event.site = site_id();
+    event.commit = *grant_version;
+    event.installed_seq = (*grant_version)[site_id()];
+    event.partitions = partitions;
+    event.peer = from_site;
+    event.release_version = release_version;
+    history_->Record(std::move(event));
+  }
   for (PartitionId p : partitions) mastered_.insert(p);
   counters_.grants.fetch_add(1);
   return Status::OK();
@@ -447,7 +542,7 @@ bool SiteManager::ApplyRefreshRecord(const log::LogRecord& record) {
                          " seq " + std::to_string(seq) +
                          " is not dense after svv " + svv_.ToString());
   for (const log::WriteEntry& w : record.writes) {
-    engine_.Install(w.key, origin, seq, w.value);
+    MustInstall(engine_, w.key, origin, seq, w.value);
   }
   // Markers carry no writes; applying them just advances the origin slot,
   // preserving the dense per-origin sequence.
@@ -527,13 +622,19 @@ Status SiteManager::RecoverFromLogs(
         }
         if (!applicable) break;  // revisit this origin next round
         for (const log::WriteEntry& w : record.writes) {
-          engine_.Install(w.key, origin, record.tvv[origin], w.value);
+          MustInstall(engine_, w.key, origin, record.tvv[origin], w.value);
         }
         if (record.type == log::LogRecord::Type::kRelease) {
+          // A release marker names its intended recipient, so mastership is
+          // assigned to the peer immediately: if the crash hit between the
+          // release and the grant, every recovering site still converges on
+          // exactly one master (the recipient) instead of leaving the
+          // partition masterless. A following grant marker (the common
+          // case) re-asserts the same owner.
           for (PartitionId p : record.partitions) {
             auto it = recovered_masters->find(p);
             if (it != recovered_masters->end() && it->second == origin) {
-              recovered_masters->erase(it);
+              it->second = record.transfer_peer;
             }
           }
         } else if (record.type == log::LogRecord::Type::kGrant) {

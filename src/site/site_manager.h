@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/debug_mutex.h"
+#include "common/history.h"
 #include "common/key.h"
 #include "common/partitioner.h"
 #include "common/status.h"
@@ -46,11 +47,13 @@ struct SiteCounters {
 /// how mastership is assigned and how their routers coordinate.
 class SiteManager {
  public:
-  /// `partitioner`, `logs` and `network` must outlive the site.
+  /// `partitioner`, `logs`, `network` and `history` must outlive the site.
   /// `logs` may be shared with peer sites; `network` may be null for
-  /// pure-logic tests (no traffic accounting).
+  /// pure-logic tests (no traffic accounting); `history` may be null
+  /// (no history recording) or a recorder shared with peer sites.
   SiteManager(const SiteOptions& options, const Partitioner* partitioner,
-              log::LogManager* logs, net::SimulatedNetwork* network);
+              log::LogManager* logs, net::SimulatedNetwork* network,
+              history::Recorder* history = nullptr);
   ~SiteManager();
 
   SiteManager(const SiteManager&) = delete;
@@ -68,6 +71,7 @@ class SiteManager {
   storage::StorageEngine& engine() { return engine_; }
   AdmissionGate& gate() { return gate_; }
   SiteCounters& counters() { return counters_; }
+  history::Recorder* history() const { return history_; }
 
   /// Current site version vector (copy).
   VersionVector CurrentVersion() const;
@@ -162,10 +166,16 @@ class SiteManager {
   Status TxnPut(Transaction* txn, const RecordKey& key, std::string value,
                 bool is_insert);
 
+  // Builds the history event for a finished transaction (no recorder
+  // sequence yet; Recorder::Record assigns it).
+  history::HistoryEvent MakeTxnEvent(const Transaction& txn,
+                                     history::EventKind kind) const;
+
   SiteOptions options_;
   const Partitioner* partitioner_;
   log::LogManager* logs_;
   net::SimulatedNetwork* network_;
+  history::Recorder* history_;
 
   storage::StorageEngine engine_;
   AdmissionGate gate_;

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/history.h"
 #include "common/key.h"
 #include "common/status.h"
 #include "common/version_vector.h"
@@ -33,6 +34,14 @@ struct TxnOptions {
   /// If true (baseline 2PC participants), mastership enforcement is
   /// skipped for this transaction even when the site enforces it.
   bool skip_mastership_check = false;
+
+  /// Issuing client session, for history recording (0 = sessionless).
+  ClientId client = 0;
+
+  /// Per-client logical transaction number: 2PC branches of one logical
+  /// transaction at different sites share it so the history auditor groups
+  /// them (see common/history.h).
+  uint64_t client_txn = 0;
 };
 
 /// A transaction executing at one data site. Created by
@@ -79,11 +88,16 @@ class Transaction {
   storage::TxnId id_ = 0;
   bool active_ = false;
   bool read_only_ = false;
+  ClientId client_ = 0;
+  uint64_t client_txn_ = 0;
   VersionVector begin_version_;
   std::vector<RecordKey> locked_keys_;
   std::vector<PartitionId> write_partitions_;  // active-writer accounting
   // Staged writes in key order; the bool marks inserts.
   std::map<RecordKey, std::pair<std::string, bool>> staged_;
+  // Reads and the versions they observed; populated only when the site
+  // records history (empty otherwise).
+  std::vector<history::ReadObservation> observed_reads_;
   size_t op_count_ = 0;
 };
 

@@ -12,13 +12,15 @@ void VersionedRecord::Install(SiteId origin, uint64_t seq, std::string value) {
 }
 
 Status VersionedRecord::ReadAtSnapshot(const VersionVector& snapshot,
-                                       std::string* out) const {
+                                       std::string* out,
+                                       VersionStamp* observed) const {
   std::lock_guard guard(mu_);
   for (auto it = versions_.rbegin(); it != versions_.rend(); ++it) {
     const uint64_t visible_up_to =
         it->origin < snapshot.size() ? snapshot[it->origin] : 0;
     if (it->seq <= visible_up_to) {
       *out = it->value;
+      if (observed != nullptr) *observed = VersionStamp{it->origin, it->seq};
       return Status::OK();
     }
   }

@@ -29,6 +29,15 @@ struct RecordVersion {
   std::string value;
 };
 
+/// The (origin, seq) stamp of a version a read observed, reported to the
+/// caller for history recording (tools/si_checker attributes every read to
+/// the commit that installed the version). (0, 0) is the loader-installed
+/// base version.
+struct VersionStamp {
+  SiteId origin = 0;
+  uint64_t seq = 0;
+};
+
 /// VersionedRecord is one row's multi-version chain (Section V-A1: the
 /// database stores multiple versions of every record — four by default).
 /// The chain is kept in site-local install order, which for a single record
@@ -50,7 +59,10 @@ class VersionedRecord {
   ///  * NotFound when the record was created entirely after the snapshot
   ///    (nothing pruned, nothing visible);
   ///  * SnapshotTooOld when versions the snapshot could see were pruned.
-  Status ReadAtSnapshot(const VersionVector& snapshot, std::string* out) const;
+  /// On OK, `observed` (when non-null) receives the stamp of the version
+  /// returned.
+  Status ReadAtSnapshot(const VersionVector& snapshot, std::string* out,
+                        VersionStamp* observed = nullptr) const;
 
   /// Reads the newest version unconditionally (loader / debugging).
   Status ReadLatest(std::string* out) const;

@@ -26,10 +26,10 @@ Status StorageEngine::Install(const RecordKey& key, SiteId origin,
 }
 
 Status StorageEngine::Read(const RecordKey& key, const VersionVector& snapshot,
-                           std::string* out) const {
+                           std::string* out, VersionStamp* observed) const {
   Table* table = GetTable(key.table);
   if (table == nullptr) return Status::InvalidArgument("no such table");
-  return table->Read(key.row, snapshot, out);
+  return table->Read(key.row, snapshot, out, observed);
 }
 
 Status StorageEngine::ReadLatest(const RecordKey& key, std::string* out) const {

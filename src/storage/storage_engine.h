@@ -45,9 +45,10 @@ class StorageEngine {
   Status Install(const RecordKey& key, SiteId origin, uint64_t seq,
                  std::string value);
 
-  /// Snapshot read at `snapshot` (a version vector).
+  /// Snapshot read at `snapshot` (a version vector). On OK, `observed`
+  /// (when non-null) receives the stamp of the version returned.
   Status Read(const RecordKey& key, const VersionVector& snapshot,
-              std::string* out) const;
+              std::string* out, VersionStamp* observed = nullptr) const;
 
   Status ReadLatest(const RecordKey& key, std::string* out) const;
 

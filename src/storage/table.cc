@@ -28,10 +28,10 @@ const VersionedRecord* Table::Find(uint64_t row) const {
 }
 
 Status Table::Read(uint64_t row, const VersionVector& snapshot,
-                   std::string* out) const {
+                   std::string* out, VersionStamp* observed) const {
   const VersionedRecord* record = Find(row);
   if (record == nullptr) return Status::NotFound("no such row");
-  return record->ReadAtSnapshot(snapshot, out);
+  return record->ReadAtSnapshot(snapshot, out, observed);
 }
 
 Status Table::ReadLatest(uint64_t row, std::string* out) const {

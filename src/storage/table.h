@@ -40,8 +40,8 @@ class Table {
 
   /// Snapshot read; see VersionedRecord::ReadAtSnapshot for semantics.
   /// NotFound if the row does not exist at all.
-  Status Read(uint64_t row, const VersionVector& snapshot,
-              std::string* out) const;
+  Status Read(uint64_t row, const VersionVector& snapshot, std::string* out,
+              VersionStamp* observed = nullptr) const;
 
   /// Latest-version read (loader / recovery verification).
   Status ReadLatest(uint64_t row, std::string* out) const;

@@ -1,0 +1,345 @@
+#include "tools/si_checker.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace dynamast::tools {
+
+namespace {
+
+using history::EventKind;
+using history::HistoryEvent;
+
+/// Beyond this many committed writers of one key, the lost-update check
+/// falls back from all-pairs to adjacent pairs in recorder order
+/// (quadratic blowup guard for hot rows; adjacency still catches every
+/// violation of a total per-key install order).
+constexpr size_t kAllPairsLimit = 64;
+
+uint64_t At(const VersionVector& v, size_t i) {
+  return i < v.size() ? v[i] : 0;
+}
+
+std::string DescribeEvent(const HistoryEvent& e) {
+  std::ostringstream os;
+  os << history::EventKindName(e.kind) << " #" << e.seq << " (site " << e.site;
+  if (e.client != 0 || e.client_txn != 0) {
+    os << ", client " << e.client << " txn " << e.client_txn;
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace
+
+const char* AnomalyKindName(AnomalyKind kind) {
+  switch (kind) {
+    case AnomalyKind::kG1aAbortedRead:
+      return "G1a-aborted-read";
+    case AnomalyKind::kG1bIntermediateRead:
+      return "G1b-intermediate-read";
+    case AnomalyKind::kG1cCycle:
+      return "G1c-cycle";
+    case AnomalyKind::kFutureRead:
+      return "future-read";
+    case AnomalyKind::kLostUpdate:
+      return "lost-update";
+    case AnomalyKind::kSessionRegression:
+      return "session-regression";
+    case AnomalyKind::kRemasterWindow:
+      return "remaster-window";
+  }
+  return "unknown";
+}
+
+std::string Anomaly::ToString() const {
+  std::ostringstream os;
+  os << AnomalyKindName(kind);
+  if (event_seq != 0) os << " @event " << event_seq;
+  os << ": " << detail;
+  return os.str();
+}
+
+SiCheckerOptions OptionsForSystem(const std::string& system_name) {
+  SiCheckerOptions o;
+  if (system_name == "partition-store") {
+    // Sessions are masked to the coordinator's index; only per-origin
+    // monotonicity is promised.
+    o.full_session_vectors = false;
+  } else if (system_name == "leap") {
+    // Masked sessions, and shipped rows are reinstalled as (0, 0) base
+    // versions, severing cross-origin write lineage.
+    o.full_session_vectors = false;
+    o.cross_origin_ww = false;
+  }
+  return o;
+}
+
+std::string AuditReport::ToString() const {
+  std::ostringstream os;
+  os << "si_checker: " << commits << " commits, " << aborts << " aborts, "
+     << markers << " markers; " << reads_checked << " reads and "
+     << write_pairs_checked << " write pairs checked; " << anomalies.size()
+     << (anomalies.size() == 1 ? " anomaly" : " anomalies") << "\n";
+  for (const Anomaly& a : anomalies) {
+    os << "  " << a.ToString() << "\n";
+  }
+  return os.str();
+}
+
+AuditReport AuditHistory(const std::vector<HistoryEvent>& events,
+                         const SiCheckerOptions& options) {
+  AuditReport report;
+
+  // ---- Pass 1: index installers -------------------------------------
+  // Every update commit and every marker occupies one slot in its site's
+  // per-origin commit sequence (svv[site] after the critical section).
+  // (origin, seq) -> event index; values observed by reads must resolve
+  // to a committed *transaction* that wrote the key.
+  std::unordered_map<uint64_t, size_t> installers;  // packed (site, seq)
+  const auto pack = [](SiteId site, uint64_t seq) {
+    return (static_cast<uint64_t>(site) << 48) ^ seq;
+  };
+  std::vector<size_t> committed;  // indices of kCommit events
+  for (size_t i = 0; i < events.size(); ++i) {
+    const HistoryEvent& e = events[i];
+    switch (e.kind) {
+      case EventKind::kCommit:
+        report.commits++;
+        committed.push_back(i);
+        break;
+      case EventKind::kAbort:
+        report.aborts++;
+        break;
+      case EventKind::kRelease:
+      case EventKind::kGrant:
+        report.markers++;
+        break;
+    }
+    if (e.installed_seq != 0 &&
+        (e.kind == EventKind::kCommit || e.kind == EventKind::kRelease ||
+         e.kind == EventKind::kGrant)) {
+      installers.emplace(pack(e.site, e.installed_seq), i);
+    }
+  }
+
+  // ---- Read checks: future reads, G1a, G1b --------------------------
+  for (size_t i : committed) {
+    const HistoryEvent& e = events[i];
+    for (const history::ReadObservation& r : e.reads) {
+      report.reads_checked++;
+      // (0, 0) is the loader-installed base version, visible to any
+      // snapshot.
+      if (r.origin == 0 && r.seq == 0) continue;
+      if (r.seq > At(e.begin, r.origin)) {
+        Anomaly a{AnomalyKind::kFutureRead, e.seq, ""};
+        a.detail = DescribeEvent(e) + " read " + r.key.ToString() +
+                   " at version " + std::to_string(r.origin) + ":" +
+                   std::to_string(r.seq) + " beyond its begin snapshot " +
+                   e.begin.ToString();
+        report.anomalies.push_back(std::move(a));
+      }
+      auto it = installers.find(pack(r.origin, r.seq));
+      if (it == installers.end()) {
+        if (options.complete_history) {
+          Anomaly a{AnomalyKind::kG1aAbortedRead, e.seq, ""};
+          a.detail = DescribeEvent(e) + " read " + r.key.ToString() +
+                     " at version " + std::to_string(r.origin) + ":" +
+                     std::to_string(r.seq) +
+                     " which no committed transaction installed";
+          report.anomalies.push_back(std::move(a));
+        }
+        continue;
+      }
+      const HistoryEvent& w = events[it->second];
+      const bool wrote_key =
+          w.kind == EventKind::kCommit &&
+          std::any_of(w.writes.begin(), w.writes.end(),
+                      [&](const history::WriteObservation& wo) {
+                        return wo.key == r.key;
+                      });
+      if (!wrote_key) {
+        Anomaly a{AnomalyKind::kG1bIntermediateRead, e.seq, ""};
+        a.detail = DescribeEvent(e) + " read " + r.key.ToString() +
+                   " at version " + std::to_string(r.origin) + ":" +
+                   std::to_string(r.seq) + " but its installer (" +
+                   DescribeEvent(w) + ") never wrote that key";
+        report.anomalies.push_back(std::move(a));
+      }
+    }
+  }
+
+  // ---- Lost updates (P4 / first-committer-wins) ---------------------
+  // Recorder order is consistent with commit order, so for writers A
+  // before B of the same key, SI demands B began after A's install was
+  // visible: B.begin[A.site] >= A.installed_seq.
+  std::map<RecordKey, std::vector<size_t>> writers_by_key;
+  for (size_t i : committed) {
+    for (const history::WriteObservation& w : events[i].writes) {
+      writers_by_key[w.key].push_back(i);
+    }
+  }
+  for (const auto& [key, writers] : writers_by_key) {
+    const bool all_pairs = writers.size() <= kAllPairsLimit;
+    for (size_t bi = 1; bi < writers.size(); ++bi) {
+      const HistoryEvent& b = events[writers[bi]];
+      const size_t first = all_pairs ? 0 : bi - 1;
+      for (size_t ai = first; ai < bi; ++ai) {
+        const HistoryEvent& a = events[writers[ai]];
+        if (!options.cross_origin_ww && a.site != b.site) continue;
+        report.write_pairs_checked++;
+        if (At(b.begin, a.site) < a.installed_seq) {
+          Anomaly an{AnomalyKind::kLostUpdate, b.seq, ""};
+          an.detail = DescribeEvent(b) + " wrote " + key.ToString() +
+                      " with begin " + b.begin.ToString() +
+                      " concurrent with earlier writer " + DescribeEvent(a) +
+                      " (installed " + std::to_string(a.site) + ":" +
+                      std::to_string(a.installed_seq) + ")";
+          report.anomalies.push_back(std::move(an));
+        }
+      }
+    }
+  }
+
+  // ---- G1c: cycles in ww ∪ wr ---------------------------------------
+  // Nodes are committed transactions; u -> v when v depends on u (v read
+  // a version u installed, or v overwrote a key after u in install
+  // order). A cycle contradicts any serial install order.
+  {
+    std::unordered_map<size_t, size_t> node_of;  // event index -> node id
+    for (size_t n = 0; n < committed.size(); ++n) node_of[committed[n]] = n;
+    std::vector<std::vector<size_t>> out(committed.size());
+    std::vector<size_t> indegree(committed.size(), 0);
+    const auto add_edge = [&](size_t from, size_t to) {
+      if (from == to) return;
+      out[from].push_back(to);
+      indegree[to]++;
+    };
+    for (size_t n = 0; n < committed.size(); ++n) {
+      for (const history::ReadObservation& r : events[committed[n]].reads) {
+        if (r.origin == 0 && r.seq == 0) continue;
+        auto it = installers.find(pack(r.origin, r.seq));
+        if (it == installers.end()) continue;
+        auto w = node_of.find(it->second);
+        if (w != node_of.end()) add_edge(w->second, n);  // wr: writer -> reader
+      }
+    }
+    for (const auto& [key, writers] : writers_by_key) {
+      for (size_t i = 1; i < writers.size(); ++i) {  // ww: install-order chain
+        add_edge(node_of[writers[i - 1]], node_of[writers[i]]);
+      }
+    }
+    std::vector<size_t> queue;
+    for (size_t n = 0; n < committed.size(); ++n) {
+      if (indegree[n] == 0) queue.push_back(n);
+    }
+    size_t removed = 0;
+    while (!queue.empty()) {
+      const size_t n = queue.back();
+      queue.pop_back();
+      removed++;
+      for (size_t m : out[n]) {
+        if (--indegree[m] == 0) queue.push_back(m);
+      }
+    }
+    if (removed != committed.size()) {
+      std::ostringstream os;
+      os << (committed.size() - removed)
+         << " committed transactions form ww/wr dependency cycles; events:";
+      size_t listed = 0;
+      for (size_t n = 0; n < committed.size() && listed < 8; ++n) {
+        if (indegree[n] != 0) {
+          os << " #" << events[committed[n]].seq;
+          listed++;
+        }
+      }
+      report.anomalies.push_back(Anomaly{AnomalyKind::kG1cCycle, 0, os.str()});
+    }
+  }
+
+  // ---- Strong-session monotonicity (Eq. 1) --------------------------
+  // Per client, in issue order, every transaction's begin must dominate
+  // the session vector accumulated by the client's earlier transactions.
+  // 2PC branches share a client_txn: branches are checked against the
+  // session *before* the logical transaction, then folded together.
+  {
+    std::unordered_map<ClientId, std::vector<size_t>> by_client;
+    for (size_t i : committed) {
+      const HistoryEvent& e = events[i];
+      if (e.client_txn == 0) continue;  // sessionless
+      by_client[e.client].push_back(i);
+    }
+    for (auto& [client, idxs] : by_client) {
+      std::stable_sort(idxs.begin(), idxs.end(), [&](size_t a, size_t b) {
+        return events[a].client_txn < events[b].client_txn;
+      });
+      VersionVector session;
+      size_t i = 0;
+      while (i < idxs.size()) {
+        const uint64_t txn = events[idxs[i]].client_txn;
+        VersionVector after = session;
+        for (; i < idxs.size() && events[idxs[i]].client_txn == txn; ++i) {
+          const HistoryEvent& e = events[idxs[i]];
+          bool ok;
+          if (options.full_session_vectors) {
+            ok = e.begin.DominatesOrEquals(session);
+          } else {
+            // Masked sessions promise freshness only at the executing
+            // site's own index.
+            ok = At(e.begin, e.site) >= At(session, e.site);
+          }
+          if (!ok) {
+            Anomaly a{AnomalyKind::kSessionRegression, e.seq, ""};
+            a.detail = DescribeEvent(e) + " began at " + e.begin.ToString() +
+                       " below its session " + session.ToString();
+            report.anomalies.push_back(std::move(a));
+          }
+          after.MaxWith(e.commit);
+        }
+        session = std::move(after);
+      }
+    }
+  }
+
+  // ---- Remastering window (Algorithm 1 grant-side wait) -------------
+  // Between a grant at site S and S's next release of the partition,
+  // every writer of the partition committing at S must have begun at or
+  // above the grant's release vector — otherwise the new master accepted
+  // writes before catching up to the old master's final state.
+  {
+    std::map<std::pair<SiteId, PartitionId>, const HistoryEvent*> active;
+    for (const HistoryEvent& e : events) {
+      if (e.kind == EventKind::kGrant) {
+        for (PartitionId p : e.partitions) active[{e.site, p}] = &e;
+      } else if (e.kind == EventKind::kRelease) {
+        for (PartitionId p : e.partitions) active.erase({e.site, p});
+      } else if (e.kind == EventKind::kCommit) {
+        for (const history::WriteObservation& w : e.writes) {
+          auto it = active.find({e.site, w.partition});
+          if (it == active.end()) continue;
+          const HistoryEvent& g = *it->second;
+          if (!e.begin.DominatesOrEquals(g.release_version)) {
+            Anomaly a{AnomalyKind::kRemasterWindow, e.seq, ""};
+            a.detail = DescribeEvent(e) + " wrote partition " +
+                       std::to_string(w.partition) + " with begin " +
+                       e.begin.ToString() +
+                       " below the release vector of grant " +
+                       DescribeEvent(g) + " (" + g.release_version.ToString() +
+                       ")";
+            report.anomalies.push_back(std::move(a));
+            break;  // one finding per event is enough
+          }
+        }
+      }
+    }
+  }
+
+  return report;
+}
+
+}  // namespace dynamast::tools

@@ -1,0 +1,97 @@
+#ifndef DYNAMAST_TOOLS_SI_CHECKER_H_
+#define DYNAMAST_TOOLS_SI_CHECKER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/history.h"
+
+namespace dynamast::tools {
+
+/// Offline snapshot-isolation / strong-session auditor over the histories
+/// recorded by common/history (see DESIGN.md, "Schedule exploration &
+/// history auditing"). Given the full event log of a run, it checks the
+/// Adya-style anomaly classes the paper's correctness argument rules out:
+///
+///  * G1a (aborted read)      — a read observed a version no committed
+///                              transaction installed;
+///  * G1b (intermediate read) — a read observed an installed version slot
+///                              whose installer never wrote that key;
+///  * G1c (circularity)       — the ww ∪ wr dependency graph has a cycle;
+///  * future read             — a read observed a version newer than the
+///                              transaction's own begin snapshot allows;
+///  * P4 (lost update)        — two committed writers of the same key ran
+///                              concurrently (first-committer-wins broken);
+///  * session regression      — a client's transaction began below the
+///                              session vector accumulated by its earlier
+///                              transactions (Eq. 1 dominance violated);
+///  * remastering window      — a writer committed at a partition's new
+///                              master with a begin snapshot that does not
+///                              dominate the grant's release vector
+///                              (Algorithm 1's grant-side wait skipped).
+enum class AnomalyKind {
+  kG1aAbortedRead,
+  kG1bIntermediateRead,
+  kG1cCycle,
+  kFutureRead,
+  kLostUpdate,
+  kSessionRegression,
+  kRemasterWindow,
+};
+
+const char* AnomalyKindName(AnomalyKind kind);
+
+struct Anomaly {
+  AnomalyKind kind;
+  /// Recorder sequence of the offending event (0 for graph-level findings
+  /// that implicate a set of events, e.g. a G1c cycle).
+  uint64_t event_seq = 0;
+  std::string detail;
+
+  std::string ToString() const;
+};
+
+struct SiCheckerOptions {
+  /// Whether the system under audit maintains full-vector session
+  /// monotonicity (DynaMast, single-master, multi-master). Systems that
+  /// mask the session to the executing site's index (partition-store,
+  /// LEAP) only guarantee per-origin monotonicity: each transaction's
+  /// begin[s] >= session[s] at its own execution site s.
+  bool full_session_vectors = true;
+  /// Whether concurrent committed writers of one key on *different*
+  /// origin sites are an anomaly. True for every system with a
+  /// single-master-per-partition invariant; LEAP reinstalls shipped rows
+  /// as fresh (0, 0) base versions, so cross-origin write lineage is not
+  /// tracked and only same-origin conflicts are checkable.
+  bool cross_origin_ww = true;
+  /// Whether the history is complete (every committed installer was
+  /// recorded). When true, a read observing a version stamp that matches
+  /// no recorded committed installer is reported as G1a; when false
+  /// (partial dumps) such reads are skipped.
+  bool complete_history = true;
+};
+
+/// Per-system audit presets.
+SiCheckerOptions OptionsForSystem(const std::string& system_name);
+
+struct AuditReport {
+  std::vector<Anomaly> anomalies;
+  size_t commits = 0;
+  size_t aborts = 0;
+  size_t markers = 0;
+  size_t reads_checked = 0;
+  size_t write_pairs_checked = 0;
+
+  bool ok() const { return anomalies.empty(); }
+  std::string ToString() const;
+};
+
+/// Audits `events` (in recorder order — callers pass Recorder::Snapshot()
+/// or ParseHistory output verbatim) and returns every anomaly found.
+AuditReport AuditHistory(const std::vector<history::HistoryEvent>& events,
+                         const SiCheckerOptions& options = {});
+
+}  // namespace dynamast::tools
+
+#endif  // DYNAMAST_TOOLS_SI_CHECKER_H_

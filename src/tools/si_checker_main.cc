@@ -1,0 +1,90 @@
+// si_checker CLI: audits a history dump produced by
+// history::Recorder::DumpToFile (or anything in the same line format) and
+// exits non-zero if any snapshot-isolation / strong-session anomaly is
+// found. Typical use after a fuzzed test run:
+//
+//   si_checker --system=dynamast history.txt
+//   si_checker --no-full-sessions --no-cross-origin-ww leap_history.txt
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/history.h"
+#include "tools/si_checker.h"
+
+namespace {
+
+void Usage() {
+  std::cerr
+      << "usage: si_checker [options] <history-file>\n"
+         "  --system=NAME          preset for dynamast|single-master|\n"
+         "                         multi-master|partition-store|leap\n"
+         "  --no-full-sessions     per-origin session monotonicity only\n"
+         "  --no-cross-origin-ww   skip cross-site write-write conflicts\n"
+         "  --partial              history is incomplete; skip G1a\n"
+         "  -q                     print nothing on a clean audit\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dynamast::tools::SiCheckerOptions options;
+  std::string path;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--system=", 0) == 0) {
+      options = dynamast::tools::OptionsForSystem(arg.substr(9));
+    } else if (arg == "--no-full-sessions") {
+      options.full_session_vectors = false;
+    } else if (arg == "--no-cross-origin-ww") {
+      options.cross_origin_ww = false;
+    } else if (arg == "--partial") {
+      options.complete_history = false;
+    } else if (arg == "-q") {
+      quiet = true;
+    } else if (arg == "-h" || arg == "--help") {
+      Usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "si_checker: unknown option " << arg << "\n";
+      Usage();
+      return 2;
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      Usage();
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    Usage();
+    return 2;
+  }
+
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "si_checker: cannot open " << path << "\n";
+    return 2;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  std::vector<dynamast::history::HistoryEvent> events;
+  dynamast::Status parse =
+      dynamast::history::ParseHistory(buffer.str(), &events);
+  if (!parse.ok()) {
+    std::cerr << "si_checker: parse error: " << parse.ToString() << "\n";
+    return 2;
+  }
+
+  const dynamast::tools::AuditReport report =
+      dynamast::tools::AuditHistory(events, options);
+  if (!report.ok() || !quiet) {
+    std::cout << report.ToString();
+  }
+  return report.ok() ? 0 : 1;
+}

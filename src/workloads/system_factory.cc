@@ -40,6 +40,7 @@ core::Cluster::Options ClusterOptions(const DeploymentOptions& options) {
   cluster.site.read_op_cost = options.read_op_cost;
   cluster.site.write_op_cost = options.write_op_cost;
   cluster.site.apply_op_cost = options.apply_op_cost;
+  cluster.record_history = options.record_history;
   return cluster;
 }
 

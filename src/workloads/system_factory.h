@@ -44,6 +44,9 @@ struct DeploymentOptions {
   /// TPC-C passes TpccWorkload::WarehousePlacement.
   std::vector<SiteId> static_placement;
   uint64_t seed = 31;
+  /// Record per-transaction histories for the offline SI auditor
+  /// (tools/si_checker). Off in benchmarks.
+  bool record_history = false;
 };
 
 /// Builds one ready-to-load system of `kind` over `partitioner`.

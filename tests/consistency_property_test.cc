@@ -106,7 +106,9 @@ TEST_P(SiScheduleTest, EverySiteSnapshotConservesSum) {
           return Status::OK();
         };
         core::TxnResult result;
-        system.Execute(client, profile, logic, &result);
+        // Aborts/timeouts are expected under the storm; the auditors
+        // only care that committed state stays consistent.
+        (void)system.Execute(client, profile, logic, &result);
       }
     });
   }

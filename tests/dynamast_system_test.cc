@@ -130,7 +130,7 @@ TEST_F(DynaMastFixture, MonotonicReadsWithinSession) {
   std::thread write_thread([&] {
     while (!stop.load()) {
       TxnResult result;
-      Increment(writer, {7}, &result);
+      (void)Increment(writer, {7}, &result);
     }
   });
   uint64_t last = 0;

@@ -1,0 +1,258 @@
+// Schedule-exploring concurrency harness (tier 2): drives every system
+// through YCSB and SmallBank under the seedable schedule fuzzer
+// (common/scheduler) and audits each run's recorded history with
+// tools/si_checker. A failing seed is printed so the exact schedule bias
+// can be replayed with DYNAMAST_SCHED_SEED=<seed>.
+//
+// Environment knobs:
+//   DYNAMAST_SCHED_SEED   replay exactly one seed
+//   DYNAMAST_SCHED_SEEDS  number of seeds to explore (default 3; CI's
+//                         weekly job uses 50)
+//
+// In builds without -DDYNAMAST_SCHED_FUZZ=ON the sync-point hooks are
+// no-ops and this degenerates to a plain multi-seed audit (still useful;
+// the fuzzed configuration is what CI's weekly job runs).
+//
+// The DYNAMAST_BREAK_SI build proves the auditor has teeth: with the
+// grant-side version-vector wait compiled out, the remastering window
+// opens and the auditor must catch it.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/history.h"
+#include "common/partitioner.h"
+#include "common/scheduler.h"
+#include "core/cluster.h"
+#include "site/site_manager.h"
+#include "tools/si_checker.h"
+#include "workloads/driver.h"
+#include "workloads/smallbank.h"
+#include "workloads/system_factory.h"
+#include "workloads/ycsb.h"
+
+namespace dynamast {
+namespace {
+
+uint64_t EnvU64(const char* name, uint64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::strtoull(v, nullptr, 10);
+}
+
+std::vector<uint64_t> FuzzSeeds() {
+  if (const char* one = std::getenv("DYNAMAST_SCHED_SEED");
+      one != nullptr && *one != '\0') {
+    return {std::strtoull(one, nullptr, 10)};
+  }
+  const uint64_t n = EnvU64("DYNAMAST_SCHED_SEEDS", 3);
+  std::vector<uint64_t> seeds;
+  seeds.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) seeds.push_back(0x5eedULL + i * 7919);
+  return seeds;
+}
+
+workloads::DeploymentOptions FastDeployment(uint64_t seed) {
+  workloads::DeploymentOptions d;
+  d.num_sites = 3;
+  d.charge_network = false;
+  d.read_op_cost = d.write_op_cost = d.apply_op_cost =
+      std::chrono::microseconds(0);
+  d.record_history = true;
+  d.seed = seed;
+  return d;
+}
+
+enum class WorkloadKind { kYcsb, kSmallBank };
+
+std::unique_ptr<workloads::Workload> MakeWorkload(WorkloadKind kind,
+                                                  uint64_t seed) {
+  if (kind == WorkloadKind::kYcsb) {
+    workloads::YcsbWorkload::Options o;
+    o.num_keys = 1200;
+    o.keys_per_partition = 60;
+    o.value_size = 32;
+    o.rmw_pct = 80;  // scans dominate runtime otherwise
+    o.max_scan_partitions = 3;
+    o.affinity_txns = 40;
+    o.seed = seed;
+    return std::make_unique<workloads::YcsbWorkload>(o);
+  }
+  workloads::SmallBankWorkload::Options o;
+  o.num_accounts = 600;
+  o.accounts_per_partition = 30;
+  o.seed = seed;
+  return std::make_unique<workloads::SmallBankWorkload>(o);
+}
+
+// Runs one (system, workload, seed) combination under the schedule fuzzer
+// and audits its history. Any anomaly fails the test with the replay seed
+// and a dump of the offending history.
+void RunAndAudit(workloads::SystemKind kind, WorkloadKind wkind,
+                 uint64_t seed) {
+  sched::ScopedSeed fuzz(seed);
+  std::unique_ptr<workloads::Workload> workload = MakeWorkload(wkind, seed);
+  auto system =
+      workloads::MakeSystem(kind, FastDeployment(seed), workload->partitioner());
+  ASSERT_NE(system, nullptr);
+  ASSERT_TRUE(workload->Load(*system).ok());
+  system->Seal();
+
+  workloads::Driver::Options dro;
+  dro.num_clients = 4;
+  dro.warmup = std::chrono::milliseconds(0);
+  dro.measure = std::chrono::milliseconds(120);
+  dro.seed = seed;
+  const workloads::Driver::Report report =
+      workloads::Driver(dro).Run(*system, *workload);
+  system->Shutdown();
+
+  ASSERT_NE(system->history(), nullptr);
+  const std::vector<history::HistoryEvent> events =
+      system->history()->Snapshot();
+  const tools::AuditReport audit = tools::AuditHistory(
+      events, tools::OptionsForSystem(workloads::SystemKindName(kind)));
+
+  EXPECT_GT(report.committed, 0u)
+      << workloads::SystemKindName(kind) << " committed nothing (seed " << seed
+      << ", errors: " << report.errors << ")";
+  if (!audit.ok()) {
+    const std::string dump = ::testing::TempDir() + "schedule_explore_" +
+                             workloads::SystemKindName(kind) + "_" +
+                             std::to_string(seed) + ".history";
+    (void)system->history()->DumpToFile(dump);
+    FAIL() << workloads::SystemKindName(kind)
+           << " failed the SI audit; replay with DYNAMAST_SCHED_SEED=" << seed
+           << "; history dumped to " << dump << "\n"
+           << audit.ToString();
+  }
+}
+
+class ScheduleExploreTest
+    : public ::testing::TestWithParam<workloads::SystemKind> {};
+
+TEST_P(ScheduleExploreTest, YcsbHistoriesAuditClean) {
+  for (uint64_t seed : FuzzSeeds()) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    RunAndAudit(GetParam(), WorkloadKind::kYcsb, seed);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST_P(ScheduleExploreTest, SmallBankHistoriesAuditClean) {
+  for (uint64_t seed : FuzzSeeds()) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    RunAndAudit(GetParam(), WorkloadKind::kSmallBank, seed);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSystems, ScheduleExploreTest,
+    ::testing::ValuesIn(workloads::AllSystems()),
+    [](const ::testing::TestParamInfo<workloads::SystemKind>& info) {
+      std::string name = workloads::SystemKindName(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(ScheduleFuzzerTest, SyncPointsFireWhenEnabled) {
+#if !DYNAMAST_SCHED_FUZZ_ENABLED
+  GTEST_SKIP() << "built without DYNAMAST_SCHED_FUZZ";
+#else
+  const uint64_t before = sched::PointCount();
+  sched::ScopedSeed fuzz(12345);
+  RangePartitioner partitioner(10, 2);
+  core::Cluster::Options copts;
+  copts.num_sites = 2;
+  copts.network.charge_delays = false;
+  core::Cluster cluster(copts, &partitioner);
+  ASSERT_TRUE(cluster.CreateTable(0).ok());
+  cluster.Stop();
+  EXPECT_GT(sched::PointCount(), before)
+      << "mutex hooks should hit the scheduler while fuzzing is enabled";
+#endif
+}
+
+// ---- Anomaly-injection proof (DYNAMAST_BREAK_SI builds only) ---------
+
+TEST(BreakSiProofTest, AuditorCatchesSkippedGrantWait) {
+#if !defined(DYNAMAST_BREAK_SI) || !DYNAMAST_BREAK_SI
+  GTEST_SKIP() << "built without DYNAMAST_BREAK_SI";
+#else
+  // Two sites, no refresh appliers: site 1 can never catch up to site 0,
+  // so a correct Grant would block on the release vector. The BREAK_SI
+  // build skips that wait, letting site 1 accept a writer whose begin
+  // snapshot predates the old master's final state — a lost update the
+  // auditor must catch, attributed to the remastering window.
+  bool caught_window = false, caught_lost_update = false;
+  for (uint64_t seed : FuzzSeeds()) {
+    sched::ScopedSeed fuzz(seed);
+    RangePartitioner partitioner(10, 2);
+    log::LogManager logs(2);
+    history::Recorder recorder;
+    site::SiteOptions so;
+    so.read_op_cost = so.write_op_cost = so.apply_op_cost =
+        std::chrono::microseconds(0);
+    so.num_sites = 2;
+    so.site_id = 0;
+    site::SiteManager site0(so, &partitioner, &logs, nullptr, &recorder);
+    so.site_id = 1;
+    site::SiteManager site1(so, &partitioner, &logs, nullptr, &recorder);
+    const RecordKey key{0, 5};
+    for (site::SiteManager* s : {&site0, &site1}) {
+      ASSERT_TRUE(s->CreateTable(0).ok());
+      ASSERT_TRUE(s->LoadRecord(key, "base").ok());
+    }
+    site0.SetMasterOf(0, true);
+
+    site::TxnOptions to;
+    to.write_keys = {key};
+    to.client = 1;
+    to.client_txn = 1;
+    site::Transaction t1;
+    ASSERT_TRUE(site0.BeginTransaction(to, &t1).ok());
+    ASSERT_TRUE(t1.Put(key, "from-old-master").ok());
+    VersionVector cv;
+    ASSERT_TRUE(site0.Commit(&t1, &cv).ok());
+
+    VersionVector release_version, grant_version;
+    ASSERT_TRUE(site0.Release({0}, 1, &release_version).ok());
+    // Would block forever in a correct build (no appliers); BREAK_SI
+    // returns immediately with site 1 still at [0, 0].
+    ASSERT_TRUE(
+        site1.Grant({0}, 0, release_version, &grant_version).ok());
+
+    to.client = 2;
+    site::Transaction t2;
+    ASSERT_TRUE(site1.BeginTransaction(to, &t2).ok());
+    ASSERT_TRUE(t2.Put(key, "from-new-master").ok());
+    ASSERT_TRUE(site1.Commit(&t2, &cv).ok());
+
+    const tools::AuditReport audit =
+        tools::AuditHistory(recorder.Snapshot());
+    ASSERT_FALSE(audit.ok())
+        << "seed " << seed
+        << ": auditor missed the injected SI break (replay with "
+           "DYNAMAST_SCHED_SEED="
+        << seed << ")";
+    for (const tools::Anomaly& a : audit.anomalies) {
+      if (a.kind == tools::AnomalyKind::kRemasterWindow) caught_window = true;
+      if (a.kind == tools::AnomalyKind::kLostUpdate) caught_lost_update = true;
+    }
+    logs.CloseAll();
+  }
+  EXPECT_TRUE(caught_window);
+  EXPECT_TRUE(caught_lost_update);
+#endif
+}
+
+}  // namespace
+}  // namespace dynamast

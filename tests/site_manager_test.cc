@@ -316,7 +316,7 @@ TEST_F(SiteFixture, ReleaseBlocksNewWritersImmediately) {
 
   std::thread releaser([&] {
     VersionVector vv;
-    sites_[0]->Release({0}, 1, &vv);
+    (void)sites_[0]->Release({0}, 1, &vv);
   });
   std::this_thread::sleep_for(std::chrono::milliseconds(20));
 
