@@ -18,6 +18,16 @@
 //   --slots=N       worker slots per site             (default 4)
 //   --systems=a,b   comma-separated subset of systems (default: all)
 //   --seed=N        RNG seed                          (default 31)
+//   --metrics-out=F append one machine-readable JSON row per (system,
+//                   point) to F: bench/config identity, the driver report
+//                   and a full metrics-registry snapshot (the registry is
+//                   reset before each run so a row covers exactly one run)
+//   --trace-out=F   enable per-transaction tracing and write a Chrome
+//                   trace-event JSON file (load in Perfetto); each run's
+//                   spans get their own pid lane group
+//   --history-out=F enable history recording and dump each run's event
+//                   log to F (last run wins — combine with --systems=<one>
+//                   to audit it: si_checker --metrics=<metrics row> F)
 
 #include <chrono>
 #include <cstdio>
@@ -29,6 +39,8 @@
 #include <vector>
 
 #include "common/latency_recorder.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "workloads/driver.h"
 #include "workloads/system_factory.h"
 #include "workloads/workload.h"
@@ -48,7 +60,31 @@ struct BenchConfig {
   uint32_t slots = 4;
   uint64_t seed = 31;
   std::vector<workloads::SystemKind> systems = workloads::AllSystems();
+  /// When non-empty, RunOne appends one JSON row per run to this file.
+  std::string metrics_out;
+  /// When non-empty, RunOne enables tracing and (re)writes this Chrome
+  /// trace-event file after every run.
+  std::string trace_out;
+  /// When non-empty, RunOne records history and dumps it here (each run
+  /// overwrites the file, so the dump always covers one coherent run).
+  std::string history_out;
 };
+
+// Telemetry surface state shared by the inline harness functions
+// (benchmark binaries are single-threaded drivers of RunOne).
+namespace internal {
+inline const BenchConfig* g_config = nullptr;
+inline std::string g_bench_title = "bench";
+inline std::string g_point;
+inline bool g_metrics_file_started = false;
+inline std::vector<trace::TraceEvent> g_trace_events;
+inline std::map<uint32_t, std::string> g_trace_names;
+inline uint32_t g_trace_runs = 0;
+}  // namespace internal
+
+/// Labels the current measurement point (e.g. "theta=0.95" or
+/// "clients=64") for the metrics/trace output of subsequent RunOne calls.
+inline void SetPoint(const std::string& label) { internal::g_point = label; }
 
 inline workloads::SystemKind ParseSystem(const std::string& name) {
   for (workloads::SystemKind kind : workloads::AllSystems()) {
@@ -89,6 +125,12 @@ inline void ParseFlags(int argc, char** argv, BenchConfig* config) {
       config->slots = static_cast<uint32_t>(std::atoi(v));
     } else if (const char* v = value("--seed=")) {
       config->seed = static_cast<uint64_t>(std::atoll(v));
+    } else if (const char* v = value("--metrics-out=")) {
+      config->metrics_out = v;
+    } else if (const char* v = value("--trace-out=")) {
+      config->trace_out = v;
+    } else if (const char* v = value("--history-out=")) {
+      config->history_out = v;
     } else if (const char* v = value("--systems=")) {
       config->systems.clear();
       std::string list = v;
@@ -108,6 +150,9 @@ inline void ParseFlags(int argc, char** argv, BenchConfig* config) {
       std::exit(2);
     }
   }
+  // RunOne reads the telemetry flags through this pointer so existing
+  // bench mains need no signature changes.
+  internal::g_config = config;
 }
 
 inline workloads::DeploymentOptions Deployment(const BenchConfig& config) {
@@ -142,13 +187,129 @@ struct RunResult {
   std::unique_ptr<core::SystemInterface> system;
 };
 
+namespace internal {
+
+/// One JSON row: bench/point/system identity, deployment config, driver
+/// report, and a full snapshot of the process-global metrics registry.
+inline void AppendMetricsRow(const BenchConfig& config,
+                             const std::string& system_name,
+                             const workloads::Driver::Report& report) {
+  std::FILE* f = std::fopen(config.metrics_out.c_str(),
+                            g_metrics_file_started ? "a" : "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", config.metrics_out.c_str());
+    std::exit(1);
+  }
+  g_metrics_file_started = true;
+  std::string row = "{\"bench\":\"" + metrics::JsonEscape(g_bench_title) +
+                    "\",\"point\":\"" + metrics::JsonEscape(g_point) +
+                    "\",\"system\":\"" + metrics::JsonEscape(system_name) +
+                    "\",";
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "\"config\":{\"sites\":%u,\"clients\":%u,\"seconds\":%g,"
+                "\"warmup\":%g,\"scale\":%g,\"latency_us\":%u,\"read_us\":%u,"
+                "\"write_us\":%u,\"apply_us\":%u,\"slots\":%u,\"seed\":%llu},",
+                config.sites, config.clients, config.seconds, config.warmup,
+                config.scale, config.latency_us, config.read_us,
+                config.write_us, config.apply_us, config.slots,
+                static_cast<unsigned long long>(config.seed));
+  row += buf;
+  std::snprintf(buf, sizeof(buf),
+                "\"report\":{\"committed\":%llu,\"errors\":%llu,"
+                "\"seconds\":%g,\"throughput\":%g,\"remastered_txns\":%llu,"
+                "\"distributed_txns\":%llu,\"retries\":%llu,",
+                static_cast<unsigned long long>(report.committed),
+                static_cast<unsigned long long>(report.errors),
+                report.seconds, report.Throughput(),
+                static_cast<unsigned long long>(report.remastered_txns),
+                static_cast<unsigned long long>(report.distributed_txns),
+                static_cast<unsigned long long>(report.retries));
+  row += buf;
+  row += "\"aborted_by_reason\":{";
+  bool first = true;
+  for (const auto& [reason, count] : report.aborted_by_reason) {
+    if (!first) row += ",";
+    first = false;
+    row += "\"" + metrics::JsonEscape(reason) +
+           "\":" + std::to_string(count);
+  }
+  row += "},\"committed_by_type\":{";
+  first = true;
+  for (const auto& [type, count] : report.committed_by_type) {
+    if (!first) row += ",";
+    first = false;
+    row += "\"" + metrics::JsonEscape(type) + "\":" + std::to_string(count);
+  }
+  row += "}},\"metrics\":" + metrics::Registry::Global().SnapshotJson() + "}\n";
+  std::fputs(row.c_str(), f);
+  std::fclose(f);
+}
+
+/// Folds one run's spans into the accumulated trace and rewrites the
+/// whole file: each run gets a pid block of its own (offset 100 per run)
+/// so lanes from different (system, point) runs do not collide.
+inline void AppendTraceRun(const BenchConfig& config,
+                           const std::string& system_name,
+                           trace::Tracer& tracer) {
+  const uint32_t offset = g_trace_runs * 100;
+  ++g_trace_runs;
+  const std::string prefix =
+      system_name + (g_point.empty() ? "" : "/" + g_point) + "/";
+  for (const auto& [pid, name] : tracer.process_names()) {
+    g_trace_names[pid + offset] = prefix + name;
+  }
+  for (trace::TraceEvent event : tracer.Snapshot()) {
+    event.pid += offset;
+    g_trace_events.push_back(std::move(event));
+  }
+  std::FILE* f = std::fopen(config.trace_out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", config.trace_out.c_str());
+    std::exit(1);
+  }
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& [pid, name] : g_trace_names) {
+    if (!first) out += ",";
+    first = false;
+    out += trace::ProcessNameEvent(pid, name).ToJson();
+  }
+  for (const trace::TraceEvent& event : g_trace_events) {
+    if (!first) out += ",";
+    first = false;
+    out += event.ToJson();
+  }
+  out += "]}\n";
+  std::fputs(out.c_str(), f);
+  std::fclose(f);
+}
+
+}  // namespace internal
+
 inline RunResult RunOne(workloads::SystemKind kind,
                         const workloads::DeploymentOptions& deployment,
                         workloads::Workload& workload,
                         const workloads::Driver::Options& driver_options) {
+  const BenchConfig* config = internal::g_config;
+  const bool metrics_on = config != nullptr && !config->metrics_out.empty();
+  const bool trace_on = config != nullptr && !config->trace_out.empty();
+  const bool history_on = config != nullptr && !config->history_out.empty();
+
+  workloads::DeploymentOptions effective_deployment = deployment;
+  if (trace_on) effective_deployment.trace = true;
+  if (history_on) effective_deployment.record_history = true;
+  workloads::Driver::Options effective_driver = driver_options;
+  if (metrics_on) {
+    // One registry snapshot per run: zero every series the process has
+    // registered so the emitted row covers exactly this run.
+    metrics::Registry::Global().ResetValues();
+    effective_driver.metrics = &metrics::Registry::Global();
+  }
+
   RunResult result;
-  result.system =
-      workloads::MakeSystem(kind, deployment, workload.partitioner());
+  result.system = workloads::MakeSystem(kind, effective_deployment,
+                                        workload.partitioner());
   Status s = workload.Load(*result.system);
   if (!s.ok()) {
     std::fprintf(stderr, "load failed for %s: %s\n", result.system->name().c_str(),
@@ -156,12 +317,28 @@ inline RunResult RunOne(workloads::SystemKind kind,
     std::exit(1);
   }
   result.system->Seal();
-  workloads::Driver driver(driver_options);
+  workloads::Driver driver(effective_driver);
   result.report = driver.Run(*result.system, workload);
+  if (metrics_on) {
+    internal::AppendMetricsRow(*config, result.system->name(), result.report);
+  }
+  if (trace_on && result.system->tracer() != nullptr) {
+    internal::AppendTraceRun(*config, result.system->name(),
+                             *result.system->tracer());
+  }
+  if (history_on && result.system->history() != nullptr) {
+    Status dump = result.system->history()->DumpToFile(config->history_out);
+    if (!dump.ok()) {
+      std::fprintf(stderr, "history dump failed: %s\n",
+                   dump.ToString().c_str());
+      std::exit(1);
+    }
+  }
   return result;
 }
 
 inline void PrintHeader(const char* title, const BenchConfig& config) {
+  internal::g_bench_title = title;
   std::printf("=== %s ===\n", title);
   std::printf(
       "sites=%u clients=%u measure=%.1fs warmup=%.1fs scale=%.2f "

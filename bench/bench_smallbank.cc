@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
 
   std::printf("%-16s %14s %10s %12s\n", "system", "tput(txn/s)", "errors",
               "remaster/2pc");
+  SetPoint("smallbank");
   for (SystemKind kind : config.systems) {
     SmallBankWorkload::Options wopts;
     wopts.num_accounts = static_cast<uint64_t>(100000 * config.scale);

@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
               "errors");
   for (SystemKind kind : config.systems) {
     for (uint32_t pct : new_order_pcts) {
+      SetPoint("neworder=" + std::to_string(pct));
       TpccWorkload::Options wopts;
       wopts.num_warehouses = config.sites;
       wopts.num_items = static_cast<uint32_t>(1000 * config.scale);

@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
 
   std::printf("%-16s %14s %10s %12s\n", "system", "tput(txn/s)", "errors",
               "remaster/2pc");
+  SetPoint("zipf0.75");
   for (SystemKind kind : config.systems) {
     YcsbWorkload::Options wopts;
     wopts.num_keys = static_cast<uint64_t>(100000 * config.scale);

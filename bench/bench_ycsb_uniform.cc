@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
               "errors", "remaster/2pc");
   for (SystemKind kind : config.systems) {
     for (uint32_t clients : client_counts) {
+      SetPoint("clients=" + std::to_string(clients));
       YcsbWorkload::Options wopts;
       wopts.num_keys = static_cast<uint64_t>(100000 * config.scale);
       wopts.rmw_pct = 50;

@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
 
   std::printf("%-16s %14s %10s %12s\n", "system", "tput(txn/s)", "errors",
               "remaster/2pc");
+  SetPoint("rmw90");
   for (SystemKind kind : config.systems) {
     YcsbWorkload::Options wopts;
     wopts.num_keys = static_cast<uint64_t>(100000 * config.scale);

@@ -13,6 +13,11 @@
 #                tools/si_checker (tier2 schedule_explore_test)
 #   break-si     deliberately broken grant wait; proves the auditor
 #                detects the anomaly class (BreakSiProofTest)
+#   observability  short bench run with --metrics-out/--trace-out/
+#                --history-out; jq-validates the JSON schemas (remaster
+#                counts, refresh-delay histogram, routing-explain factor
+#                sums, correlated trace spans) and reconciles metrics
+#                against the history via si_checker --metrics
 #
 # Every stage runs even if an earlier one failed; the summary table at the
 # end shows PASS/FAIL/SKIP per stage and the exit code propagates any
@@ -24,6 +29,9 @@
 #   JOBS=<n>         parallel build jobs (default: nproc)
 #   SKIP_ASAN=1      skip the asan-ubsan stage
 #   SKIP_TSAN=1      skip the tsan stage (TSan doubles the wall time)
+#   SKIP_OBS=1       skip the observability stage
+#   OBS_OUT=<dir>    where the observability stage writes its artifacts
+#                    (default: build/observability; CI uploads this)
 #   SKIP_FUZZ=1      skip the sched-fuzz and break-si stages
 #   FUZZ_SEEDS=<n>   seeds per fuzzed test (default 5; CI weekly uses 50)
 #   DYNAMAST_SCHED_SEED=<s>  replay one failing schedule seed exactly
@@ -77,7 +85,70 @@ else
   record "tier1+tier2" SKIP "build failed"
 fi
 
-# 3. clang-tidy -------------------------------------------------------------
+# 3. Observability surface --------------------------------------------------
+# A short real bench run must produce schema-valid, self-consistent
+# telemetry: nonzero remaster counts, a populated refresh-delay histogram,
+# per-factor routing-explain sums, a Chrome trace whose route spans
+# correlate with execute/commit spans, and metrics that reconcile exactly
+# with the run's history (si_checker --metrics).
+observability_stage() {
+  local out="${OBS_OUT:-build/observability}"
+  mkdir -p "$out"
+  local m="$out/metrics.json" t="$out/trace.json" h="$out/history.txt"
+  rm -f "$m" "$t" "$h"
+  if ! ./build/bench/bench_ycsb_skew --seconds=0.5 --warmup=0.3 --clients=8 \
+       --scale=0.1 --systems=dynamast \
+       --metrics-out="$m" --trace-out="$t" --history-out="$h"; then
+    echo "check.sh: observability bench run failed" >&2
+    return 1
+  fi
+  # Metrics row schema + the signals the dashboards need.
+  jq -e '
+    .system == "dynamast" and
+    (.report.committed > 0) and
+    ([.metrics.metrics[] | select(.name == "selector_remaster_total")
+       | .series[].value] | add > 0) and
+    ([.metrics.metrics[] | select(.name == "site_refresh_delay_us")
+       | .series[].count] | add > 0) and
+    ([.metrics.metrics[] | select(.name == "routing_explain_factor_sum")
+       | .series[].labels.factor] | sort
+       == ["balance", "delay", "inter", "intra"])
+  ' "$m" > /dev/null || {
+    echo "check.sh: metrics JSON failed schema validation" >&2
+    return 1
+  }
+  # Trace schema: a remastered transaction's route span must correlate
+  # (via the txn arg) with execute and commit spans.
+  jq -e '
+    ([.traceEvents[] | select(.name == "route" and .args.remastered == "1")
+       | .args.txn][0]) as $txn
+    | ($txn != null) and
+      ([.traceEvents[] | select(.args.txn == $txn) | .name]
+        | (contains(["execute"]) and contains(["commit"])))
+  ' "$t" > /dev/null || {
+    echo "check.sh: trace JSON lacks a correlated remastered txn" >&2
+    return 1
+  }
+  # Cross-plane reconciliation, through the CLI.
+  ./build/src/tools/si_checker --system=dynamast --metrics="$m" "$h"
+}
+
+if [[ "${SKIP_OBS:-0}" == "1" ]]; then
+  record observability SKIP "SKIP_OBS=1"
+elif ! command -v jq >/dev/null 2>&1; then
+  record observability SKIP "jq not installed"
+elif [[ ! -x build/bench/bench_ycsb_skew ]]; then
+  record observability SKIP "build failed"
+else
+  step "observability"
+  if observability_stage; then
+    record observability PASS
+  else
+    record observability FAIL
+  fi
+fi
+
+# 4. clang-tidy -------------------------------------------------------------
 step "clang-tidy"
 if command -v clang-tidy >/dev/null 2>&1; then
   mapfile -t tidy_files < <(git ls-files 'src/*.cc')
@@ -91,7 +162,7 @@ else
   record clang-tidy SKIP "clang-tidy not installed"
 fi
 
-# 4. Sanitizer configurations ----------------------------------------------
+# 5. Sanitizer configurations ----------------------------------------------
 sanitizer_stage() {  # sanitizer_stage <preset>
   local preset="$1"
   step "$preset build (tests only)"
@@ -115,7 +186,7 @@ else
   record tsan SKIP "SKIP_TSAN=1"
 fi
 
-# 5. Schedule exploration + SI audit ---------------------------------------
+# 6. Schedule exploration + SI audit ---------------------------------------
 if [[ "${SKIP_FUZZ:-0}" != "1" ]]; then
   step "sched-fuzz build (tests only)"
   if cmake --preset sched-fuzz &&

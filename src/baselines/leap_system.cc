@@ -224,7 +224,7 @@ Status LeapSystem::Execute(core::ClientState& client,
     core::SiteTxnContext context(site, &txn);
     s = logic(context);
     if (!s.ok()) {
-      site->Abort(&txn);
+      site->Abort(&txn, s);
       return s;
     }
     VersionVector commit_version;

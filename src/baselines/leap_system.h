@@ -50,6 +50,7 @@ class LeapSystem final : public core::SystemInterface {
                  core::TxnResult* result) override;
   void Shutdown() override;
   history::Recorder* history() override { return cluster_.history(); }
+  trace::Tracer* tracer() override { return cluster_.tracer(); }
 
   core::Cluster& cluster() { return cluster_; }
 

@@ -256,7 +256,7 @@ Status PartitionedSystem::ExecuteLocalWrite(core::ClientState& client,
   core::SiteTxnContext context(site, &txn);
   s = logic(context);
   if (!s.ok()) {
-    site->Abort(&txn);
+    site->Abort(&txn, s);
     return s;
   }
   VersionVector commit_version;
@@ -399,7 +399,7 @@ Status PartitionedSystem::ExecuteRead(core::ClientState& client,
     core::SiteTxnContext context(site, &txn);
     s = logic(context);
     if (!s.ok()) {
-      site->Abort(&txn);
+      site->Abort(&txn, s);
       return s;
     }
     VersionVector commit_version;

@@ -84,6 +84,7 @@ class PartitionedSystem final : public core::SystemInterface {
                  core::TxnResult* result) override;
   void Shutdown() override;
   history::Recorder* history() override { return cluster_.history(); }
+  trace::Tracer* tracer() override { return cluster_.tracer(); }
 
   core::Cluster& cluster() { return cluster_; }
 

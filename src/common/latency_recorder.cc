@@ -65,10 +65,15 @@ double LatencyRecorder::PercentileMicros(double q) const {
   for (size_t i = 0; i < kNumBuckets; ++i) {
     seen += buckets_[i];
     if (static_cast<double>(seen) >= target) {
-      // Midpoint of the bucket as the estimate.
+      // Midpoint of the bucket as the estimate, clamped so the last
+      // (overflow) bucket reports the true observed maximum instead of its
+      // geometric lower bound — otherwise tail percentiles that land in it
+      // are understated by an unbounded factor.
       const double lo = BucketLowerBound(i);
-      const double hi = BucketLowerBound(i + 1);
-      return (lo + hi) / 2.0;
+      const double hi = std::min(BucketLowerBound(i + 1),
+                                 static_cast<double>(max_));
+      return i == kNumBuckets - 1 ? static_cast<double>(max_)
+                                  : std::max((lo + hi) / 2.0, lo);
     }
   }
   return static_cast<double>(max_);
@@ -90,11 +95,25 @@ void LatencyRecorder::Reset() {
 std::string LatencyRecorder::Summary() const {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
-                "avg=%.2fms p50=%.2fms p90=%.2fms p99=%.2fms max=%.2fms n=%llu",
+                "avg=%.2fms p50=%.2fms p90=%.2fms p99=%.2fms p99.9=%.2fms "
+                "max=%.2fms n=%llu",
                 MeanMicros() / 1000.0, PercentileMicros(0.5) / 1000.0,
                 PercentileMicros(0.9) / 1000.0, PercentileMicros(0.99) / 1000.0,
+                PercentileMicros(0.999) / 1000.0,
                 static_cast<double>(MaxMicros()) / 1000.0,
                 static_cast<unsigned long long>(count()));
+  return std::string(buf);
+}
+
+std::string LatencyRecorder::SnapshotJson() const {
+  char buf[320];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"count\":%llu,\"mean_us\":%.3f,\"p50_us\":%.3f,\"p90_us\":%.3f,"
+      "\"p99_us\":%.3f,\"p999_us\":%.3f,\"max_us\":%llu}",
+      static_cast<unsigned long long>(count()), MeanMicros(),
+      PercentileMicros(0.5), PercentileMicros(0.9), PercentileMicros(0.99),
+      PercentileMicros(0.999), static_cast<unsigned long long>(MaxMicros()));
   return std::string(buf);
 }
 

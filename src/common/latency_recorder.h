@@ -35,8 +35,13 @@ class LatencyRecorder {
 
   void Reset();
 
-  /// Renders "avg=1.23ms p50=... p90=... p99=... max=...".
+  /// Renders "avg=1.23ms p50=... p90=... p99=... p99.9=... max=...".
   std::string Summary() const;
+
+  /// JSON object with count/mean_us/p50_us/p90_us/p99_us/p999_us/max_us,
+  /// the histogram encoding of the metrics exporter
+  /// (metrics::Registry::SnapshotJson).
+  std::string SnapshotJson() const;
 
  private:
   static constexpr size_t kNumBuckets = 512;

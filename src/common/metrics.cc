@@ -1,0 +1,273 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+namespace dynamast::metrics {
+
+uint64_t NowMicros() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch)
+          .count());
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+size_t Counter::ShardIndex() {
+  static std::atomic<size_t> next_shard{0};
+  thread_local const size_t index =
+      next_shard.fetch_add(1, std::memory_order_relaxed) % kNumShards;
+  return index;
+}
+
+uint64_t Gauge::ToBits(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double Gauge::FromBits(uint64_t bits) {
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+namespace {
+
+// Canonical series key: labels sorted by key, JSON-ish encoding so distinct
+// label sets never collide.
+std::string LabelKey(const Labels& labels) {
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string key;
+  for (const auto& [k, v] : sorted) {
+    key += '"';
+    key += JsonEscape(k);
+    key += "\":\"";
+    key += JsonEscape(v);
+    key += "\",";
+  }
+  if (!key.empty()) key.pop_back();
+  return key;
+}
+
+const char* TypeName(Registry::Type type) {
+  switch (type) {
+    case Registry::Type::kCounter:
+      return "counter";
+    case Registry::Type::kGauge:
+      return "gauge";
+    case Registry::Type::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+// Formats a double with enough precision for counters-in-gauges while
+// avoiding exponent noise for typical values.
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return std::string(buf);
+}
+
+}  // namespace
+
+Registry& Registry::Global() {
+  static Registry* global = new Registry();
+  return *global;
+}
+
+Registry::Series* Registry::GetSeries(const std::string& name,
+                                      const Labels& labels, Type type) {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto [family_it, inserted] = families_.try_emplace(name);
+  Family& family = family_it->second;
+  if (inserted) {
+    family.type = type;
+  } else if (family.type != type) {
+    return nullptr;  // type mismatch -> scrap
+  }
+  const std::string key = LabelKey(labels);
+  auto series_it = family.series.find(key);
+  if (series_it == family.series.end()) {
+    if (family.series.size() >= kMaxSeriesPerFamily) {
+      return nullptr;  // cardinality overflow -> scrap
+    }
+    series_it = family.series.emplace(key, Series{}).first;
+    Series& series = series_it->second;
+    series.labels = labels;
+    std::sort(series.labels.begin(), series.labels.end());
+    switch (type) {
+      case Type::kCounter:
+        series.counter = std::make_unique<Counter>();
+        break;
+      case Type::kGauge:
+        series.gauge = std::make_unique<Gauge>();
+        break;
+      case Type::kHistogram:
+        series.histogram = std::make_unique<Histogram>();
+        break;
+    }
+  }
+  return &series_it->second;
+}
+
+const Registry::Series* Registry::FindSeries(const std::string& name,
+                                             const Labels& labels,
+                                             Type type) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto family_it = families_.find(name);
+  if (family_it == families_.end() || family_it->second.type != type) {
+    return nullptr;
+  }
+  auto series_it = family_it->second.series.find(LabelKey(labels));
+  if (series_it == family_it->second.series.end()) return nullptr;
+  return &series_it->second;
+}
+
+Counter* Registry::GetCounter(const std::string& name, const Labels& labels) {
+  Series* series = GetSeries(name, labels, Type::kCounter);
+  return series != nullptr ? series->counter.get() : &scrap_counter_;
+}
+
+Gauge* Registry::GetGauge(const std::string& name, const Labels& labels) {
+  Series* series = GetSeries(name, labels, Type::kGauge);
+  return series != nullptr ? series->gauge.get() : &scrap_gauge_;
+}
+
+Histogram* Registry::GetHistogram(const std::string& name,
+                                  const Labels& labels) {
+  Series* series = GetSeries(name, labels, Type::kHistogram);
+  return series != nullptr ? series->histogram.get() : &scrap_histogram_;
+}
+
+void Registry::ResetValues() {
+  std::lock_guard<std::mutex> guard(mu_);
+  for (auto& [name, family] : families_) {
+    for (auto& [key, series] : family.series) {
+      if (series.counter) series.counter->Reset();
+      if (series.gauge) series.gauge->Reset();
+      if (series.histogram) series.histogram->Reset();
+    }
+  }
+  scrap_counter_.Reset();
+  scrap_gauge_.Reset();
+  scrap_histogram_.Reset();
+}
+
+size_t Registry::NumSeries() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  size_t total = 0;
+  for (const auto& [name, family] : families_) total += family.series.size();
+  return total;
+}
+
+size_t Registry::NumSeries(const std::string& name) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = families_.find(name);
+  return it == families_.end() ? 0 : it->second.series.size();
+}
+
+uint64_t Registry::CounterValue(const std::string& name,
+                                const Labels& labels) const {
+  const Series* series = FindSeries(name, labels, Type::kCounter);
+  return series != nullptr ? series->counter->Value() : 0;
+}
+
+double Registry::GaugeValue(const std::string& name,
+                            const Labels& labels) const {
+  const Series* series = FindSeries(name, labels, Type::kGauge);
+  return series != nullptr ? series->gauge->Value() : 0.0;
+}
+
+std::string Registry::SnapshotJson() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  std::string out = "{\"metrics\":[";
+  bool first_family = true;
+  for (const auto& [name, family] : families_) {
+    if (!first_family) out += ',';
+    first_family = false;
+    out += "{\"name\":\"";
+    out += JsonEscape(name);
+    out += "\",\"type\":\"";
+    out += TypeName(family.type);
+    out += "\",\"series\":[";
+    bool first_series = true;
+    for (const auto& [key, series] : family.series) {
+      if (!first_series) out += ',';
+      first_series = false;
+      out += "{\"labels\":{";
+      bool first_label = true;
+      for (const auto& [k, v] : series.labels) {
+        if (!first_label) out += ',';
+        first_label = false;
+        out += '"';
+        out += JsonEscape(k);
+        out += "\":\"";
+        out += JsonEscape(v);
+        out += '"';
+      }
+      out += '}';
+      switch (family.type) {
+        case Type::kCounter:
+          out += ",\"value\":";
+          out += std::to_string(series.counter->Value());
+          break;
+        case Type::kGauge:
+          out += ",\"value\":";
+          out += FormatDouble(series.gauge->Value());
+          break;
+        case Type::kHistogram: {
+          // Splice the recorder's own JSON object body in at this level.
+          const std::string hist = series.histogram->recorder().SnapshotJson();
+          out += ',';
+          out += hist.substr(1, hist.size() - 2);
+          break;
+        }
+      }
+      out += '}';
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace dynamast::metrics

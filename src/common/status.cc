@@ -2,9 +2,7 @@
 
 namespace dynamast {
 
-namespace {
-
-const char* CodeName(Status::Code code) {
+const char* StatusCodeName(Status::Code code) {
   switch (code) {
     case Status::Code::kOk:
       return "OK";
@@ -32,11 +30,9 @@ const char* CodeName(Status::Code code) {
   return "Unknown";
 }
 
-}  // namespace
-
 std::string Status::ToString() const {
   if (ok()) return "OK";
-  std::string out = CodeName(code_);
+  std::string out = StatusCodeName(code_);
   if (!message_.empty()) {
     out += ": ";
     out += message_;

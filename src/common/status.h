@@ -102,6 +102,10 @@ class [[nodiscard]] Status {
   std::string message_;
 };
 
+/// Stable code name ("Aborted", "TimedOut", ...) — the label vocabulary of
+/// the abort-reason taxonomy metrics (site_aborts_total{reason=...}).
+const char* StatusCodeName(Status::Code code);
+
 }  // namespace dynamast
 
 #endif  // DYNAMAST_COMMON_STATUS_H_

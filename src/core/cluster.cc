@@ -1,21 +1,35 @@
 #include "core/cluster.h"
 
+#include <string>
+
 namespace dynamast::core {
 
 Cluster::Cluster(const Options& options, const Partitioner* partitioner)
     : options_(options),
       partitioner_(partitioner),
       network_(options.network),
-      logs_(options.num_sites) {
+      logs_(options.num_sites),
+      metrics_(metrics::Registry::OrGlobal(options.metrics)) {
+  if (options_.trace) {
+    tracer_ = std::make_unique<trace::Tracer>();
+    for (uint32_t i = 0; i < options_.num_sites; ++i) {
+      tracer_->SetProcessName(i, "site" + std::to_string(i));
+    }
+    tracer_->SetProcessName(options_.num_sites, "selector");
+  }
   if (options_.record_history) {
     history_ = std::make_unique<history::Recorder>();
   }
+  network_.RegisterMetrics(metrics_);
   for (uint32_t i = 0; i < options_.num_sites; ++i) {
+    logs_.TopicFor(i)->SetAppendLatency(metrics_->GetHistogram(
+        "log_append_us", {{"site", std::to_string(i)}}));
     site::SiteOptions site_options = options_.site;
     site_options.site_id = i;
     site_options.num_sites = options_.num_sites;
     sites_.push_back(std::make_unique<site::SiteManager>(
-        site_options, partitioner_, &logs_, &network_, history_.get()));
+        site_options, partitioner_, &logs_, &network_, history_.get(),
+        metrics_, tracer_.get()));
   }
 }
 

@@ -6,7 +6,9 @@
 
 #include "common/history.h"
 #include "common/key.h"
+#include "common/metrics.h"
 #include "common/partitioner.h"
+#include "common/trace.h"
 #include "log/durable_log.h"
 #include "net/sim_network.h"
 #include "site/site_manager.h"
@@ -31,6 +33,15 @@ class Cluster {
     /// shared history::Recorder for the offline SI auditor
     /// (tools/si_checker).
     bool record_history = false;
+    /// Metrics registry the cluster exports into. Null means the
+    /// process-wide metrics::Registry::Global(); tests pass their own
+    /// registry for isolation.
+    metrics::Registry* metrics = nullptr;
+    /// If true, the cluster owns a trace::Tracer and every site / the
+    /// selector records per-transaction spans into it (Chrome trace-event
+    /// export). Off by default: tracing is strictly opt-in so the hot path
+    /// stays free of it.
+    bool trace = false;
   };
 
   /// `partitioner` must outlive the cluster.
@@ -58,6 +69,12 @@ class Cluster {
   /// Null unless Options::record_history was set.
   history::Recorder* history() { return history_.get(); }
 
+  /// The resolved metrics registry (never null).
+  metrics::Registry* metrics() { return metrics_; }
+
+  /// Null unless Options::trace was set.
+  trace::Tracer* tracer() { return tracer_.get(); }
+
   /// Creates a table at every site.
   Status CreateTable(TableId id);
 
@@ -66,6 +83,8 @@ class Cluster {
   const Partitioner* partitioner_;
   net::SimulatedNetwork network_;
   log::LogManager logs_;
+  metrics::Registry* metrics_;
+  std::unique_ptr<trace::Tracer> tracer_;
   std::unique_ptr<history::Recorder> history_;
   std::vector<std::unique_ptr<site::SiteManager>> sites_;
   bool stopped_ = false;

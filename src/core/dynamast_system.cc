@@ -24,6 +24,10 @@ DynaMastSystem::DynaMastSystem(const Options& options,
       cluster_(options.cluster, partitioner) {
   selector::SelectorOptions sel = options_.selector;
   sel.num_sites = cluster_.num_sites();
+  // The selector exports into the same registry/tracer as the data sites
+  // unless the caller wired its own.
+  if (sel.metrics == nullptr) sel.metrics = cluster_.metrics();
+  if (sel.tracer == nullptr) sel.tracer = cluster_.tracer();
   selector_ = std::make_unique<selector::SiteSelector>(
       sel, cluster_.site_pointers(), partitioner, &cluster_.network());
 }
@@ -92,10 +96,14 @@ Status DynaMastSystem::ExecuteWrite(ClientState& client,
   partitions.insert(partitions.end(), profile.extra_write_partitions.begin(),
                     profile.extra_write_partitions.end());
 
+  trace::Tracer* tracer = cluster_.tracer();
   Status last_error = Status::Internal("no attempt made");
   for (uint32_t attempt = 0; attempt <= options_.max_retries; ++attempt) {
     // begin_transaction RPC: client -> site selector, carrying the write
     // set (Section III-B).
+    trace::Span route_span(tracer, "route", "txn", cluster_.num_sites(),
+                           client.id);
+    route_span.SetTxn(client.id, client.issued_txns);
     Stopwatch watch;
     net.RoundTrip(net::TrafficClass::kClientRequest,
                   kRouteRequestBytes + 8 * partitions.size(),
@@ -111,6 +119,10 @@ Status DynaMastSystem::ExecuteWrite(ClientState& client,
       last_error = s;
       continue;
     }
+    route_span.AddNum("site", static_cast<double>(route.site));
+    route_span.AddNum("remastered", route.remastered ? 1 : 0);
+    route_span.AddNum("moved", static_cast<double>(route.partitions_moved));
+    route_span.End();
 
     // Client submits the transaction directly to the chosen data site.
     site::SiteManager* site = cluster_.site(route.site);
@@ -120,7 +132,10 @@ Status DynaMastSystem::ExecuteWrite(ClientState& client,
                   kExecResponseBytes);
     const uint64_t exec_rpc_micros = watch.ElapsedMicros();
     watch.Restart();
+    trace::Span admit_span(tracer, "admission", "txn", route.site, client.id);
+    admit_span.SetTxn(client.id, client.issued_txns);
     site::AdmissionGate::Scoped slot(site->gate());
+    admit_span.End();
     const uint64_t queue_micros = watch.ElapsedMicros();
 
     site::TxnOptions txn_options;
@@ -130,7 +145,10 @@ Status DynaMastSystem::ExecuteWrite(ClientState& client,
     txn_options.client_txn = client.issued_txns;
     site::Transaction txn;
     watch.Restart();
+    trace::Span begin_span(tracer, "begin", "txn", route.site, client.id);
+    begin_span.SetTxn(client.id, client.issued_txns);
     s = site->BeginTransaction(txn_options, &txn);
+    begin_span.End();
     const uint64_t begin_micros = watch.ElapsedMicros();
     if (s.IsNotMaster()) {
       // Lost a race with a concurrent remastering; re-route.
@@ -149,15 +167,21 @@ Status DynaMastSystem::ExecuteWrite(ClientState& client,
 
     SiteTxnContext context(site, &txn);
     watch.Restart();
+    trace::Span exec_span(tracer, "execute", "txn", route.site, client.id);
+    exec_span.SetTxn(client.id, client.issued_txns);
     s = logic(context);
+    exec_span.End();
     const uint64_t logic_micros = watch.ElapsedMicros();
     if (!s.ok()) {
-      site->Abort(&txn);
+      site->Abort(&txn, s);
       return s;
     }
     VersionVector commit_version;
     watch.Restart();
+    trace::Span commit_span(tracer, "commit", "txn", route.site, client.id);
+    commit_span.SetTxn(client.id, client.issued_txns);
     s = site->Commit(&txn, &commit_version);
+    commit_span.End();
     if (!s.ok()) return s;
     phase_stats_.commit.Record(watch.ElapsedMicros());
     phase_stats_.network.Record(route_rpc_micros + exec_rpc_micros);
@@ -209,7 +233,7 @@ Status DynaMastSystem::ExecuteRead(ClientState& client,
     SiteTxnContext context(site, &txn);
     s = logic(context);
     if (!s.ok()) {
-      site->Abort(&txn);
+      site->Abort(&txn, s);
       // A hot writer can prune every version a just-taken snapshot could
       // see (retention is bounded per record). Read-only transactions hold
       // no locks and have no effects, so simply rerun on a fresher

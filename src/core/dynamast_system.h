@@ -77,6 +77,7 @@ class DynaMastSystem final : public SystemInterface {
                  const TxnLogic& logic, TxnResult* result) override;
   void Shutdown() override;
   history::Recorder* history() override { return cluster_.history(); }
+  trace::Tracer* tracer() override { return cluster_.tracer(); }
 
   Cluster& cluster() { return cluster_; }
   selector::SiteSelector& site_selector() { return *selector_; }

@@ -8,6 +8,7 @@
 #include "common/history.h"
 #include "common/key.h"
 #include "common/status.h"
+#include "common/trace.h"
 #include "common/version_vector.h"
 
 namespace dynamast::core {
@@ -117,6 +118,10 @@ class SystemInterface {
   /// history recording on (tools/si_checker audits its events). Null
   /// otherwise.
   virtual history::Recorder* history() { return nullptr; }
+
+  /// The cluster's span tracer, when the system was deployed with tracing
+  /// on (benches export it as Chrome trace-event JSON). Null otherwise.
+  virtual trace::Tracer* tracer() { return nullptr; }
 };
 
 }  // namespace dynamast::core

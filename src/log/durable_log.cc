@@ -1,12 +1,21 @@
 #include "log/durable_log.h"
 
+#include "common/latency_recorder.h"
+
 namespace dynamast::log {
 
 uint64_t DurableLog::Append(std::string serialized) {
-  std::lock_guard guard(mu_);
-  entries_.push_back(std::move(serialized));
-  const uint64_t offset = entries_.size() - 1;
-  cv_.notify_all();
+  metrics::Histogram* latency =
+      append_latency_.load(std::memory_order_acquire);
+  Stopwatch watch;
+  uint64_t offset;
+  {
+    std::lock_guard guard(mu_);
+    entries_.push_back(std::move(serialized));
+    offset = entries_.size() - 1;
+    cv_.notify_all();
+  }
+  if (latency != nullptr) latency->Observe(watch.ElapsedMicros());
   return offset;
 }
 

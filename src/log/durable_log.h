@@ -1,6 +1,7 @@
 #ifndef DYNAMAST_LOG_DURABLE_LOG_H_
 #define DYNAMAST_LOG_DURABLE_LOG_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <memory>
@@ -9,6 +10,7 @@
 #include <vector>
 
 #include "common/debug_mutex.h"
+#include "common/metrics.h"
 #include "common/status.h"
 
 namespace dynamast::log {
@@ -53,11 +55,18 @@ class DurableLog {
 
   bool closed() const;
 
+  /// Optional append-latency histogram (lock wait + append). Set once at
+  /// cluster construction, before concurrent appends.
+  void SetAppendLatency(metrics::Histogram* histogram) {
+    append_latency_.store(histogram, std::memory_order_release);
+  }
+
  private:
   mutable DebugMutex mu_{"log.topic"};
   mutable DebugCondVar cv_;
   std::vector<std::string> entries_;
   bool closed_ = false;
+  std::atomic<metrics::Histogram*> append_latency_{nullptr};
 };
 
 /// A consumer cursor over a DurableLog: tracks the next offset to read.

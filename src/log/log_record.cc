@@ -81,6 +81,7 @@ std::string LogRecord::Serialize() const {
   PutU32(&out, static_cast<uint32_t>(partitions.size()));
   for (PartitionId p : partitions) PutU64(&out, p);
   PutU32(&out, transfer_peer);
+  PutU64(&out, append_ts_us);
   return out;
 }
 
@@ -133,6 +134,9 @@ Status LogRecord::Deserialize(std::string_view data, LogRecord* out) {
   if (!reader.GetU32(&out->transfer_peer)) {
     return Status::Corruption("truncated transfer peer");
   }
+  if (!reader.GetU64(&out->append_ts_us)) {
+    return Status::Corruption("truncated append timestamp");
+  }
   if (!reader.AtEnd()) return Status::Corruption("trailing bytes");
   return Status::OK();
 }
@@ -140,7 +144,7 @@ Status LogRecord::Deserialize(std::string_view data, LogRecord* out) {
 size_t LogRecord::SerializedSize() const {
   size_t size = 1 + 4 + 4 + tvv.size() * 8 + 4;
   for (const WriteEntry& w : writes) size += 4 + 8 + 1 + 4 + w.value.size();
-  size += 4 + partitions.size() * 8 + 4;
+  size += 4 + partitions.size() * 8 + 4 + 8;
   return size;
 }
 

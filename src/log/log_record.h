@@ -47,6 +47,11 @@ struct LogRecord {
   /// counterpart site of the transfer.
   std::vector<PartitionId> partitions;
   SiteId transfer_peer = kInvalidSite;
+  /// metrics::NowMicros() at append time (0 when unset, e.g. in tests).
+  /// Process-local steady-clock micros: every site of a simulated cluster
+  /// shares the clock, so refresh delay — the paper's Eq. 5 input — is
+  /// measured directly as apply time minus append time.
+  uint64_t append_ts_us = 0;
 
   /// Serializes to a compact binary representation (length-prefixed).
   /// The byte size of the encoding is what the network simulator charges
@@ -62,7 +67,8 @@ struct LogRecord {
   friend bool operator==(const LogRecord& a, const LogRecord& b) {
     return a.type == b.type && a.origin == b.origin && a.tvv == b.tvv &&
            a.writes == b.writes && a.partitions == b.partitions &&
-           a.transfer_peer == b.transfer_peer;
+           a.transfer_peer == b.transfer_peer &&
+           a.append_ts_us == b.append_ts_us;
   }
 };
 

@@ -25,30 +25,61 @@ const char* TrafficClassName(TrafficClass c) {
   return "unknown";
 }
 
+void SimulatedNetwork::RegisterMetrics(metrics::Registry* registry) {
+  registry = metrics::Registry::OrGlobal(registry);
+  for (size_t i = 0; i < class_metrics_.size(); ++i) {
+    const metrics::Labels labels = {
+        {"class", TrafficClassName(static_cast<TrafficClass>(i))}};
+    class_metrics_[i].messages =
+        registry->GetCounter("net_messages_total", labels);
+    class_metrics_[i].bytes = registry->GetCounter("net_bytes_total", labels);
+  }
+  inflight_gauge_ = registry->GetGauge("net_inflight_messages");
+  link_lag_gauge_ = registry->GetGauge("net_link_lag_us");
+}
+
 void SimulatedNetwork::Send(TrafficClass c, size_t bytes) {
   auto& counter = counters_[static_cast<size_t>(c)];
   counter.messages.fetch_add(1, std::memory_order_relaxed);
   counter.bytes.fetch_add(bytes, std::memory_order_relaxed);
+  const ClassMetrics& exported = class_metrics_[static_cast<size_t>(c)];
+  if (exported.messages != nullptr) {
+    exported.messages->Increment();
+    exported.bytes->Increment(bytes);
+  }
   // Delivery is a synchronization point even when delay charging is off:
   // schedule fuzzing jitters message arrival order here.
   DYNAMAST_SCHED_POINT("net.deliver");
   if (!options_.charge_delays) return;
+  if (inflight_gauge_ != nullptr) {
+    inflight_gauge_->Set(static_cast<double>(
+        inflight_.fetch_add(1, std::memory_order_relaxed) + 1));
+  }
   const auto transmission = options_.per_kilobyte * (bytes / 1024 + 1);
   if (!options_.serialize_link) {
     std::this_thread::sleep_for(options_.one_way_latency + transmission);
-    return;
+  } else {
+    // Reserve a slot on the shared wire: transmission occupies the link
+    // back-to-back, while propagation latency overlaps across messages.
+    std::chrono::steady_clock::time_point done;
+    {
+      std::lock_guard guard(link_mu_);
+      const auto now = std::chrono::steady_clock::now();
+      const auto start = link_busy_until_ > now ? link_busy_until_ : now;
+      link_busy_until_ = start + transmission;
+      done = link_busy_until_;
+      if (link_lag_gauge_ != nullptr) {
+        // Delivery lag: how long a message appended now waits for the wire.
+        link_lag_gauge_->Set(
+            std::chrono::duration<double, std::micro>(start - now).count());
+      }
+    }
+    std::this_thread::sleep_until(done + options_.one_way_latency);
   }
-  // Reserve a slot on the shared wire: transmission occupies the link
-  // back-to-back, while propagation latency overlaps across messages.
-  std::chrono::steady_clock::time_point done;
-  {
-    std::lock_guard guard(link_mu_);
-    const auto now = std::chrono::steady_clock::now();
-    const auto start = link_busy_until_ > now ? link_busy_until_ : now;
-    link_busy_until_ = start + transmission;
-    done = link_busy_until_;
+  if (inflight_gauge_ != nullptr) {
+    inflight_gauge_->Set(static_cast<double>(
+        inflight_.fetch_sub(1, std::memory_order_relaxed) - 1));
   }
-  std::this_thread::sleep_until(done + options_.one_way_latency);
 }
 
 void SimulatedNetwork::RoundTrip(TrafficClass c, size_t request_bytes,

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "common/debug_mutex.h"
+#include "common/metrics.h"
 
 namespace dynamast::net {
 
@@ -78,8 +79,24 @@ class SimulatedNetwork {
   /// One line per traffic class: "propagation: 12345 msgs, 1.2 MB".
   std::string ReportCounters() const;
 
+  /// Registers this network's per-class counters and delivery gauges with
+  /// `registry` (Cluster does this at construction). Call before traffic
+  /// flows; handles are resolved once and used lock-free afterwards.
+  void RegisterMetrics(metrics::Registry* registry);
+
  private:
   Options options_;
+  struct ClassMetrics {
+    metrics::Counter* messages = nullptr;
+    metrics::Counter* bytes = nullptr;
+  };
+  std::array<ClassMetrics, static_cast<size_t>(TrafficClass::kNumClasses)>
+      class_metrics_{};
+  // Messages currently in flight (sleeping out their delivery time) and,
+  // in serialize_link mode, how far behind the shared wire is running.
+  metrics::Gauge* inflight_gauge_ = nullptr;
+  metrics::Gauge* link_lag_gauge_ = nullptr;
+  std::atomic<int64_t> inflight_{0};
   struct Counter {
     std::atomic<uint64_t> messages{0};
     std::atomic<uint64_t> bytes{0};

@@ -1,6 +1,7 @@
 #include "selector/site_selector.h"
 
 #include <algorithm>
+#include <string>
 #include <thread>
 #include <unordered_map>
 
@@ -27,6 +28,7 @@ SiteSelector::SiteSelector(const SelectorOptions& options,
       sites_(std::move(sites)),
       partitioner_(partitioner),
       network_(network),
+      tracer_(options.tracer),
       map_(partitioner->NumPartitions(), options.initial_master),
       strategy_(options.weights, options.num_sites),
       counters_(options.num_sites),
@@ -36,6 +38,58 @@ SiteSelector::SiteSelector(const SelectorOptions& options,
   std::vector<SiteId> initial(partitioner->NumPartitions(),
                               options_.initial_master);
   stats_ = std::make_unique<AccessStatistics>(stats_options, initial);
+  if (metrics::Registry* reg = options_.metrics; reg != nullptr) {
+    exported_.routes_write =
+        reg->GetCounter("selector_routes_total", {{"kind", "write"}});
+    exported_.routes_read =
+        reg->GetCounter("selector_routes_total", {{"kind", "read"}});
+    exported_.remaster_txns = reg->GetCounter("selector_remaster_total");
+    exported_.partitions_moved =
+        reg->GetCounter("selector_partitions_moved_total");
+    for (SiteId s = 0; s < options_.num_sites; ++s) {
+      exported_.routed_to_site.push_back(reg->GetCounter(
+          "selector_routed_to_site_total", {{"site", std::to_string(s)}}));
+    }
+    exported_.explain_decisions =
+        reg->GetCounter("routing_explain_decisions_total");
+    exported_.factor_balance =
+        reg->GetGauge("routing_explain_factor_sum", {{"factor", "balance"}});
+    exported_.factor_delay =
+        reg->GetGauge("routing_explain_factor_sum", {{"factor", "delay"}});
+    exported_.factor_intra =
+        reg->GetGauge("routing_explain_factor_sum", {{"factor", "intra"}});
+    exported_.factor_inter =
+        reg->GetGauge("routing_explain_factor_sum", {{"factor", "inter"}});
+  }
+}
+
+std::vector<RoutingExplain> SiteSelector::RecentExplains() const {
+  std::lock_guard<std::mutex> guard(explain_mu_);
+  return std::vector<RoutingExplain>(explains_.begin(), explains_.end());
+}
+
+void SiteSelector::RecordExplain(const std::vector<PartitionId>& partitions,
+                                 const std::vector<SiteId>& masters,
+                                 std::vector<SiteScore> scores,
+                                 SiteId winner) {
+  if (exported_.explain_decisions != nullptr && winner < scores.size()) {
+    const SiteScore& win = scores[winner];
+    exported_.explain_decisions->Increment();
+    exported_.factor_balance->Add(win.f_balance);
+    exported_.factor_delay->Add(win.f_refresh_delay);
+    exported_.factor_intra->Add(win.f_intra_txn);
+    exported_.factor_inter->Add(win.f_inter_txn);
+  }
+  RoutingExplain explain;
+  explain.ts_us = metrics::NowMicros();
+  explain.partitions = partitions;
+  explain.masters = masters;
+  explain.scores = std::move(scores);
+  explain.winner = winner;
+  std::lock_guard<std::mutex> guard(explain_mu_);
+  explain.seq = ++explain_seq_;
+  explains_.push_back(std::move(explain));
+  if (explains_.size() > kMaxExplains) explains_.pop_front();
 }
 
 void SiteSelector::InstallPlacement(
@@ -114,6 +168,7 @@ Status SiteSelector::RouteWritePartitions(ClientId client,
   partitions.erase(std::unique(partitions.begin(), partitions.end()),
                    partitions.end());
   counters_.write_routes.fetch_add(1);
+  if (exported_.routes_write != nullptr) exported_.routes_write->Increment();
 
   // Fast path: shared locks in sorted order; single-master write sets
   // route without remastering.
@@ -131,6 +186,9 @@ Status SiteSelector::RouteWritePartitions(ClientId client,
     }
     MaybeSample(client, partitions);
     counters_.routed_to_site[site]->fetch_add(1);
+    if (!exported_.routed_to_site.empty()) {
+      exported_.routed_to_site[site]->Increment();
+    }
     out->site = site;
     out->min_begin_version = client_session;
     out->remastered = false;
@@ -158,6 +216,9 @@ Status SiteSelector::RouteWritePartitions(ClientId client,
     }
     MaybeSample(client, partitions);
     counters_.routed_to_site[site]->fetch_add(1);
+    if (!exported_.routed_to_site.empty()) {
+      exported_.routed_to_site[site]->Increment();
+    }
     out->site = site;
     out->min_begin_version = client_session;
     out->remastered = false;
@@ -174,7 +235,20 @@ Status SiteSelector::RouteWritePartitions(ClientId client,
   for (site::SiteManager* s : sites_) {
     input.site_versions.push_back(s->CurrentVersion());
   }
-  const SiteId dest = strategy_.ChooseSite(input, *stats_);
+  // Score once, choose from the scores, and keep the per-factor values as
+  // the decision's explanation (the Eq. 2-8 reasoning, not just the pick).
+  trace::Span decide_span(tracer_, "route_decide", "selector",
+                          options_.num_sites, client);
+  std::vector<SiteScore> scores;
+  strategy_.ScoreSites(input, *stats_, &scores);
+  const SiteId dest = strategy_.ChooseFromScores(input, scores);
+  decide_span.AddNum("winner", static_cast<double>(dest));
+  decide_span.AddNum("f_balance", scores[dest].f_balance);
+  decide_span.AddNum("f_refresh_delay", scores[dest].f_refresh_delay);
+  decide_span.AddNum("f_intra_txn", scores[dest].f_intra_txn);
+  decide_span.AddNum("f_inter_txn", scores[dest].f_inter_txn);
+  decide_span.End();
+  RecordExplain(partitions, masters, std::move(scores), dest);
 
   VersionVector out_vv(options_.num_sites);
   uint32_t moved = 0;
@@ -206,6 +280,11 @@ Status SiteSelector::RouteWritePartitions(ClientId client,
   counters_.remastered_txns.fetch_add(1);
   counters_.partitions_remastered.fetch_add(moved);
   counters_.routed_to_site[dest]->fetch_add(1);
+  if (exported_.remaster_txns != nullptr) {
+    exported_.remaster_txns->Increment();
+    exported_.partitions_moved->Increment(moved);
+    exported_.routed_to_site[dest]->Increment();
+  }
 
   out->site = dest;
   out->min_begin_version =
@@ -273,6 +352,7 @@ Status SiteSelector::RouteRead(ClientId client,
                                SiteId* out_site) {
   (void)client;
   counters_.read_routes.fetch_add(1);
+  if (exported_.routes_read != nullptr) exported_.routes_read->Increment();
   // Gather sites satisfying the session freshness guarantee; pick one at
   // random (Section IV-B: minimizes blocking and spreads load). If none
   // qualify (selector view may be stale), fall back to the freshest site;

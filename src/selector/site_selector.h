@@ -2,14 +2,17 @@
 #define DYNAMAST_SELECTOR_SITE_SELECTOR_H_
 
 #include <atomic>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <vector>
 
 #include "common/key.h"
+#include "common/metrics.h"
 #include "common/partitioner.h"
 #include "common/random.h"
 #include "common/status.h"
+#include "common/trace.h"
 #include "common/version_vector.h"
 #include "net/sim_network.h"
 #include "selector/access_statistics.h"
@@ -47,6 +50,24 @@ struct SelectorOptions {
   uint32_t max_samples_per_second = 2000;
   AccessStatistics::Options stats;
   uint64_t seed = 42;
+  /// Metrics registry to export into; null disables selector metric export
+  /// (series handles stay unresolved).
+  metrics::Registry* metrics = nullptr;
+  /// Tracer for routing spans; null disables span recording.
+  trace::Tracer* tracer = nullptr;
+};
+
+/// One slow-path routing decision with its full Eq. 2-8 reasoning: every
+/// candidate site's factor scores and the chosen destination. Kept in a
+/// bounded ring (RecentExplains) so tests and operators can ask "why did
+/// the selector move these partitions there?".
+struct RoutingExplain {
+  uint64_t seq = 0;    // monotonic decision number (1-based)
+  uint64_t ts_us = 0;  // metrics::NowMicros() at decision time
+  std::vector<PartitionId> partitions;
+  std::vector<SiteId> masters;  // pre-decision masters, parallel to partitions
+  std::vector<SiteScore> scores;  // one per candidate site, in site order
+  SiteId winner = kInvalidSite;
 };
 
 /// Aggregate selector counters for the evaluation (remastering frequency,
@@ -114,6 +135,13 @@ class SiteSelector {
   /// the data sites. Call before starting the workload.
   void InstallPlacement(const std::vector<SiteId>& master_of_partition);
 
+  /// The most recent slow-path routing decisions (oldest first, at most
+  /// kMaxExplains entries).
+  std::vector<RoutingExplain> RecentExplains() const;
+
+  /// Bound on the routing-explain ring.
+  static constexpr size_t kMaxExplains = 256;
+
  private:
   // Performs release/grant transfers of `partitions` (currently mastered
   // per `masters`) to `dest`; returns the element-wise max grant vector.
@@ -127,10 +155,33 @@ class SiteSelector {
   /// adaptive sampler has throttled it). Exposed for tests/diagnostics.
   double EffectiveSampleRate() const;
 
+  // Stores one slow-path decision into the explain ring and the
+  // routing-explain metrics (factor sums are accumulated for the winner).
+  void RecordExplain(const std::vector<PartitionId>& partitions,
+                     const std::vector<SiteId>& masters,
+                     std::vector<SiteScore> scores, SiteId winner);
+
+  // Exported metric handles, resolved once at construction (null without
+  // a registry).
+  struct ExportedMetrics {
+    metrics::Counter* routes_write = nullptr;
+    metrics::Counter* routes_read = nullptr;
+    metrics::Counter* remaster_txns = nullptr;
+    metrics::Counter* partitions_moved = nullptr;
+    std::vector<metrics::Counter*> routed_to_site;
+    metrics::Counter* explain_decisions = nullptr;
+    metrics::Gauge* factor_balance = nullptr;
+    metrics::Gauge* factor_delay = nullptr;
+    metrics::Gauge* factor_intra = nullptr;
+    metrics::Gauge* factor_inter = nullptr;
+  };
+
   SelectorOptions options_;
   std::vector<site::SiteManager*> sites_;
   const Partitioner* partitioner_;
   net::SimulatedNetwork* network_;
+  trace::Tracer* tracer_;
+  ExportedMetrics exported_;
 
   PartitionMap map_;
   std::unique_ptr<AccessStatistics> stats_;
@@ -145,6 +196,11 @@ class SiteSelector {
   std::chrono::steady_clock::time_point sample_window_start_{};
   uint64_t samples_in_window_ = 0;
   double effective_sample_rate_ = 1.0;
+
+  // Routing-explain ring (bounded; oldest evicted first).
+  mutable std::mutex explain_mu_;
+  std::deque<RoutingExplain> explains_;
+  uint64_t explain_seq_ = 0;
 };
 
 }  // namespace dynamast::selector

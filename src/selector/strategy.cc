@@ -125,7 +125,12 @@ SiteId RemasterStrategy::ChooseSite(const RemasterDecisionInput& input,
                                     const AccessStatistics& stats) const {
   std::vector<SiteScore> scores;
   ScoreSites(input, stats, &scores);
+  return ChooseFromScores(input, scores);
+}
 
+SiteId RemasterStrategy::ChooseFromScores(
+    const RemasterDecisionInput& input,
+    const std::vector<SiteScore>& scores) const {
   // Tie-break preference: the site already mastering the most of the
   // write set needs the fewest release/grant transfers.
   std::vector<size_t> already_mastered(num_sites_, 0);

@@ -79,6 +79,12 @@ class RemasterStrategy {
   SiteId ChooseSite(const RemasterDecisionInput& input,
                     const AccessStatistics& stats) const;
 
+  /// Argmax + tie-break over already-computed scores. Split out from
+  /// ChooseSite so the selector can score once and reuse the per-factor
+  /// values for routing-explain telemetry.
+  SiteId ChooseFromScores(const RemasterDecisionInput& input,
+                          const std::vector<SiteScore>& scores) const;
+
   const StrategyWeights& weights() const { return weights_; }
   void set_weights(const StrategyWeights& w) { weights_ = w; }
 

@@ -1,16 +1,32 @@
 #include "site/admission_gate.h"
 
+#include "common/latency_recorder.h"
 #include "common/scheduler.h"
 
 namespace dynamast::site {
 
+void AdmissionGate::SetMetrics(metrics::Histogram* wait_us,
+                               metrics::Gauge* queue_depth) {
+  std::lock_guard guard(mu_);
+  wait_us_ = wait_us;
+  queue_depth_ = queue_depth;
+}
+
 void AdmissionGate::Enter() {
   {
+    Stopwatch watch;
     std::unique_lock lock(mu_);
     ++waiting_;
+    if (queue_depth_ != nullptr) {
+      queue_depth_->Set(static_cast<double>(waiting_));
+    }
     cv_.wait(lock, [&] { return free_slots_ > 0; });
     --waiting_;
     --free_slots_;
+    if (queue_depth_ != nullptr) {
+      queue_depth_->Set(static_cast<double>(waiting_));
+    }
+    if (wait_us_ != nullptr) wait_us_->Observe(watch.ElapsedMicros());
   }
   // Slot granted: schedule fuzzing reorders which admitted transaction
   // actually reaches BeginTransaction first.

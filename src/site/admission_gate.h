@@ -5,6 +5,7 @@
 #include <mutex>
 
 #include "common/debug_mutex.h"
+#include "common/metrics.h"
 
 namespace dynamast::site {
 
@@ -29,6 +30,10 @@ class AdmissionGate {
   /// Number of arrivals currently waiting for a slot (diagnostics).
   uint64_t QueueDepth() const;
 
+  /// Wires exported metrics: the slot-wait latency histogram and a gauge
+  /// mirroring the queue depth. Either may be null. Call before traffic.
+  void SetMetrics(metrics::Histogram* wait_us, metrics::Gauge* queue_depth);
+
   /// RAII slot occupancy.
   class Scoped {
    public:
@@ -46,6 +51,8 @@ class AdmissionGate {
   DebugCondVar cv_;
   size_t free_slots_;
   uint64_t waiting_ = 0;
+  metrics::Histogram* wait_us_ = nullptr;
+  metrics::Gauge* queue_depth_ = nullptr;
 };
 
 }  // namespace dynamast::site

@@ -1,9 +1,11 @@
 #include "site/site_manager.h"
 
 #include <algorithm>
+#include <string>
 #include <thread>
 
 #include "common/invariant_checker.h"
+#include "common/latency_recorder.h"
 
 namespace dynamast::site {
 
@@ -13,32 +15,79 @@ constexpr std::chrono::milliseconds kApplierPollInterval{100};
 // Max refresh records applied per simulated network delivery (Kafka-style
 // consumer batching; see DESIGN.md on propagation-delay modelling).
 constexpr size_t kApplierBatchSize = 64;
-
-// Install into commit/refresh/replay paths can only fail if the table
-// vanished mid-run — a programming error, not a runtime condition. Check
-// under invariants rather than silently dropping the Status.
-void MustInstall(storage::StorageEngine& engine, const RecordKey& key,
-                 SiteId origin, uint64_t seq, std::string value) {
-  const Status s = engine.Install(key, origin, seq, std::move(value));
-  DYNAMAST_INVARIANT(s.ok(), "version install failed for " + key.ToString() +
-                                 ": " + s.ToString());
-  (void)s;
-}
 }  // namespace
 
 SiteManager::SiteManager(const SiteOptions& options,
                          const Partitioner* partitioner,
                          log::LogManager* logs,
                          net::SimulatedNetwork* network,
-                         history::Recorder* history)
+                         history::Recorder* history,
+                         metrics::Registry* metrics,
+                         trace::Tracer* tracer)
     : options_(options),
       partitioner_(partitioner),
       logs_(logs),
       network_(network),
       history_(history),
+      tracer_(tracer),
       engine_(options.storage),
       gate_(options.worker_slots),
-      svv_(options.num_sites) {}
+      svv_(options.num_sites) {
+  if (metrics == nullptr) return;
+  const std::string site = std::to_string(options_.site_id);
+  exported_.commits_update = metrics->GetCounter(
+      "site_commits_total", {{"site", site}, {"kind", "update"}});
+  exported_.commits_readonly = metrics->GetCounter(
+      "site_commits_total", {{"site", site}, {"kind", "readonly"}});
+  for (size_t c = 0; c < kNumStatusCodes; ++c) {
+    exported_.aborts_by_reason[c] = metrics->GetCounter(
+        "site_aborts_total",
+        {{"site", site},
+         {"reason", StatusCodeName(static_cast<Status::Code>(c))}});
+  }
+  exported_.lock_wait_us =
+      metrics->GetHistogram("site_lock_wait_us", {{"site", site}});
+  exported_.vv_wait_us =
+      metrics->GetHistogram("site_vv_wait_us", {{"site", site}});
+  exported_.refresh_applied =
+      metrics->GetCounter("site_refresh_applied_total", {{"site", site}});
+  exported_.refresh_delay_us =
+      metrics->GetHistogram("site_refresh_delay_us", {{"site", site}});
+  exported_.releases =
+      metrics->GetCounter("site_releases_total", {{"site", site}});
+  exported_.grants = metrics->GetCounter("site_grants_total", {{"site", site}});
+  exported_.pruned_versions =
+      metrics->GetCounter("storage_pruned_versions_total", {{"site", site}});
+  exported_.version_chain_len =
+      metrics->GetHistogram("storage_version_chain_len", {{"site", site}});
+  gate_.SetMetrics(
+      metrics->GetHistogram("site_admission_wait_us", {{"site", site}}),
+      metrics->GetGauge("site_admission_queue_depth", {{"site", site}}));
+}
+
+void SiteManager::InstallVersion(const RecordKey& key, SiteId origin,
+                                 uint64_t seq, std::string value) {
+  storage::InstallStats stats;
+  const Status s = engine_.Install(key, origin, seq, std::move(value), &stats);
+  DYNAMAST_INVARIANT(s.ok(), "version install failed for " + key.ToString() +
+                                 ": " + s.ToString());
+  (void)s;
+  if (exported_.version_chain_len != nullptr) {
+    exported_.version_chain_len->Observe(
+        static_cast<uint64_t>(stats.chain_len));
+  }
+  if (stats.pruned && exported_.pruned_versions != nullptr) {
+    exported_.pruned_versions->Increment();
+  }
+}
+
+void SiteManager::CountAbort(const Status& reason) {
+  counters_.aborts.fetch_add(1);
+  const size_t code = static_cast<size_t>(reason.code());
+  if (code < kNumStatusCodes && exported_.aborts_by_reason[code] != nullptr) {
+    exported_.aborts_by_reason[code]->Increment();
+  }
+}
 
 SiteManager::~SiteManager() { Stop(); }
 
@@ -98,7 +147,15 @@ void SiteManager::ChargeDuration(std::chrono::nanoseconds d) const {
 
 Status SiteManager::BeginTransaction(const TxnOptions& opts, Transaction* txn) {
   if (!opts.min_begin_version.empty()) {
+    // Strong-session freshness wait: how long this site lagged behind the
+    // session's observed frontier (the visible symptom of refresh delay).
+    trace::Span span(tracer_, "vv_wait", "txn", options_.site_id, opts.client);
+    span.SetTxn(opts.client, opts.client_txn);
+    Stopwatch watch;
     Status s = WaitForVersion(opts.min_begin_version);
+    if (exported_.vv_wait_us != nullptr) {
+      exported_.vv_wait_us->Observe(watch.ElapsedMicros());
+    }
     if (!s.ok()) return s;
   }
 
@@ -145,10 +202,11 @@ Status SiteManager::BeginTransaction(const TxnOptions& opts, Transaction* txn) {
     if (options_.enforce_mastership && !opts.skip_mastership_check) {
       for (PartitionId p : partitions) {
         if (mastered_.find(p) == mastered_.end()) {
-          counters_.aborts.fetch_add(1);
-          return Status::NotMaster("site " + std::to_string(site_id()) +
-                                   " does not master partition " +
-                                   std::to_string(p));
+          Status s = Status::NotMaster("site " + std::to_string(site_id()) +
+                                       " does not master partition " +
+                                       std::to_string(p));
+          CountAbort(s);
+          return s;
         }
       }
     }
@@ -159,15 +217,24 @@ Status SiteManager::BeginTransaction(const TxnOptions& opts, Transaction* txn) {
   // Write-write mutual exclusion: lock the declared write set in sorted
   // order (Section V-A1 — blocking locks instead of aborts).
   const auto deadline = std::chrono::steady_clock::now() + options_.lock_timeout;
-  Status s = engine_.lock_manager().AcquireAll(opts.write_keys, txn->id_,
-                                               deadline);
+  Status s;
+  {
+    trace::Span span(tracer_, "lock_wait", "txn", options_.site_id,
+                     opts.client);
+    span.SetTxn(opts.client, opts.client_txn);
+    Stopwatch watch;
+    s = engine_.lock_manager().AcquireAll(opts.write_keys, txn->id_, deadline);
+    if (exported_.lock_wait_us != nullptr) {
+      exported_.lock_wait_us->Observe(watch.ElapsedMicros());
+    }
+  }
   if (!s.ok()) {
     std::lock_guard guard(state_mu_);
     for (PartitionId p : txn->write_partitions_) {
       if (--active_writers_[p] == 0) active_writers_.erase(p);
     }
     state_cv_.notify_all();
-    counters_.aborts.fetch_add(1);
+    CountAbort(s);
     return s;
   }
   txn->locked_keys_ = opts.write_keys;
@@ -295,6 +362,9 @@ Status SiteManager::Commit(Transaction* txn, VersionVector* commit_version) {
       event.commit = *commit_version;
       history_->Record(std::move(event));
     }
+    if (exported_.commits_readonly != nullptr) {
+      exported_.commits_readonly->Increment();
+    }
     return Status::OK();
   }
 
@@ -324,10 +394,13 @@ Status SiteManager::Commit(Transaction* txn, VersionVector* commit_version) {
     // Install versions before publishing the new svv so no concurrent
     // snapshot can observe seq without the versions being readable.
     for (const log::WriteEntry& w : record.writes) {
-      MustInstall(engine_, w.key, site_id(), seq, w.value);
+      InstallVersion(w.key, site_id(), seq, w.value);
     }
     // Append to the redo/propagation log inside the critical section so
-    // topic order equals commit order (appliers rely on it).
+    // topic order equals commit order (appliers rely on it). The append
+    // timestamp rides along so appliers can measure end-to-end refresh
+    // delay (the measured input to Eq. 4/5).
+    record.append_ts_us = metrics::NowMicros();
     logs_->TopicFor(site_id())->Append(record.Serialize());
     svv_[site_id()] = seq;
     for (PartitionId p : txn->write_partitions_) {
@@ -352,10 +425,13 @@ Status SiteManager::Commit(Transaction* txn, VersionVector* commit_version) {
 
   engine_.lock_manager().ReleaseAll(txn->locked_keys_, txn->id_);
   counters_.local_commits.fetch_add(1);
+  if (exported_.commits_update != nullptr) {
+    exported_.commits_update->Increment();
+  }
   return Status::OK();
 }
 
-void SiteManager::Abort(Transaction* txn) {
+void SiteManager::Abort(Transaction* txn, const Status& reason) {
   if (!txn->active_) return;
   txn->active_ = false;
   if (history_ != nullptr) {
@@ -373,7 +449,7 @@ void SiteManager::Abort(Transaction* txn) {
     }
     state_cv_.notify_all();
   }
-  counters_.aborts.fetch_add(1);
+  CountAbort(reason);
 }
 
 // ---------------------------------------------------------------------
@@ -410,6 +486,7 @@ VersionVector SiteManager::AppendMarkerLocked(
   record.tvv[site_id()] = seq;
   record.partitions = partitions;
   record.transfer_peer = peer;
+  record.append_ts_us = metrics::NowMicros();
   logs_->TopicFor(site_id())->Append(record.Serialize());
   svv_[site_id()] = seq;
   state_cv_.notify_all();
@@ -418,6 +495,8 @@ VersionVector SiteManager::AppendMarkerLocked(
 
 Status SiteManager::Release(const std::vector<PartitionId>& partitions,
                             SiteId to_site, VersionVector* release_version) {
+  trace::Span span(tracer_, "release", "remaster", options_.site_id, to_site);
+  span.AddNum("partitions", static_cast<double>(partitions.size()));
   const auto deadline =
       std::chrono::steady_clock::now() + options_.freshness_timeout;
   std::unique_lock lock(state_mu_);
@@ -461,6 +540,7 @@ Status SiteManager::Release(const std::vector<PartitionId>& partitions,
     history_->Record(std::move(event));
   }
   counters_.releases.fetch_add(1);
+  if (exported_.releases != nullptr) exported_.releases->Increment();
   return Status::OK();
 }
 
@@ -468,6 +548,8 @@ Status SiteManager::Grant(const std::vector<PartitionId>& partitions,
                           SiteId from_site,
                           const VersionVector& release_version,
                           VersionVector* grant_version) {
+  trace::Span span(tracer_, "grant", "remaster", options_.site_id, from_site);
+  span.AddNum("partitions", static_cast<double>(partitions.size()));
 #if defined(DYNAMAST_BREAK_SI) && DYNAMAST_BREAK_SI
   // Deliberately broken build (validates tools/si_checker): take
   // mastership without waiting for the released site's updates to be
@@ -505,6 +587,7 @@ Status SiteManager::Grant(const std::vector<PartitionId>& partitions,
   }
   for (PartitionId p : partitions) mastered_.insert(p);
   counters_.grants.fetch_add(1);
+  if (exported_.grants != nullptr) exported_.grants->Increment();
   return Status::OK();
 }
 
@@ -515,6 +598,12 @@ Status SiteManager::Grant(const std::vector<PartitionId>& partitions,
 bool SiteManager::ApplyRefreshRecord(const log::LogRecord& record) {
   const SiteId origin = record.origin;
   const uint64_t seq = record.tvv[origin];
+  // Span covers the Eq. 1 dependency wait plus version installation; tid
+  // is the origin site so one applier lane shows per origin in the viewer.
+  trace::Span span(tracer_, "replicate", "replication", options_.site_id,
+                   origin);
+  span.AddNum("seq", static_cast<double>(seq));
+  span.AddNum("writes", static_cast<double>(record.writes.size()));
   std::unique_lock lock(state_mu_);
   // Update application rule, Eq. 1: all cross-origin dependencies applied
   // and this record is the next in the origin's commit order.
@@ -542,13 +631,24 @@ bool SiteManager::ApplyRefreshRecord(const log::LogRecord& record) {
                          " seq " + std::to_string(seq) +
                          " is not dense after svv " + svv_.ToString());
   for (const log::WriteEntry& w : record.writes) {
-    MustInstall(engine_, w.key, origin, seq, w.value);
+    InstallVersion(w.key, origin, seq, w.value);
   }
   // Markers carry no writes; applying them just advances the origin slot,
   // preserving the dense per-origin sequence.
   svv_[origin] = seq;
   state_cv_.notify_all();
   counters_.refresh_applied.fetch_add(1);
+  if (exported_.refresh_applied != nullptr) {
+    exported_.refresh_applied->Increment();
+  }
+  if (exported_.refresh_delay_us != nullptr && record.append_ts_us > 0) {
+    // End-to-end refresh delay: origin append to local visibility. Both
+    // ends use the shared process clock (metrics::NowMicros), so the
+    // difference is exact; clamp anyway in case of sub-microsecond skew.
+    const uint64_t now = metrics::NowMicros();
+    exported_.refresh_delay_us->Observe(
+        now > record.append_ts_us ? now - record.append_ts_us : 0);
+  }
   return true;
 }
 
@@ -622,7 +722,7 @@ Status SiteManager::RecoverFromLogs(
         }
         if (!applicable) break;  // revisit this origin next round
         for (const log::WriteEntry& w : record.writes) {
-          MustInstall(engine_, w.key, origin, record.tvv[origin], w.value);
+          InstallVersion(w.key, origin, record.tvv[origin], w.value);
         }
         if (record.type == log::LogRecord::Type::kRelease) {
           // A release marker names its intended recipient, so mastership is

@@ -1,6 +1,7 @@
 #ifndef DYNAMAST_SITE_SITE_MANAGER_H_
 #define DYNAMAST_SITE_SITE_MANAGER_H_
 
+#include <array>
 #include <atomic>
 #include <memory>
 #include <mutex>
@@ -12,8 +13,10 @@
 #include "common/debug_mutex.h"
 #include "common/history.h"
 #include "common/key.h"
+#include "common/metrics.h"
 #include "common/partitioner.h"
 #include "common/status.h"
+#include "common/trace.h"
 #include "common/version_vector.h"
 #include "log/durable_log.h"
 #include "log/log_record.h"
@@ -47,13 +50,18 @@ struct SiteCounters {
 /// how mastership is assigned and how their routers coordinate.
 class SiteManager {
  public:
-  /// `partitioner`, `logs`, `network` and `history` must outlive the site.
-  /// `logs` may be shared with peer sites; `network` may be null for
-  /// pure-logic tests (no traffic accounting); `history` may be null
-  /// (no history recording) or a recorder shared with peer sites.
+  /// `partitioner`, `logs`, `network`, `history`, `metrics` and `tracer`
+  /// must outlive the site. `logs` may be shared with peer sites;
+  /// `network` may be null for pure-logic tests (no traffic accounting);
+  /// `history` may be null (no history recording) or a recorder shared
+  /// with peer sites; `metrics` may be null (no metric export — series
+  /// handles stay unresolved and every instrumentation point is skipped);
+  /// `tracer` may be null (no span recording).
   SiteManager(const SiteOptions& options, const Partitioner* partitioner,
               log::LogManager* logs, net::SimulatedNetwork* network,
-              history::Recorder* history = nullptr);
+              history::Recorder* history = nullptr,
+              metrics::Registry* metrics = nullptr,
+              trace::Tracer* tracer = nullptr);
   ~SiteManager();
 
   SiteManager(const SiteManager&) = delete;
@@ -90,8 +98,11 @@ class SiteManager {
   /// timestamp (transaction version vector) in `commit_version`.
   Status Commit(Transaction* txn, VersionVector* commit_version);
 
-  /// Drops staged writes and releases locks.
-  void Abort(Transaction* txn);
+  /// Drops staged writes and releases locks. `reason` feeds the
+  /// abort-reason taxonomy (site_aborts_total{reason=...}): pass the
+  /// Status that caused the abort so the metric names the actual cause.
+  void Abort(Transaction* txn,
+             const Status& reason = Status::Aborted("caller abort"));
 
   /// Sleeps for the simulated CPU cost of `reads` snapshot reads plus
   /// `writes` write operations. Call while holding a gate slot. Callers
@@ -171,11 +182,43 @@ class SiteManager {
   history::HistoryEvent MakeTxnEvent(const Transaction& txn,
                                      history::EventKind kind) const;
 
+  // Installs a committed/refreshed version, observing version-chain and
+  // prune metrics. Install can only fail if the table vanished mid-run —
+  // a programming error — so failure trips an invariant.
+  void InstallVersion(const RecordKey& key, SiteId origin, uint64_t seq,
+                      std::string value);
+
+  // Counts one abort in both the legacy counter and the per-reason
+  // taxonomy metric.
+  void CountAbort(const Status& reason);
+
+  static constexpr size_t kNumStatusCodes =
+      static_cast<size_t>(Status::Code::kInternal) + 1;
+
+  // Exported metric handles, resolved once at construction (null when the
+  // site was built without a registry). Pointers are stable for the
+  // registry's lifetime, so the hot path never takes the registry lock.
+  struct ExportedMetrics {
+    metrics::Counter* commits_update = nullptr;
+    metrics::Counter* commits_readonly = nullptr;
+    std::array<metrics::Counter*, kNumStatusCodes> aborts_by_reason{};
+    metrics::Histogram* lock_wait_us = nullptr;
+    metrics::Histogram* vv_wait_us = nullptr;
+    metrics::Counter* refresh_applied = nullptr;
+    metrics::Histogram* refresh_delay_us = nullptr;
+    metrics::Counter* releases = nullptr;
+    metrics::Counter* grants = nullptr;
+    metrics::Counter* pruned_versions = nullptr;
+    metrics::Histogram* version_chain_len = nullptr;
+  };
+
   SiteOptions options_;
   const Partitioner* partitioner_;
   log::LogManager* logs_;
   net::SimulatedNetwork* network_;
   history::Recorder* history_;
+  trace::Tracer* tracer_;
+  ExportedMetrics exported_;
 
   storage::StorageEngine engine_;
   AdmissionGate gate_;

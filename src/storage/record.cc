@@ -2,12 +2,19 @@
 
 namespace dynamast::storage {
 
-void VersionedRecord::Install(SiteId origin, uint64_t seq, std::string value) {
+void VersionedRecord::Install(SiteId origin, uint64_t seq, std::string value,
+                              InstallStats* stats) {
   std::lock_guard guard(mu_);
   versions_.push_back(RecordVersion{origin, seq, std::move(value)});
+  bool pruned = false;
   if (versions_.size() > max_versions_) {
     versions_.pop_front();
     ++pruned_;
+    pruned = true;
+  }
+  if (stats != nullptr) {
+    stats->chain_len = versions_.size();
+    stats->pruned = pruned;
   }
 }
 

@@ -38,6 +38,15 @@ struct VersionStamp {
   uint64_t seq = 0;
 };
 
+/// Outcome of one version install, reported up through Table and
+/// StorageEngine so the site can feed the storage metrics
+/// (storage_version_chain_len, storage_pruned_versions_total) without a
+/// second pass over the chain.
+struct InstallStats {
+  size_t chain_len = 0;  // retained versions after the install
+  bool pruned = false;   // an old version was evicted by this install
+};
+
 /// VersionedRecord is one row's multi-version chain (Section V-A1: the
 /// database stores multiple versions of every record — four by default).
 /// The chain is kept in site-local install order, which for a single record
@@ -51,8 +60,10 @@ class VersionedRecord {
   VersionedRecord& operator=(const VersionedRecord&) = delete;
 
   /// Appends a new version (newest end), pruning the oldest retained
-  /// version if the chain exceeds its capacity.
-  void Install(SiteId origin, uint64_t seq, std::string value);
+  /// version if the chain exceeds its capacity. `stats` (when non-null)
+  /// receives the post-install chain length and whether a prune happened.
+  void Install(SiteId origin, uint64_t seq, std::string value,
+               InstallStats* stats = nullptr);
 
   /// Reads the newest version visible to `snapshot`. Returns:
   ///  * OK and the value when a visible version exists;

@@ -42,8 +42,9 @@ class StorageEngine {
 
   /// Installs a committed version for `key` (used by local commits and by
   /// refresh application). InvalidArgument if the table does not exist.
+  /// `stats` (when non-null) receives the install outcome for metrics.
   Status Install(const RecordKey& key, SiteId origin, uint64_t seq,
-                 std::string value);
+                 std::string value, InstallStats* stats = nullptr);
 
   /// Snapshot read at `snapshot` (a version vector). On OK, `observed`
   /// (when non-null) receives the stamp of the version returned.

@@ -3,7 +3,7 @@
 namespace dynamast::storage {
 
 void Table::Install(uint64_t row, SiteId origin, uint64_t seq,
-                    std::string value) {
+                    std::string value, InstallStats* stats) {
   Shard& shard = ShardFor(row);
   VersionedRecord* record = nullptr;
   {
@@ -17,7 +17,7 @@ void Table::Install(uint64_t row, SiteId origin, uint64_t seq,
     if (!slot) slot = std::make_unique<VersionedRecord>(max_versions_);
     record = slot.get();
   }
-  record->Install(origin, seq, std::move(value));
+  record->Install(origin, seq, std::move(value), stats);
 }
 
 const VersionedRecord* Table::Find(uint64_t row) const {

@@ -1,0 +1,56 @@
+#ifndef DYNAMAST_TOOLS_JSON_UTIL_H_
+#define DYNAMAST_TOOLS_JSON_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dynamast::tools {
+
+/// Minimal recursive-descent JSON reader for the observability tooling
+/// (metrics_dump, si_checker --metrics, and the round-trip unit tests).
+/// It parses the dialect our own writers emit — objects, arrays, strings
+/// with the common escapes, numbers, booleans, null — with no external
+/// dependency. Not a general-purpose validator: it accepts a superset
+/// (e.g. it does not reject duplicate keys; the first one wins on lookup).
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool bool_value = false;
+  double number = 0;
+  std::string string_value;
+  std::vector<JsonValue> array;
+  /// Insertion-ordered key/value pairs (JSON objects).
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_string() const { return type == Type::kString; }
+  bool is_number() const { return type == Type::kNumber; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+  /// Convenience accessors over Find: the fallback is returned when the
+  /// member is missing or has the wrong type.
+  std::string GetString(std::string_view key,
+                        const std::string& fallback = "") const;
+  double GetNumber(std::string_view key, double fallback = 0) const;
+  uint64_t GetUint64(std::string_view key, uint64_t fallback = 0) const;
+};
+
+/// Parses one complete JSON document; trailing whitespace is allowed,
+/// trailing garbage is an error.
+Status ParseJson(std::string_view text, JsonValue* out);
+
+/// Parses newline-delimited JSON (one document per non-blank line) — the
+/// format of bench --metrics-out files.
+Status ParseJsonLines(std::string_view text, std::vector<JsonValue>* out);
+
+}  // namespace dynamast::tools
+
+#endif  // DYNAMAST_TOOLS_JSON_UTIL_H_

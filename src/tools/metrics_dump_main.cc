@@ -1,0 +1,158 @@
+// metrics_dump CLI: pretty-prints metrics JSON produced by the bench
+// --metrics-out flag (newline-delimited rows) or a raw
+// metrics::Registry::SnapshotJson() document. One line per series, in a
+// greppable name{label=value,...} = value format:
+//
+//   metrics_dump metrics.json
+//   metrics_dump --family=site_commits metrics.json
+//   metrics_dump --nonzero metrics.json | sort
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/json_util.h"
+
+namespace {
+
+using dynamast::tools::JsonValue;
+
+void Usage() {
+  std::cerr << "usage: metrics_dump [options] <metrics-json-file>\n"
+               "  --family=SUBSTR   only families whose name contains SUBSTR\n"
+               "  --nonzero         skip zero-valued counter/gauge series\n";
+}
+
+std::string FormatLabels(const JsonValue& series) {
+  const JsonValue* labels = series.Find("labels");
+  if (labels == nullptr || labels->object.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels->object) {
+    if (!first) out += ",";
+    first = false;
+    out += k + "=" + (v.is_string() ? v.string_value : "?");
+  }
+  out += "}";
+  return out;
+}
+
+void PrintSnapshot(const JsonValue& snapshot, const std::string& family_filter,
+                   bool nonzero_only) {
+  const JsonValue* metrics = snapshot.Find("metrics");
+  if (metrics == nullptr || !metrics->is_array()) {
+    std::cout << "  (no metrics array)\n";
+    return;
+  }
+  for (const JsonValue& family : metrics->array) {
+    const std::string name = family.GetString("name");
+    if (!family_filter.empty() &&
+        name.find(family_filter) == std::string::npos) {
+      continue;
+    }
+    const std::string type = family.GetString("type");
+    const JsonValue* series = family.Find("series");
+    if (series == nullptr || !series->is_array()) continue;
+    for (const JsonValue& s : series->array) {
+      const std::string labels = FormatLabels(s);
+      if (type == "histogram") {
+        if (nonzero_only && s.GetUint64("count") == 0) continue;
+        std::printf(
+            "  %s%s count=%llu mean=%.1f p50=%.0f p99=%.0f p999=%.0f "
+            "max=%llu\n",
+            name.c_str(), labels.c_str(),
+            static_cast<unsigned long long>(s.GetUint64("count")),
+            s.GetNumber("mean_us"), s.GetNumber("p50_us"),
+            s.GetNumber("p99_us"), s.GetNumber("p999_us"),
+            static_cast<unsigned long long>(s.GetUint64("max_us")));
+      } else {
+        const double value = s.GetNumber("value");
+        if (nonzero_only && value == 0) continue;
+        if (type == "counter") {
+          std::printf("  %s%s = %llu\n", name.c_str(), labels.c_str(),
+                      static_cast<unsigned long long>(s.GetUint64("value")));
+        } else {
+          std::printf("  %s%s = %g\n", name.c_str(), labels.c_str(), value);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  std::string family_filter;
+  bool nonzero_only = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--family=", 0) == 0) {
+      family_filter = arg.substr(9);
+    } else if (arg == "--nonzero") {
+      nonzero_only = true;
+    } else if (arg == "-h" || arg == "--help") {
+      Usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "metrics_dump: unknown option " << arg << "\n";
+      Usage();
+      return 2;
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      Usage();
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    Usage();
+    return 2;
+  }
+
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "metrics_dump: cannot open " << path << "\n";
+    return 2;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  std::vector<JsonValue> rows;
+  dynamast::Status parse =
+      dynamast::tools::ParseJsonLines(buffer.str(), &rows);
+  if (!parse.ok()) {
+    std::cerr << "metrics_dump: " << parse.ToString() << "\n";
+    return 2;
+  }
+  if (rows.empty()) {
+    std::cerr << "metrics_dump: no documents in " << path << "\n";
+    return 2;
+  }
+
+  for (const JsonValue& row : rows) {
+    const JsonValue* snapshot = &row;
+    if (const JsonValue* m = row.Find("metrics");
+        m != nullptr && m->is_object()) {
+      // Bench row: print its identity header, then the nested snapshot.
+      snapshot = m;
+      const JsonValue* report = row.Find("report");
+      std::printf("== bench=%s point=%s system=%s", row.GetString("bench").c_str(),
+                  row.GetString("point").c_str(),
+                  row.GetString("system").c_str());
+      if (report != nullptr) {
+        std::printf(" committed=%llu errors=%llu tput=%.1f",
+                    static_cast<unsigned long long>(
+                        report->GetUint64("committed")),
+                    static_cast<unsigned long long>(
+                        report->GetUint64("errors")),
+                    report->GetNumber("throughput"));
+      }
+      std::printf("\n");
+    }
+    PrintSnapshot(*snapshot, family_filter, nonzero_only);
+  }
+  return 0;
+}

@@ -1,5 +1,7 @@
 #include "tools/si_checker.h"
 
+#include "tools/json_util.h"
+
 #include <algorithm>
 #include <cstddef>
 #include <map>
@@ -340,6 +342,98 @@ AuditReport AuditHistory(const std::vector<HistoryEvent>& events,
   }
 
   return report;
+}
+
+namespace {
+
+// Sums a counter family over every series whose labels include
+// `label_key`=`label_value` (or every series when label_key is empty).
+uint64_t SumCounter(const JsonValue& snapshot, std::string_view family,
+                    std::string_view label_key = "",
+                    std::string_view label_value = "") {
+  const JsonValue* metrics = snapshot.Find("metrics");
+  if (metrics == nullptr || !metrics->is_array()) return 0;
+  uint64_t total = 0;
+  for (const JsonValue& entry : metrics->array) {
+    if (entry.GetString("name") != family ||
+        entry.GetString("type") != "counter") {
+      continue;
+    }
+    const JsonValue* series = entry.Find("series");
+    if (series == nullptr || !series->is_array()) continue;
+    for (const JsonValue& s : series->array) {
+      if (!label_key.empty()) {
+        const JsonValue* labels = s.Find("labels");
+        if (labels == nullptr ||
+            labels->GetString(label_key) != label_value) {
+          continue;
+        }
+      }
+      total += s.GetUint64("value");
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+std::string MetricsReconciliation::ToString() const {
+  std::ostringstream os;
+  os << "metrics reconcile:";
+  bool all_ok = true;
+  for (const Line& l : lines) {
+    os << ' ' << l.name << ' ' << l.history << '/' << l.metrics;
+    if (l.history != l.metrics) all_ok = false;
+  }
+  os << (all_ok ? " OK" : " MISMATCH");
+  return os.str();
+}
+
+Status ReconcileMetrics(const std::vector<history::HistoryEvent>& events,
+                        std::string_view snapshot_json,
+                        MetricsReconciliation* out) {
+  *out = MetricsReconciliation{};
+  JsonValue doc;
+  if (Status s = ParseJson(snapshot_json, &doc); !s.ok()) return s;
+  // Accept either a raw snapshot ({"metrics":[...]}) or a bench row whose
+  // "metrics" member holds the snapshot object.
+  const JsonValue* snapshot = &doc;
+  if (const JsonValue* m = doc.Find("metrics");
+      m != nullptr && m->is_object()) {
+    snapshot = m;
+  }
+  if (const JsonValue* m = snapshot->Find("metrics");
+      m == nullptr || !m->is_array()) {
+    return Status::InvalidArgument(
+        "document has no \"metrics\" family array");
+  }
+
+  uint64_t update_commits = 0, readonly_commits = 0, releases = 0, grants = 0;
+  for (const history::HistoryEvent& e : events) {
+    switch (e.kind) {
+      case history::EventKind::kCommit:
+        (e.installed_seq > 0 ? update_commits : readonly_commits)++;
+        break;
+      case history::EventKind::kRelease:
+        ++releases;
+        break;
+      case history::EventKind::kGrant:
+        ++grants;
+        break;
+      case history::EventKind::kAbort:
+        break;
+    }
+  }
+
+  out->lines = {
+      {"update_commits", update_commits,
+       SumCounter(*snapshot, "site_commits_total", "kind", "update")},
+      {"readonly_commits", readonly_commits,
+       SumCounter(*snapshot, "site_commits_total", "kind", "readonly")},
+      {"releases", releases, SumCounter(*snapshot, "site_releases_total")},
+      {"grants", grants, SumCounter(*snapshot, "site_grants_total")},
+  };
+  return Status::OK();
 }
 
 }  // namespace dynamast::tools

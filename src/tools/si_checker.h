@@ -3,9 +3,11 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/history.h"
+#include "common/status.h"
 
 namespace dynamast::tools {
 
@@ -91,6 +93,37 @@ struct AuditReport {
 /// or ParseHistory output verbatim) and returns every anomaly found.
 AuditReport AuditHistory(const std::vector<history::HistoryEvent>& events,
                          const SiCheckerOptions& options = {});
+
+/// Cross-checks a metrics snapshot against the recorded history: the two
+/// observability planes count the same ground truth, so exported counters
+/// must reconcile *exactly* with the event log — update commits vs
+/// site_commits_total{kind=update}, read-only commits vs kind=readonly,
+/// release / grant markers vs site_releases_total / site_grants_total.
+struct MetricsReconciliation {
+  struct Line {
+    std::string name;
+    uint64_t history = 0;
+    uint64_t metrics = 0;
+  };
+  std::vector<Line> lines;
+
+  bool ok() const {
+    for (const Line& l : lines) {
+      if (l.history != l.metrics) return false;
+    }
+    return true;
+  }
+  /// One-line "history=N metrics=N" report, e.g.
+  /// "metrics reconcile: update_commits 12/12 ... OK".
+  std::string ToString() const;
+};
+
+/// `snapshot_json` is either a raw Registry::SnapshotJson() document or a
+/// bench --metrics-out row (the snapshot is then under its "metrics" key).
+/// Parse errors surface as a non-ok status.
+Status ReconcileMetrics(const std::vector<history::HistoryEvent>& events,
+                        std::string_view snapshot_json,
+                        MetricsReconciliation* out);
 
 }  // namespace dynamast::tools
 

@@ -5,6 +5,7 @@
 //
 //   si_checker --system=dynamast history.txt
 //   si_checker --no-full-sessions --no-cross-origin-ww leap_history.txt
+//   si_checker --metrics=metrics.json history.txt   # reconcile the planes
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -25,6 +26,10 @@ void Usage() {
          "  --no-full-sessions     per-origin session monotonicity only\n"
          "  --no-cross-origin-ww   skip cross-site write-write conflicts\n"
          "  --partial              history is incomplete; skip G1a\n"
+         "  --metrics=FILE         reconcile the history against a metrics\n"
+         "                         snapshot (Registry::SnapshotJson or one\n"
+         "                         bench --metrics-out row); exit 1 on any\n"
+         "                         count mismatch\n"
          "  -q                     print nothing on a clean audit\n";
 }
 
@@ -33,11 +38,14 @@ void Usage() {
 int main(int argc, char** argv) {
   dynamast::tools::SiCheckerOptions options;
   std::string path;
+  std::string metrics_path;
   bool quiet = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--system=", 0) == 0) {
       options = dynamast::tools::OptionsForSystem(arg.substr(9));
+    } else if (arg.rfind("--metrics=", 0) == 0) {
+      metrics_path = arg.substr(10);
     } else if (arg == "--no-full-sessions") {
       options.full_session_vectors = false;
     } else if (arg == "--no-cross-origin-ww") {
@@ -86,5 +94,28 @@ int main(int argc, char** argv) {
   if (!report.ok() || !quiet) {
     std::cout << report.ToString();
   }
-  return report.ok() ? 0 : 1;
+
+  bool reconciled = true;
+  if (!metrics_path.empty()) {
+    std::ifstream metrics_in(metrics_path);
+    if (!metrics_in) {
+      std::cerr << "si_checker: cannot open " << metrics_path << "\n";
+      return 2;
+    }
+    std::ostringstream metrics_buffer;
+    metrics_buffer << metrics_in.rdbuf();
+    dynamast::tools::MetricsReconciliation reconciliation;
+    dynamast::Status s = dynamast::tools::ReconcileMetrics(
+        events, metrics_buffer.str(), &reconciliation);
+    if (!s.ok()) {
+      std::cerr << "si_checker: " << metrics_path << ": " << s.ToString()
+                << "\n";
+      return 2;
+    }
+    reconciled = reconciliation.ok();
+    if (!reconciled || !quiet) {
+      std::cout << reconciliation.ToString() << "\n";
+    }
+  }
+  return report.ok() && reconciled ? 0 : 1;
 }

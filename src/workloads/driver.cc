@@ -49,7 +49,7 @@ Driver::Report Driver::Run(core::SystemInterface& system, Workload& workload) {
       // Thread-local tallies, merged under the report mutex at the end.
       uint64_t committed = 0, errors = 0, remastered = 0, distributed = 0,
                retries = 0;
-      std::map<std::string, uint64_t> errors_by_code;
+      std::map<std::string, uint64_t> aborted_by_reason;
       std::map<std::string, uint64_t> committed_by_type;
       std::map<std::string, std::unique_ptr<LatencyRecorder>> latency_by_type;
 
@@ -79,11 +79,9 @@ Driver::Report Driver::Run(core::SystemInterface& system, Workload& workload) {
           retries += result.retries;
         } else {
           ++errors;
-          // Track by code only: "Aborted: ..." -> "Aborted".
-          std::string code = s.ToString();
-          const size_t colon = code.find(':');
-          if (colon != std::string::npos) code.resize(colon);
-          errors_by_code[code]++;
+          // Abort accounting is split by reason (the stable code name),
+          // never lumped into one opaque error count.
+          aborted_by_reason[StatusCodeName(s.code())]++;
         }
       }
 
@@ -93,8 +91,8 @@ Driver::Report Driver::Run(core::SystemInterface& system, Workload& workload) {
       report.remastered_txns += remastered;
       report.distributed_txns += distributed;
       report.retries += retries;
-      for (const auto& [code, count] : errors_by_code) {
-        report.errors_by_code[code] += count;
+      for (const auto& [reason, count] : aborted_by_reason) {
+        report.aborted_by_reason[reason] += count;
       }
       for (const auto& [type, count] : committed_by_type) {
         report.committed_by_type[type] += count;
@@ -131,6 +129,20 @@ Driver::Report Driver::Run(core::SystemInterface& system, Workload& workload) {
   if (timeline_buckets > 0) {
     report.timeline.reserve(timeline_buckets);
     for (const auto& bucket : timeline) report.timeline.push_back(bucket.load());
+  }
+
+  // Driver-level metric export: bumped once per run from the merged
+  // report, so series values equal the report exactly.
+  if (options_.metrics != nullptr) {
+    for (const auto& [type, count] : report.committed_by_type) {
+      options_.metrics->GetCounter("driver_committed_total", {{"type", type}})
+          ->Increment(count);
+    }
+    for (const auto& [reason, count] : report.aborted_by_reason) {
+      options_.metrics
+          ->GetCounter("driver_aborted_total", {{"reason", reason}})
+          ->Increment(count);
+    }
   }
   return report;
 }

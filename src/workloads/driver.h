@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/latency_recorder.h"
+#include "common/metrics.h"
 #include "core/system_interface.h"
 #include "workloads/workload.h"
 
@@ -35,6 +36,10 @@ class Driver {
     std::vector<std::pair<std::chrono::milliseconds, std::function<void()>>>
         scheduled_actions;
     uint64_t seed = 1;
+    /// Registry for driver-level metrics (driver_committed_total{type},
+    /// driver_aborted_total{reason}), bumped once at merge time. Null
+    /// disables export.
+    metrics::Registry* metrics = nullptr;
   };
 
   struct Report {
@@ -47,8 +52,10 @@ class Driver {
     uint64_t remastered_txns = 0;
     uint64_t distributed_txns = 0;
     uint64_t retries = 0;
-    /// Error statuses by ToString'd code (e.g. "SnapshotTooOld").
-    std::map<std::string, uint64_t> errors_by_code;
+    /// Failed executions by StatusCodeName (e.g. "SnapshotTooOld").
+    /// Values sum exactly to `errors` — the driver's abort accounting is
+    /// split by reason, never lumped.
+    std::map<std::string, uint64_t> aborted_by_reason;
     std::map<std::string, uint64_t> committed_by_type;
     std::map<std::string, std::unique_ptr<LatencyRecorder>> latency_by_type;
     /// Committed transactions per timeline bucket (whole run).

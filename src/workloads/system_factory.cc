@@ -41,6 +41,8 @@ core::Cluster::Options ClusterOptions(const DeploymentOptions& options) {
   cluster.site.write_op_cost = options.write_op_cost;
   cluster.site.apply_op_cost = options.apply_op_cost;
   cluster.record_history = options.record_history;
+  cluster.metrics = options.metrics;
+  cluster.trace = options.trace;
   return cluster;
 }
 

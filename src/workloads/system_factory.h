@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/partitioner.h"
 #include "core/system_interface.h"
 #include "selector/strategy.h"
@@ -47,6 +48,11 @@ struct DeploymentOptions {
   /// Record per-transaction histories for the offline SI auditor
   /// (tools/si_checker). Off in benchmarks.
   bool record_history = false;
+  /// Metrics registry the deployment exports into (null = process-global).
+  metrics::Registry* metrics = nullptr;
+  /// Record per-transaction spans (Chrome trace-event export). Off by
+  /// default; benches enable it via --trace-out.
+  bool trace = false;
 };
 
 /// Builds one ready-to-load system of `kind` over `partitioner`.

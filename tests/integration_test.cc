@@ -46,9 +46,13 @@ class SystemMatrix : public ::testing::TestWithParam<SystemKind> {};
 // Section V-A1); a real client retries those. Any other error is a bug.
 void ExpectOnlySnapshotTooOld(const Driver::Report& report,
                               const std::string& system_name) {
-  for (const auto& [code, count] : report.errors_by_code) {
+  uint64_t by_reason_total = 0;
+  for (const auto& [code, count] : report.aborted_by_reason) {
     EXPECT_EQ(code, "SnapshotTooOld") << system_name << ": " << count;
+    by_reason_total += count;
   }
+  // The per-reason taxonomy is a partition of the error count.
+  EXPECT_EQ(by_reason_total, report.errors) << system_name;
   EXPECT_LT(report.errors, report.committed / 50 + 10) << system_name;
 }
 

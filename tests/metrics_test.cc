@@ -1,0 +1,176 @@
+// Unit tests for the process-wide metrics registry (common/metrics):
+// handle stability, sharded-counter correctness under concurrency, the
+// cardinality-explosion guard, value reset, and a JSON round-trip of the
+// snapshot through the tools JSON reader.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "tools/json_util.h"
+
+namespace dynamast::metrics {
+namespace {
+
+TEST(MetricsTest, CounterHandleIsStableAndSums) {
+  Registry registry;
+  Counter* c = registry.GetCounter("requests_total", {{"site", "0"}});
+  ASSERT_NE(c, nullptr);
+  // Same (name, labels) resolves to the same handle; label order is
+  // canonicalized, so permutations collapse onto one series.
+  EXPECT_EQ(c, registry.GetCounter("requests_total", {{"site", "0"}}));
+  Counter* multi = registry.GetCounter(
+      "multi_total", {{"a", "1"}, {"b", "2"}});
+  EXPECT_EQ(multi, registry.GetCounter("multi_total", {{"b", "2"}, {"a", "1"}}));
+
+  c->Increment();
+  c->Increment(41);
+  EXPECT_EQ(c->Value(), 42u);
+  EXPECT_EQ(registry.CounterValue("requests_total", {{"site", "0"}}), 42u);
+  EXPECT_EQ(registry.CounterValue("requests_total", {{"site", "9"}}), 0u);
+}
+
+TEST(MetricsTest, ConcurrentIncrementsAreLossless) {
+  Registry registry;
+  Counter* counter = registry.GetCounter("contended_total");
+  Gauge* gauge = registry.GetGauge("contended_gauge");
+  Histogram* histogram = registry.GetHistogram("contended_us");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter->Increment();
+        gauge->Add(1.0);
+        histogram->Observe(static_cast<uint64_t>(i % 1000));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter->Value(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(gauge->Value(), static_cast<double>(kThreads) * kPerThread);
+  EXPECT_EQ(histogram->recorder().count(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(MetricsTest, TypeMismatchAndCardinalityFallToScrap) {
+  Registry registry;
+  Counter* real = registry.GetCounter("family", {{"k", "v"}});
+  // Same family name as a gauge: scrap handle, never exported.
+  Gauge* scrap_gauge = registry.GetGauge("family");
+  ASSERT_NE(scrap_gauge, nullptr);
+  scrap_gauge->Set(7);
+  EXPECT_EQ(registry.NumSeries("family"), 1u);
+
+  // Blow past the per-family series cap: the overflow series all share
+  // the scrap counter and the family stops growing.
+  for (size_t i = 0; i < Registry::kMaxSeriesPerFamily + 50; ++i) {
+    registry.GetCounter("hot_family", {{"id", std::to_string(i)}})
+        ->Increment();
+  }
+  EXPECT_EQ(registry.NumSeries("hot_family"), Registry::kMaxSeriesPerFamily);
+  Counter* overflow_a = registry.GetCounter("hot_family", {{"id", "99990"}});
+  Counter* overflow_b = registry.GetCounter("hot_family", {{"id", "99991"}});
+  EXPECT_EQ(overflow_a, overflow_b);  // both are the scrap counter
+  EXPECT_NE(overflow_a, real);
+}
+
+TEST(MetricsTest, ResetValuesKeepsHandles) {
+  Registry registry;
+  Counter* counter = registry.GetCounter("c");
+  Gauge* gauge = registry.GetGauge("g");
+  Histogram* histogram = registry.GetHistogram("h");
+  counter->Increment(5);
+  gauge->Set(2.5);
+  histogram->Observe(100);
+  registry.ResetValues();
+  EXPECT_EQ(counter->Value(), 0u);
+  EXPECT_DOUBLE_EQ(gauge->Value(), 0.0);
+  EXPECT_EQ(histogram->recorder().count(), 0u);
+  // Handles stay live and usable after the reset.
+  counter->Increment();
+  EXPECT_EQ(registry.CounterValue("c"), 1u);
+  EXPECT_EQ(registry.NumSeries(), 3u);
+}
+
+TEST(MetricsTest, SnapshotJsonRoundTrips) {
+  Registry registry;
+  registry.GetCounter("commits_total", {{"site", "0"}})->Increment(12);
+  registry.GetCounter("commits_total", {{"site", "1"}})->Increment(30);
+  registry.GetGauge("queue_depth", {{"site", "0"}})->Set(3.5);
+  Histogram* h = registry.GetHistogram("latency_us", {{"site", "0"}});
+  for (uint64_t v = 1; v <= 100; ++v) h->Observe(v);
+  // A label value that needs escaping must survive the round trip.
+  registry.GetCounter("weird_total", {{"msg", "a\"b\\c\nd"}})->Increment();
+
+  tools::JsonValue doc;
+  ASSERT_TRUE(tools::ParseJson(registry.SnapshotJson(), &doc).ok());
+  const tools::JsonValue* families = doc.Find("metrics");
+  ASSERT_NE(families, nullptr);
+  ASSERT_TRUE(families->is_array());
+  ASSERT_EQ(families->array.size(), 4u);
+
+  uint64_t commits = 0;
+  bool found_hist = false, found_weird = false;
+  for (const tools::JsonValue& family : families->array) {
+    const std::string name = family.GetString("name");
+    const tools::JsonValue* series = family.Find("series");
+    ASSERT_NE(series, nullptr) << name;
+    if (name == "commits_total") {
+      EXPECT_EQ(family.GetString("type"), "counter");
+      for (const tools::JsonValue& s : series->array) {
+        commits += s.GetUint64("value");
+      }
+    } else if (name == "latency_us") {
+      EXPECT_EQ(family.GetString("type"), "histogram");
+      ASSERT_EQ(series->array.size(), 1u);
+      const tools::JsonValue& s = series->array[0];
+      EXPECT_EQ(s.GetUint64("count"), 100u);
+      EXPECT_GT(s.GetNumber("p99_us"), s.GetNumber("p50_us"));
+      EXPECT_EQ(s.Find("labels")->GetString("site"), "0");
+      found_hist = true;
+    } else if (name == "weird_total") {
+      ASSERT_EQ(series->array.size(), 1u);
+      EXPECT_EQ(series->array[0].Find("labels")->GetString("msg"),
+                "a\"b\\c\nd");
+      found_weird = true;
+    }
+  }
+  EXPECT_EQ(commits, 42u);
+  EXPECT_TRUE(found_hist);
+  EXPECT_TRUE(found_weird);
+}
+
+TEST(JsonUtilTest, ParsesScalarsArraysAndRejectsGarbage) {
+  tools::JsonValue v;
+  ASSERT_TRUE(tools::ParseJson("  {\"a\": [1, 2.5, -3e2], \"b\": true, "
+                               "\"c\": null, \"d\": \"x\\u0041\"}  ",
+                               &v)
+                  .ok());
+  const tools::JsonValue* a = v.Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(a->array[1].number, 2.5);
+  EXPECT_DOUBLE_EQ(a->array[2].number, -300.0);
+  EXPECT_TRUE(v.Find("b")->bool_value);
+  EXPECT_EQ(v.Find("c")->type, tools::JsonValue::Type::kNull);
+  EXPECT_EQ(v.GetString("d"), "xA");
+
+  EXPECT_FALSE(tools::ParseJson("{\"a\":}", &v).ok());
+  EXPECT_FALSE(tools::ParseJson("{} trailing", &v).ok());
+  EXPECT_FALSE(tools::ParseJson("{\"a\":1", &v).ok());
+  EXPECT_FALSE(tools::ParseJson("\"unterminated", &v).ok());
+
+  std::vector<tools::JsonValue> rows;
+  ASSERT_TRUE(
+      tools::ParseJsonLines("{\"n\":1}\n\n{\"n\":2}\n", &rows).ok());
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1].GetUint64("n"), 2u);
+}
+
+}  // namespace
+}  // namespace dynamast::metrics
