@@ -11,8 +11,16 @@
 #   sched-fuzz   schedule-exploration preset: sync-point fuzzing across
 #                $FUZZ_SEEDS seeds per test, histories audited by
 #                tools/si_checker (tier2 schedule_explore_test)
+#   dpor         short-budget record/replay + partial-order reduction
+#                gate: two replays of a recorded run must agree on the
+#                history hash for every system, and the DPOR explorer
+#                must prune at least one equivalent interleaving
+#                (engine-level dpor_test plus the stock-workload suites)
 #   break-si     deliberately broken grant wait; proves the auditor
-#                detects the anomaly class (BreakSiProofTest)
+#                detects the anomaly class (BreakSiProofTest) and that
+#                the DPOR explorer finds the violation in fewer executed
+#                schedules than random search, with a minimized
+#                deterministically-replaying reproducer (BreakSiDporTest)
 #   observability  short bench run with --metrics-out/--trace-out/
 #                --history-out; jq-validates the JSON schemas (remaster
 #                counts, refresh-delay histogram, routing-explain factor
@@ -32,14 +40,17 @@
 #   SKIP_OBS=1       skip the observability stage
 #   OBS_OUT=<dir>    where the observability stage writes its artifacts
 #                    (default: build/observability; CI uploads this)
-#   SKIP_FUZZ=1      skip the sched-fuzz and break-si stages
+#   SKIP_FUZZ=1      skip the sched-fuzz, dpor, and break-si stages
 #   FUZZ_SEEDS=<n>   seeds per fuzzed test (default 5; CI weekly uses 50)
-#   DYNAMAST_SCHED_SEED=<s>  replay one failing schedule seed exactly
+#   DPOR_EXECUTIONS=<n>  DPOR schedule budget (default 2; CI weekly uses more)
+#   DYNAMAST_SCHED_SEED=<s>   replay one failing schedule seed exactly
+#   DYNAMAST_SCHED_TRACE=<f>  replay one persisted decision-stream trace
 set -uo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 FUZZ_SEEDS="${FUZZ_SEEDS:-5}"
+DPOR_EXECUTIONS="${DPOR_EXECUTIONS:-2}"
 
 stages=()
 results=()
@@ -202,23 +213,38 @@ if [[ "${SKIP_FUZZ:-0}" != "1" ]]; then
        ./build-sched-fuzz/tests/schedule_explore_test; then
       record sched-fuzz-explore PASS "$FUZZ_SEEDS seeds"
     else
-      # The test prints the failing DYNAMAST_SCHED_SEED and dumps the
-      # offending history for offline si_checker analysis.
-      record sched-fuzz-explore FAIL "see replay seed above"
+      # The test prints the failing DYNAMAST_SCHED_SEED (or persisted
+      # trace path) and dumps the offending history for offline
+      # si_checker analysis.
+      record sched-fuzz-explore FAIL "see replay seed/trace above"
+    fi
+    # Exact replay + partial-order reduction on a short budget. The
+    # filtered suites assert hash stability (two replays of a recorded
+    # run agree, per system and workload) and that DPOR prunes at least
+    # one equivalent interleaving; dpor_test covers the engine itself.
+    step "dpor: exact replay + reduction ($DPOR_EXECUTIONS executions)"
+    if ./build-sched-fuzz/tests/dpor_test &&
+       DYNAMAST_DPOR_EXECUTIONS="$DPOR_EXECUTIONS" DYNAMAST_SCHED_SEEDS=1 \
+       ./build-sched-fuzz/tests/schedule_explore_test \
+         --gtest_filter='*ExactReplayTest.*:TraceReplayTest.*:DporExploreTest.*'; then
+      record dpor PASS "executed/pruned reported above"
+    else
+      record dpor FAIL "replay hash drift or no pruning"
     fi
   else
     record sched-fuzz-tier1 FAIL "build failed"
     record sched-fuzz-explore SKIP "build failed"
+    record dpor SKIP "build failed"
   fi
 
-  step "break-si build (auditor detection proof)"
+  step "break-si build (auditor + explorer detection proof)"
   if cmake --preset break-si &&
      cmake --build build-break-si --target schedule_explore_test -j "$JOBS"; then
     if ./build-break-si/tests/schedule_explore_test \
-         --gtest_filter='BreakSiProofTest.*'; then
+         --gtest_filter='BreakSiProofTest.*:BreakSiDporTest.*'; then
       record break-si PASS
     else
-      record break-si FAIL "auditor missed the injected anomaly"
+      record break-si FAIL "auditor or explorer missed the injected anomaly"
     fi
   else
     record break-si FAIL "build failed"
@@ -226,6 +252,7 @@ if [[ "${SKIP_FUZZ:-0}" != "1" ]]; then
 else
   record sched-fuzz-tier1 SKIP "SKIP_FUZZ=1"
   record sched-fuzz-explore SKIP "SKIP_FUZZ=1"
+  record dpor SKIP "SKIP_FUZZ=1"
   record break-si SKIP "SKIP_FUZZ=1"
 fi
 

@@ -9,6 +9,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/debug_mutex.h"
 #include "core/cluster.h"
 #include "core/system_interface.h"
 #include "selector/partition_map.h"
@@ -72,7 +73,7 @@ class LeapSystem final : public core::SystemInterface {
   selector::PartitionMap ownership_;
   /// Partitions of static replicated tables (never localized).
   std::unordered_set<PartitionId> static_partitions_;
-  std::mutex static_partitions_mu_;
+  DebugMutex static_partitions_mu_{"leap.static_partitions"};
   std::atomic<uint64_t> partitions_shipped_{0};
   std::atomic<uint64_t> bytes_shipped_{0};
   bool sealed_ = false;

@@ -4,6 +4,7 @@
 #include <map>
 #include <unordered_map>
 
+#include "common/scheduler.h"
 #include "core/site_txn_context.h"
 
 namespace dynamast::baselines {
@@ -208,7 +209,7 @@ Status PartitionedSystem::Execute(core::ClientState& client,
 
   if (options_.random_coordinator) {
     // Placement-oblivious front: the client lands on an arbitrary site.
-    std::lock_guard<std::mutex> guard(rng_mu_);
+    std::lock_guard guard(rng_mu_);
     coordinator = static_cast<SiteId>(rng_.Uniform(cluster_.num_sites()));
   }
 
@@ -333,7 +334,7 @@ Status PartitionedSystem::ExecuteDistributedWrite(
       }
       bool vote_no = false;
       if (options_.injected_abort_probability > 0) {
-        std::lock_guard<std::mutex> guard(rng_mu_);
+        std::lock_guard guard(rng_mu_);
         vote_no = rng_.Bernoulli(options_.injected_abort_probability);
       }
       if (vote_no) {
@@ -381,7 +382,7 @@ Status PartitionedSystem::ExecuteRead(core::ClientState& client,
     }
     SiteId site_id = freshest;
     if (!fresh.empty()) {
-      std::lock_guard<std::mutex> guard(rng_mu_);
+      std::lock_guard guard(rng_mu_);
       site_id = fresh[rng_.Uniform(fresh.size())];
     }
     net.RoundTrip(net::TrafficClass::kClientRequest, kRpcRequestBytes,
@@ -429,7 +430,7 @@ Status PartitionedSystem::ExecuteRead(core::ClientState& client,
     }
   }
   if (options_.random_coordinator) {
-    std::lock_guard<std::mutex> guard(rng_mu_);
+    std::lock_guard guard(rng_mu_);
     coordinator = static_cast<SiteId>(rng_.Uniform(cluster_.num_sites()));
   }
   if (owner_counts.size() > 1) {
@@ -460,9 +461,12 @@ Status PartitionedSystem::ExecuteRead(core::ClientState& client,
   std::mutex prefetched_mu;
   if (!remote_reads.empty()) {
     std::vector<std::thread> fetchers;
+    const std::string parent = sched::CurrentThreadName();
     for (auto& [owner, keys] : remote_reads) {
       fetchers.emplace_back([this, owner = owner, &keys, &prefetched,
-                             &prefetched_mu] {
+                             &prefetched_mu, &parent] {
+        sched::ThreadGuard sched_guard(parent + "/fetch/" +
+                                       std::to_string(owner));
         cluster_.network().RoundTrip(net::TrafficClass::kCoordination,
                                      kRpcRequestBytes + 8 * keys.size(),
                                      kRpcResponseBytes + 64 * keys.size());
@@ -480,6 +484,7 @@ Status PartitionedSystem::ExecuteRead(core::ClientState& client,
         }
       });
     }
+    sched::ScopedBlocked blocked;
     for (auto& f : fetchers) f.join();
   }
 

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/debug_mutex.h"
 #include "common/random.h"
 #include "core/cluster.h"
 #include "core/system_interface.h"
@@ -118,7 +119,7 @@ class PartitionedSystem final : public core::SystemInterface {
   core::Cluster cluster_;
   std::atomic<uint64_t> distributed_txns_{0};
   std::atomic<uint64_t> single_site_txns_{0};
-  std::mutex rng_mu_;
+  DebugMutex rng_mu_{"partitioned.rng"};
   Random rng_;
   bool sealed_ = false;
 };

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <mutex>
 #include <shared_mutex>
+#include <type_traits>
 
 #include "common/scheduler.h"
 
@@ -78,13 +79,17 @@ void SetViolationHandlerForTest(ViolationHandler handler);
 class TrackedMutex {
  public:
   explicit TrackedMutex(const char* name, uint64_t rank = kNoRank)
-      : name_(name), rank_(rank) {}
+      : name_(name), rank_(rank), sched_uid_(DYNAMAST_SCHED_REGISTER(name)) {}
 
   TrackedMutex(const TrackedMutex&) = delete;
   TrackedMutex& operator=(const TrackedMutex&) = delete;
 
   void lock() {
-    DYNAMAST_SCHED_POINT("mutex.lock");
+    // The scope spans the native acquisition: in record mode the entry is
+    // appended once the lock is actually held (post-completion), in
+    // replay mode the gate blocks until this acquisition is the object's
+    // recorded next operation.
+    DYNAMAST_SCHED_OP_SCOPE(sched_op, kMutexLock, sched_uid_);
     OnLock(this, name_, rank_);
     mu_.lock();
   }
@@ -94,8 +99,9 @@ class TrackedMutex {
     return true;
   }
   void unlock() {
-    // Perturbing before release stretches the critical section.
-    DYNAMAST_SCHED_POINT("mutex.unlock");
+    // Releases trace pre-operation, so every enabling release precedes
+    // the acquisition it enables in the recorded stream.
+    DYNAMAST_SCHED_OP_SCOPE(sched_op, kMutexUnlock, sched_uid_);
     OnUnlock(this);
     mu_.unlock();
   }
@@ -112,18 +118,19 @@ class TrackedMutex {
   std::mutex mu_;
   const char* name_;
   uint64_t rank_;
+  uint32_t sched_uid_;
 };
 
 class TrackedSharedMutex {
  public:
   explicit TrackedSharedMutex(const char* name, uint64_t rank = kNoRank)
-      : name_(name), rank_(rank) {}
+      : name_(name), rank_(rank), sched_uid_(DYNAMAST_SCHED_REGISTER(name)) {}
 
   TrackedSharedMutex(const TrackedSharedMutex&) = delete;
   TrackedSharedMutex& operator=(const TrackedSharedMutex&) = delete;
 
   void lock() {
-    DYNAMAST_SCHED_POINT("mutex.lock");
+    DYNAMAST_SCHED_OP_SCOPE(sched_op, kMutexLock, sched_uid_);
     OnLock(this, name_, rank_);
     mu_.lock();
   }
@@ -133,7 +140,7 @@ class TrackedSharedMutex {
     return true;
   }
   void unlock() {
-    DYNAMAST_SCHED_POINT("mutex.unlock");
+    DYNAMAST_SCHED_OP_SCOPE(sched_op, kMutexUnlock, sched_uid_);
     OnUnlock(this);
     mu_.unlock();
   }
@@ -141,7 +148,7 @@ class TrackedSharedMutex {
   // Shared acquisitions participate in ordering checks too: a reader
   // blocked behind a queued writer is still a wait-for edge.
   void lock_shared() {
-    DYNAMAST_SCHED_POINT("mutex.lock_shared");
+    DYNAMAST_SCHED_OP_SCOPE(sched_op, kMutexLockShared, sched_uid_);
     OnLock(this, name_, rank_);
     mu_.lock_shared();
   }
@@ -151,7 +158,7 @@ class TrackedSharedMutex {
     return true;
   }
   void unlock_shared() {
-    DYNAMAST_SCHED_POINT("mutex.unlock_shared");
+    DYNAMAST_SCHED_OP_SCOPE(sched_op, kMutexUnlockShared, sched_uid_);
     OnUnlock(this);
     mu_.unlock_shared();
   }
@@ -162,6 +169,7 @@ class TrackedSharedMutex {
   std::shared_mutex mu_;
   const char* name_;
   uint64_t rank_;
+  uint32_t sched_uid_;
 };
 
 // ---------------------------------------------------------------------
@@ -170,18 +178,19 @@ class TrackedSharedMutex {
 
 class PlainMutex {
  public:
-  explicit PlainMutex(const char* /*name*/, uint64_t /*rank*/ = kNoRank) {}
+  explicit PlainMutex(const char* name, uint64_t /*rank*/ = kNoRank)
+      : sched_uid_(DYNAMAST_SCHED_REGISTER(name)) {}
 
   PlainMutex(const PlainMutex&) = delete;
   PlainMutex& operator=(const PlainMutex&) = delete;
 
   void lock() {
-    DYNAMAST_SCHED_POINT("mutex.lock");
+    DYNAMAST_SCHED_OP_SCOPE(sched_op, kMutexLock, sched_uid_);
     mu_.lock();
   }
   bool try_lock() { return mu_.try_lock(); }
   void unlock() {
-    DYNAMAST_SCHED_POINT("mutex.unlock");
+    DYNAMAST_SCHED_OP_SCOPE(sched_op, kMutexUnlock, sched_uid_);
     mu_.unlock();
   }
   void set_rank(uint64_t /*rank*/) {}
@@ -192,37 +201,40 @@ class PlainMutex {
 
  private:
   std::mutex mu_;
+  uint32_t sched_uid_;
 };
 
 class PlainSharedMutex {
  public:
-  explicit PlainSharedMutex(const char* /*name*/, uint64_t /*rank*/ = kNoRank) {}
+  explicit PlainSharedMutex(const char* name, uint64_t /*rank*/ = kNoRank)
+      : sched_uid_(DYNAMAST_SCHED_REGISTER(name)) {}
 
   PlainSharedMutex(const PlainSharedMutex&) = delete;
   PlainSharedMutex& operator=(const PlainSharedMutex&) = delete;
 
   void lock() {
-    DYNAMAST_SCHED_POINT("mutex.lock");
+    DYNAMAST_SCHED_OP_SCOPE(sched_op, kMutexLock, sched_uid_);
     mu_.lock();
   }
   bool try_lock() { return mu_.try_lock(); }
   void unlock() {
-    DYNAMAST_SCHED_POINT("mutex.unlock");
+    DYNAMAST_SCHED_OP_SCOPE(sched_op, kMutexUnlock, sched_uid_);
     mu_.unlock();
   }
   void lock_shared() {
-    DYNAMAST_SCHED_POINT("mutex.lock_shared");
+    DYNAMAST_SCHED_OP_SCOPE(sched_op, kMutexLockShared, sched_uid_);
     mu_.lock_shared();
   }
   bool try_lock_shared() { return mu_.try_lock_shared(); }
   void unlock_shared() {
-    DYNAMAST_SCHED_POINT("mutex.unlock_shared");
+    DYNAMAST_SCHED_OP_SCOPE(sched_op, kMutexUnlockShared, sched_uid_);
     mu_.unlock_shared();
   }
   void set_rank(uint64_t /*rank*/) {}
 
  private:
   std::shared_mutex mu_;
+  uint32_t sched_uid_;
 };
 
 }  // namespace lockdebug
@@ -240,6 +252,15 @@ using DebugSharedMutex = lockdebug::PlainSharedMutex;
 /// default build is exactly a std::condition_variable; in lock-debug
 /// builds the wait notifies the checker that the mutex is released for the
 /// duration of the wait.
+///
+/// In the scheduler's armed modes (record/replay/explore, fuzz builds
+/// only) waits take a different path entirely: the native condvar's
+/// wake-up race is an untraced scheduling decision, so instead the wait
+/// performs a *traced* unlock, parks on the scheduler until the condvar's
+/// generation counter moves (sched::CvNotify, bumped by notify_one/all),
+/// then performs a *traced* re-acquisition. The lock handoff — the
+/// decision that matters — lands in the decision stream; the predicate
+/// loop around every wait absorbs the extra wake-ups this produces.
 template <class MutexT>
 class BasicDebugCondVar {
  public:
@@ -247,10 +268,26 @@ class BasicDebugCondVar {
   BasicDebugCondVar(const BasicDebugCondVar&) = delete;
   BasicDebugCondVar& operator=(const BasicDebugCondVar&) = delete;
 
-  void notify_one() noexcept { cv_.notify_one(); }
-  void notify_all() noexcept { cv_.notify_all(); }
+  void notify_one() noexcept {
+    cv_.notify_one();
+#if DYNAMAST_SCHED_FUZZ_ENABLED
+    if (sched::CvRedirectArmed()) sched::CvNotify(this);
+#endif
+  }
+  void notify_all() noexcept {
+    cv_.notify_all();
+#if DYNAMAST_SCHED_FUZZ_ENABLED
+    if (sched::CvRedirectArmed()) sched::CvNotify(this);
+#endif
+  }
 
   void wait(std::unique_lock<MutexT>& lock) {
+#if DYNAMAST_SCHED_FUZZ_ENABLED
+    if (sched::CvRedirectArmed()) {
+      (void)ArmedWait(lock, std::chrono::steady_clock::time_point::max());
+      return;
+    }
+#endif
     WaitScope scope(lock);
     cv_.wait(scope.inner);
   }
@@ -264,6 +301,9 @@ class BasicDebugCondVar {
   std::cv_status wait_until(
       std::unique_lock<MutexT>& lock,
       const std::chrono::time_point<Clock, Duration>& deadline) {
+#if DYNAMAST_SCHED_FUZZ_ENABLED
+    if (sched::CvRedirectArmed()) return ArmedWait(lock, ToSteady(deadline));
+#endif
     WaitScope scope(lock);
     return cv_.wait_until(scope.inner, deadline);
   }
@@ -281,11 +321,41 @@ class BasicDebugCondVar {
   template <class Rep, class Period>
   std::cv_status wait_for(std::unique_lock<MutexT>& lock,
                           const std::chrono::duration<Rep, Period>& rel) {
+#if DYNAMAST_SCHED_FUZZ_ENABLED
+    if (sched::CvRedirectArmed()) {
+      return ArmedWait(lock, std::chrono::steady_clock::now() + rel);
+    }
+#endif
     WaitScope scope(lock);
     return cv_.wait_for(scope.inner, rel);
   }
 
  private:
+#if DYNAMAST_SCHED_FUZZ_ENABLED
+  template <class Clock, class Duration>
+  static std::chrono::steady_clock::time_point ToSteady(
+      const std::chrono::time_point<Clock, Duration>& tp) {
+    if constexpr (std::is_same_v<Clock, std::chrono::steady_clock>) {
+      return std::chrono::time_point_cast<std::chrono::steady_clock::duration>(
+          tp);
+    } else {
+      const auto delta = tp - Clock::now();
+      return std::chrono::steady_clock::now() +
+             std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                 delta);
+    }
+  }
+
+  std::cv_status ArmedWait(std::unique_lock<MutexT>& lock,
+                           std::chrono::steady_clock::time_point deadline) {
+    const uint64_t gen = sched::CvGeneration(this);
+    lock.unlock();  // traced release
+    const bool changed = sched::CvPark(this, gen, deadline);
+    lock.lock();  // traced reacquisition: the arbitration is in the trace
+    return changed ? std::cv_status::no_timeout : std::cv_status::timeout;
+  }
+#endif
+
   // Adopts the caller's DebugMutex as a std::unique_lock<std::mutex> over
   // its native mutex for the duration of one wait, so the standard
   // condition variable can unlock/relock it. The outer unique_lock keeps

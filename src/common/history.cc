@@ -123,6 +123,23 @@ std::string Recorder::Serialize() const {
   return out;
 }
 
+uint64_t Recorder::Hash() const { return HashEvents(Snapshot()); }
+
+uint64_t HashEvents(const std::vector<HistoryEvent>& events) {
+  // FNV-1a 64 over the serialized lines: the serialization covers every
+  // logical field, so hash equality is (collision-negligibly) line-for-
+  // line history equality.
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (const HistoryEvent& event : events) {
+    const std::string line = SerializeEvent(event);
+    for (const char c : line) {
+      h = (h ^ static_cast<unsigned char>(c)) * 0x100000001b3ULL;
+    }
+    h = (h ^ static_cast<unsigned char>('\n')) * 0x100000001b3ULL;
+  }
+  return h;
+}
+
 Status Recorder::DumpToFile(const std::string& path) const {
   std::ofstream file(path, std::ios::trunc);
   if (!file.is_open()) {

@@ -106,10 +106,19 @@ class Recorder {
   std::string Serialize() const;
   Status DumpToFile(const std::string& path) const;
 
+  /// Stable 64-bit hash over the serialized history. Every field of every
+  /// event is logical (sequence numbers, version vectors, key sets — no
+  /// wall-clock), so two executions produce the same hash iff they made
+  /// the same decisions in the same order: the exact-replay check.
+  uint64_t Hash() const;
+
  private:
   mutable DebugMutex mu_{"history.recorder"};
   std::vector<HistoryEvent> events_;
 };
+
+/// Hash() over an already-snapshotted event list.
+uint64_t HashEvents(const std::vector<HistoryEvent>& events);
 
 /// Serializes one event as a single line (no trailing newline).
 std::string SerializeEvent(const HistoryEvent& event);

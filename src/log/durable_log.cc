@@ -11,6 +11,15 @@ uint64_t DurableLog::Append(std::string serialized) {
   uint64_t offset;
   {
     std::lock_guard guard(mu_);
+    if (crash_countdown_ != nullptr &&
+        crash_countdown_->fetch_sub(1, std::memory_order_acq_rel) <= 0) {
+      // Crash injection armed and exhausted: the write is lost. Report
+      // the offset it would have had; nothing is delivered or notified.
+      return entries_.size();
+    }
+    // Appends are ordering decisions (which commit reaches the topic
+    // first): record/replay serialize them through the per-topic stream.
+    DYNAMAST_SCHED_OP(kLogAppend, sched_uid_);
     entries_.push_back(std::move(serialized));
     offset = entries_.size() - 1;
     cv_.notify_all();
@@ -78,6 +87,17 @@ LogManager::LogManager(size_t num_sites) {
 
 void LogManager::CloseAll() {
   for (auto& topic : topics_) topic->Close();
+}
+
+uint64_t LogManager::TotalAppends() const {
+  uint64_t total = 0;
+  for (const auto& topic : topics_) total += topic->Size();
+  return total;
+}
+
+void LogManager::ArmCrashAfterAppends(int64_t appends) {
+  auto countdown = std::make_shared<std::atomic<int64_t>>(appends);
+  for (auto& topic : topics_) topic->SetCrashCountdown(countdown);
 }
 
 }  // namespace dynamast::log

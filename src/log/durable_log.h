@@ -61,12 +61,25 @@ class DurableLog {
     append_latency_.store(histogram, std::memory_order_release);
   }
 
+  /// Crash injection for recovery tests: after `countdown` reaches zero
+  /// (shared across the topics of one LogManager), Append silently drops
+  /// the record — modeling writes that never reached the durable log
+  /// before the site crashed. Readers see nothing; the returned offset is
+  /// a plausible lie, exactly like an acknowledged-but-lost write.
+  void SetCrashCountdown(std::shared_ptr<std::atomic<int64_t>> countdown) {
+    std::lock_guard guard(mu_);
+    crash_countdown_ = std::move(countdown);
+  }
+
  private:
   mutable DebugMutex mu_{"log.topic"};
   mutable DebugCondVar cv_;
   std::vector<std::string> entries_;
   bool closed_ = false;
   std::atomic<metrics::Histogram*> append_latency_{nullptr};
+  std::shared_ptr<std::atomic<int64_t>> crash_countdown_;
+  // Scheduler identity of this topic's append decision stream.
+  uint32_t sched_uid_ = DYNAMAST_SCHED_REGISTER("log.append");
 };
 
 /// A consumer cursor over a DurableLog: tracks the next offset to read.
@@ -104,6 +117,15 @@ class LogManager {
   size_t num_sites() const { return topics_.size(); }
 
   void CloseAll();
+
+  /// Total records across all topics (a stable crash-point coordinate for
+  /// recovery sweeps: "crash after the k-th durable append").
+  uint64_t TotalAppends() const;
+
+  /// Arms crash injection: the next `appends` appends (across all topics)
+  /// succeed, every later one is silently dropped. Passing a huge value
+  /// effectively disarms.
+  void ArmCrashAfterAppends(int64_t appends);
 
  private:
   std::vector<std::unique_ptr<DurableLog>> topics_;

@@ -48,8 +48,9 @@ void SimulatedNetwork::Send(TrafficClass c, size_t bytes) {
     exported.bytes->Increment(bytes);
   }
   // Delivery is a synchronization point even when delay charging is off:
-  // schedule fuzzing jitters message arrival order here.
-  DYNAMAST_SCHED_POINT("net.deliver");
+  // schedule fuzzing jitters message arrival order here, and record/replay
+  // serialize every delivery decision through the per-network queue.
+  DYNAMAST_SCHED_OP(kNetDeliver, sched_uid_);
   if (!options_.charge_delays) return;
   if (inflight_gauge_ != nullptr) {
     inflight_gauge_->Set(static_cast<double>(

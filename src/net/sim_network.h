@@ -107,6 +107,8 @@ class SimulatedNetwork {
   // reserve a transmission slot (the sleep happens outside the lock).
   DebugMutex link_mu_{"net.link"};
   std::chrono::steady_clock::time_point link_busy_until_{};
+  // Scheduler identity of this network's delivery decision stream.
+  uint32_t sched_uid_ = DYNAMAST_SCHED_REGISTER("net.deliver");
 };
 
 }  // namespace dynamast::net

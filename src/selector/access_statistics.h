@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/debug_mutex.h"
 #include "common/key.h"
 
 namespace dynamast::selector {
@@ -98,7 +99,7 @@ class AccessStatistics {
 
   Options options_;
 
-  mutable std::mutex mu_;
+  mutable DebugMutex mu_{"selector.access_stats"};
   std::vector<SiteId> master_of_;          // mirror of the allocation
   std::vector<int64_t> partition_writes_;  // per-partition write frequency
   std::vector<int64_t> site_writes_;       // per-site totals (allocation B)

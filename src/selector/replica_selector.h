@@ -5,6 +5,7 @@
 #include <mutex>
 #include <vector>
 
+#include "common/debug_mutex.h"
 #include "common/key.h"
 #include "common/partitioner.h"
 #include "selector/site_selector.h"
@@ -68,7 +69,7 @@ class ReplicaSiteSelector {
   SiteSelector* master_;
   const Partitioner* partitioner_;
 
-  mutable std::mutex cache_mu_;
+  mutable DebugMutex cache_mu_{"selector.replica_cache"};
   std::vector<SiteId> cached_master_;
 
   std::atomic<uint64_t> local_routes_{0};

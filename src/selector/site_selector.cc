@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "common/invariant_checker.h"
+#include "common/scheduler.h"
 #if DYNAMAST_INVARIANTS_ENABLED
 #include "site/invariants.h"
 #endif
@@ -109,7 +110,7 @@ void SiteSelector::MaybeSample(ClientId client,
   const auto now = std::chrono::steady_clock::now();
   bool sample;
   {
-    std::lock_guard<std::mutex> guard(rng_mu_);
+    std::lock_guard guard(rng_mu_);
     if (options_.adaptive_sampling) {
       if (now - sample_window_start_ >= std::chrono::seconds(1)) {
         // New window: if the last one overshot the budget, throttle;
@@ -138,7 +139,7 @@ void SiteSelector::MaybeSample(ClientId client,
 }
 
 double SiteSelector::EffectiveSampleRate() const {
-  std::lock_guard<std::mutex> guard(rng_mu_);
+  std::lock_guard guard(rng_mu_);
   return options_.adaptive_sampling
              ? options_.sample_rate * effective_sample_rate_
              : options_.sample_rate;
@@ -313,9 +314,12 @@ Status SiteSelector::Remaster(const std::vector<PartitionId>& partitions,
   Status first_error;
   std::vector<std::thread> workers;
   workers.reserve(groups.size());
+  const std::string parent = sched::CurrentThreadName();
   for (auto& [src, group] : groups) {
     workers.emplace_back([this, src = src, &group, dest, out_vv, &result_mu,
-                          &first_error] {
+                          &first_error, &parent] {
+      sched::ThreadGuard sched_guard(parent + "/remaster/" +
+                                     std::to_string(src));
       // Release RPC to the current master (metadata only).
       if (network_ != nullptr) {
         network_->RoundTrip(net::TrafficClass::kRemastering,
@@ -343,7 +347,10 @@ Status SiteSelector::Remaster(const std::vector<PartitionId>& partitions,
       out_vv->MaxWith(grant_vv);  // Algorithm 1 line 9
     });
   }
-  for (auto& w : workers) w.join();
+  {
+    sched::ScopedBlocked blocked;
+    for (auto& w : workers) w.join();
+  }
   return first_error;
 }
 
@@ -372,7 +379,7 @@ Status SiteSelector::RouteRead(ClientId client,
   if (fresh.empty()) {
     *out_site = freshest;
   } else {
-    std::lock_guard<std::mutex> guard(rng_mu_);
+    std::lock_guard guard(rng_mu_);
     *out_site = fresh[rng_.Uniform(fresh.size())];
   }
   return Status::OK();

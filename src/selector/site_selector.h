@@ -7,6 +7,7 @@
 #include <mutex>
 #include <vector>
 
+#include "common/debug_mutex.h"
 #include "common/key.h"
 #include "common/metrics.h"
 #include "common/partitioner.h"
@@ -188,7 +189,7 @@ class SiteSelector {
   RemasterStrategy strategy_;
   SelectorCounters counters_;
 
-  mutable std::mutex rng_mu_;
+  mutable DebugMutex rng_mu_{"selector.rng"};
   Random rng_;
 
   // Adaptive sampling state (guarded by rng_mu_, which MaybeSample holds

@@ -29,8 +29,10 @@ void AdmissionGate::Enter() {
     if (wait_us_ != nullptr) wait_us_->Observe(watch.ElapsedMicros());
   }
   // Slot granted: schedule fuzzing reorders which admitted transaction
-  // actually reaches BeginTransaction first.
-  DYNAMAST_SCHED_POINT("gate.grant");
+  // actually reaches BeginTransaction first; record/replay capture the
+  // grant order (the winner itself is already pinned by the traced
+  // cv-wait re-acquisition of mu_).
+  DYNAMAST_SCHED_OP(kGateGrant, sched_uid_);
 }
 
 void AdmissionGate::Exit() {

@@ -51,6 +51,8 @@ class AdmissionGate {
   DebugCondVar cv_;
   size_t free_slots_;
   uint64_t waiting_ = 0;
+  // Scheduler identity of this gate's slot-grant decision stream.
+  uint32_t sched_uid_ = DYNAMAST_SCHED_REGISTER("gate.grant");
   metrics::Histogram* wait_us_ = nullptr;
   metrics::Gauge* queue_depth_ = nullptr;
 };

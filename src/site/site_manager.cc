@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "common/invariant_checker.h"
+#include "common/scheduler.h"
 #include "common/latency_recorder.h"
 
 namespace dynamast::site {
@@ -96,7 +97,12 @@ void SiteManager::Start() {
   started_ = true;
   for (SiteId origin = 0; origin < options_.num_sites; ++origin) {
     if (origin == options_.site_id) continue;
-    appliers_.emplace_back([this, origin] { ApplierLoop(origin); });
+    appliers_.emplace_back([this, origin] {
+      sched::ThreadGuard sched_guard("site/" +
+                                     std::to_string(options_.site_id) +
+                                     "/applier/" + std::to_string(origin));
+      ApplierLoop(origin);
+    });
   }
 }
 
@@ -105,6 +111,7 @@ void SiteManager::Stop() {
     // Already stopping; just join if needed.
   }
   state_cv_.notify_all();
+  sched::ScopedBlocked blocked;
   for (auto& t : appliers_) {
     if (t.joinable()) t.join();
   }

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cstddef>
 #include <map>
+#include <set>
 #include <sstream>
 #include <unordered_map>
 #include <utility>
@@ -55,6 +56,8 @@ const char* AnomalyKindName(AnomalyKind kind) {
       return "session-regression";
     case AnomalyKind::kRemasterWindow:
       return "remaster-window";
+    case AnomalyKind::kSsiDangerousStructure:
+      return "ssi-dangerous-structure";
   }
   return "unknown";
 }
@@ -88,6 +91,10 @@ std::string AuditReport::ToString() const {
      << markers << " markers; " << reads_checked << " reads and "
      << write_pairs_checked << " write pairs checked; " << anomalies.size()
      << (anomalies.size() == 1 ? " anomaly" : " anomalies") << "\n";
+  os << "  SSI: " << rw_antidependencies << " rw-antidependencies, "
+     << dangerous_structures << " dangerous structures"
+     << (dangerous_structures == 0 ? " (certified serializable)" : "")
+     << "\n";
   for (const Anomaly& a : anomalies) {
     os << "  " << a.ToString() << "\n";
   }
@@ -339,6 +346,93 @@ AuditReport AuditHistory(const std::vector<HistoryEvent>& events,
         }
       }
     }
+  }
+
+  // ---- SSI certification (G2 dangerous structures) ------------------
+  // rw-antidependency R ->rw W: committed R read key k, committed W
+  // installed a version of k that was *not* visible to R's snapshot
+  // (At(R.begin, W.site) < W.installed_seq) — W overwrote what R read
+  // while running concurrently with (or after) R's snapshot. 2PC branches
+  // of one logical transaction never antidepend on each other.
+  //
+  // Dangerous structure (Fekete et al.): a pivot P with an incoming edge
+  // T1 ->rw P and an outgoing edge P ->rw T3 where T3 committed before P
+  // and no later than T1 (T1 == T3 allowed: that is plain write skew).
+  // Every non-serializable SI execution contains one, so zero structures
+  // certifies the run serializable. Because the flag condition is
+  // monotone — easier to satisfy as commit(T1) grows and commit(T3)
+  // shrinks — it suffices to test the latest-committing in-neighbour
+  // against the earliest-committing out-neighbour of each pivot.
+  {
+    std::map<RecordKey, std::vector<size_t>> readers_by_key;
+    for (size_t i : committed) {
+      for (const history::ReadObservation& r : events[i].reads) {
+        auto& v = readers_by_key[r.key];
+        if (v.empty() || v.back() != i) v.push_back(i);
+      }
+    }
+    std::set<std::pair<size_t, size_t>> edges;  // (reader idx, writer idx)
+    for (const auto& [key, writers] : writers_by_key) {
+      auto rit = readers_by_key.find(key);
+      if (rit == readers_by_key.end()) continue;
+      for (size_t wi : writers) {
+        const HistoryEvent& w = events[wi];
+        if (w.installed_seq == 0) continue;
+        for (size_t ri : rit->second) {
+          if (ri == wi) continue;
+          const HistoryEvent& r = events[ri];
+          if (r.client == w.client && r.client_txn == w.client_txn &&
+              r.client_txn != 0) {
+            continue;  // branches of one logical transaction
+          }
+          if (At(r.begin, w.site) >= w.installed_seq) continue;  // visible
+          edges.emplace(ri, wi);
+        }
+      }
+    }
+    report.rw_antidependencies = edges.size();
+
+    struct PivotEdges {
+      bool has_in = false, has_out = false;
+      uint64_t in_max = 0, out_min = 0;  // commit (recorder) seqs
+      size_t in_ev = 0, out_ev = 0;      // event indices for the report
+    };
+    std::unordered_map<size_t, PivotEdges> pivots;
+    for (const auto& [ri, wi] : edges) {
+      PivotEdges& as_pivot_in = pivots[wi];  // edge into wi
+      if (!as_pivot_in.has_in || events[ri].seq > as_pivot_in.in_max) {
+        as_pivot_in.has_in = true;
+        as_pivot_in.in_max = events[ri].seq;
+        as_pivot_in.in_ev = ri;
+      }
+      PivotEdges& as_pivot_out = pivots[ri];  // edge out of ri
+      if (!as_pivot_out.has_out || events[wi].seq < as_pivot_out.out_min) {
+        as_pivot_out.has_out = true;
+        as_pivot_out.out_min = events[wi].seq;
+        as_pivot_out.out_ev = wi;
+      }
+    }
+    std::vector<size_t> flagged;
+    for (const auto& [p, pe] : pivots) {
+      if (!pe.has_in || !pe.has_out) continue;
+      if (pe.out_min < events[p].seq && pe.out_min <= pe.in_max) {
+        flagged.push_back(p);
+      }
+    }
+    std::sort(flagged.begin(), flagged.end());
+    for (size_t p : flagged) {
+      const PivotEdges& pe = pivots[p];
+      Anomaly a{AnomalyKind::kSsiDangerousStructure, events[p].seq, ""};
+      a.detail = DescribeEvent(events[pe.in_ev]) + " ->rw pivot " +
+                 DescribeEvent(events[p]) + " ->rw " +
+                 DescribeEvent(events[pe.out_ev]) +
+                 " with the out-neighbour committing first";
+      report.ssi.push_back(a);
+      if (options.certify_serializable) {
+        report.anomalies.push_back(std::move(a));
+      }
+    }
+    report.dangerous_structures = flagged.size();
   }
 
   return report;

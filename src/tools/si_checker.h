@@ -32,6 +32,17 @@ namespace dynamast::tools {
 ///                              master with a begin snapshot that does not
 ///                              dominate the grant's release vector
 ///                              (Algorithm 1's grant-side wait skipped).
+///
+/// Beyond the SI anomaly classes, the auditor also certifies full
+/// serializability the SSI way (Cahill et al., SIGMOD'08, building on
+/// Fekete et al., TODS'05): it materializes every rw-antidependency
+/// (reader -> concurrent later writer of a key the reader observed an
+/// older version of) and flags *dangerous structures* — a pivot
+/// transaction with both an incoming and an outgoing rw-antidependency
+/// whose out-neighbour committed first. Every non-serializable SI
+/// execution contains such a structure, so a history with zero dangerous
+/// structures is certified serializable (G2-free); a flagged structure is
+/// a *potential* anomaly (the check is conservative, like SSI itself).
 enum class AnomalyKind {
   kG1aAbortedRead,
   kG1bIntermediateRead,
@@ -40,6 +51,7 @@ enum class AnomalyKind {
   kLostUpdate,
   kSessionRegression,
   kRemasterWindow,
+  kSsiDangerousStructure,
 };
 
 const char* AnomalyKindName(AnomalyKind kind);
@@ -72,6 +84,12 @@ struct SiCheckerOptions {
   /// no recorded committed installer is reported as G1a; when false
   /// (partial dumps) such reads are skipped.
   bool complete_history = true;
+  /// Promote SSI dangerous structures into `anomalies` (so ok() fails on
+  /// them). Off by default: SI systems legitimately admit write skew, and
+  /// the standard audit only checks the SI contract. Turn on to certify a
+  /// run fully serializable. Structures are always counted and listed in
+  /// AuditReport::ssi either way.
+  bool certify_serializable = false;
 };
 
 /// Per-system audit presets.
@@ -85,7 +103,17 @@ struct AuditReport {
   size_t reads_checked = 0;
   size_t write_pairs_checked = 0;
 
+  /// SSI certification results: distinct rw-antidependency edges in the
+  /// history and the dangerous (G2-candidate) structures found among
+  /// them. The structures are duplicated into `anomalies` only under
+  /// SiCheckerOptions::certify_serializable; zero structures certifies
+  /// the history serializable regardless of the flag.
+  size_t rw_antidependencies = 0;
+  size_t dangerous_structures = 0;
+  std::vector<Anomaly> ssi;
+
   bool ok() const { return anomalies.empty(); }
+  bool serializable() const { return dangerous_structures == 0; }
   std::string ToString() const;
 };
 

@@ -26,6 +26,8 @@ void Usage() {
          "  --no-full-sessions     per-origin session monotonicity only\n"
          "  --no-cross-origin-ww   skip cross-site write-write conflicts\n"
          "  --partial              history is incomplete; skip G1a\n"
+         "  --certify-ssi          also fail on SSI dangerous structures\n"
+         "                         (certify the run fully serializable)\n"
          "  --metrics=FILE         reconcile the history against a metrics\n"
          "                         snapshot (Registry::SnapshotJson or one\n"
          "                         bench --metrics-out row); exit 1 on any\n"
@@ -52,6 +54,8 @@ int main(int argc, char** argv) {
       options.cross_origin_ww = false;
     } else if (arg == "--partial") {
       options.complete_history = false;
+    } else if (arg == "--certify-ssi") {
+      options.certify_serializable = true;
     } else if (arg == "-q") {
       quiet = true;
     } else if (arg == "-h" || arg == "--help") {

@@ -5,6 +5,8 @@
 #include <mutex>
 #include <thread>
 
+#include "common/scheduler.h"
+
 namespace dynamast::workloads {
 
 std::string Driver::Report::Summary() const {
@@ -22,6 +24,13 @@ std::string Driver::Report::Summary() const {
 Driver::Report Driver::Run(core::SystemInterface& system, Workload& workload) {
   Report report;
   std::mutex report_mu;
+
+  // Fixed-count mode trades the wall-clock run shape (warmup + measure
+  // windows, a controller thread) for a schedule-deterministic one: each
+  // client issues exactly ops_per_client transactions, all measured.
+  const bool fixed_ops = options_.ops_per_client > 0;
+  const uint64_t ops_budget = options_.ops_per_client;
+  Stopwatch run_watch;
 
   const auto start = std::chrono::steady_clock::now();
   const auto measure_start = start + options_.warmup;
@@ -43,6 +52,7 @@ Driver::Report Driver::Run(core::SystemInterface& system, Workload& workload) {
   clients.reserve(options_.num_clients);
   for (uint32_t i = 0; i < options_.num_clients; ++i) {
     clients.emplace_back([&, i] {
+      sched::ThreadGuard sched_guard("client/" + std::to_string(i));
       core::ClientState client;
       client.id = i + 1;
       auto generator = workload.MakeClient(i);
@@ -53,13 +63,16 @@ Driver::Report Driver::Run(core::SystemInterface& system, Workload& workload) {
       std::map<std::string, uint64_t> committed_by_type;
       std::map<std::string, std::unique_ptr<LatencyRecorder>> latency_by_type;
 
-      while (!stop.load(std::memory_order_relaxed)) {
+      uint64_t executed = 0;
+      while (fixed_ops ? executed < ops_budget
+                       : !stop.load(std::memory_order_relaxed)) {
+        ++executed;
         WorkloadTxn txn = generator->Next();
         core::TxnResult result;
         Stopwatch watch;
         Status s = system.Execute(client, txn.profile, txn.logic, &result);
         const auto now = std::chrono::steady_clock::now();
-        if (now >= end) break;
+        if (!fixed_ops && now >= end) break;
         if (s.ok() && timeline_buckets > 0) {
           const size_t bucket = static_cast<size_t>(
               (now - start) / options_.timeline_resolution);
@@ -67,7 +80,7 @@ Driver::Report Driver::Run(core::SystemInterface& system, Workload& workload) {
             timeline[bucket].fetch_add(1, std::memory_order_relaxed);
           }
         }
-        if (now < measure_start) continue;  // warmup: not measured
+        if (!fixed_ops && now < measure_start) continue;  // warmup
         if (s.ok()) {
           ++committed;
           committed_by_type[txn.type]++;
@@ -108,23 +121,30 @@ Driver::Report Driver::Run(core::SystemInterface& system, Workload& workload) {
     });
   }
 
-  // Scheduled mid-run actions (e.g. shuffling YCSB correlations for the
-  // adaptivity experiment) run on a control thread.
-  std::thread controller([&] {
-    auto actions = options_.scheduled_actions;
-    std::sort(actions.begin(), actions.end(),
-              [](const auto& a, const auto& b) { return a.first < b.first; });
-    for (const auto& [offset, action] : actions) {
-      std::this_thread::sleep_until(start + offset);
-      if (std::chrono::steady_clock::now() >= end) break;
-      action();
-    }
-    std::this_thread::sleep_until(end);
-    stop.store(true);
-  });
-
-  controller.join();
-  for (auto& t : clients) t.join();
+  if (!fixed_ops) {
+    // Scheduled mid-run actions (e.g. shuffling YCSB correlations for the
+    // adaptivity experiment) run on a control thread.
+    std::thread controller([&] {
+      sched::ThreadGuard sched_guard("driver/ctl");
+      auto actions = options_.scheduled_actions;
+      std::sort(actions.begin(), actions.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      for (const auto& [offset, action] : actions) {
+        std::this_thread::sleep_until(start + offset);
+        if (std::chrono::steady_clock::now() >= end) break;
+        action();
+      }
+      std::this_thread::sleep_until(end);
+      stop.store(true);
+    });
+    sched::ScopedBlocked blocked;
+    controller.join();
+  }
+  {
+    sched::ScopedBlocked blocked;
+    for (auto& t : clients) t.join();
+  }
+  if (fixed_ops) report.seconds = run_watch.ElapsedMicros() / 1e6;
 
   if (timeline_buckets > 0) {
     report.timeline.reserve(timeline_buckets);

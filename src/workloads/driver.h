@@ -36,6 +36,12 @@ class Driver {
     std::vector<std::pair<std::chrono::milliseconds, std::function<void()>>>
         scheduled_actions;
     uint64_t seed = 1;
+    /// Fixed-count mode: when > 0, each client runs exactly this many
+    /// transactions and exits — no wall-clock controller, no warmup
+    /// window, everything measured. The run's length then depends only on
+    /// the work done, not machine speed, which is what record/replay and
+    /// systematic exploration need for byte-identical histories.
+    uint64_t ops_per_client = 0;
     /// Registry for driver-level metrics (driver_committed_total{type},
     /// driver_aborted_total{reason}), bumped once at merge time. Null
     /// disables export.

@@ -31,6 +31,14 @@ std::vector<SystemKind> AllSystems() {
 
 namespace {
 
+// Strips the wall-clock inputs out of the selector's workload model (see
+// DeploymentOptions::deterministic).
+void MakeSelectorDeterministic(selector::SelectorOptions* selector) {
+  selector->adaptive_sampling = false;
+  selector->stats.inter_txn_window = std::chrono::hours(24 * 365);
+  selector->stats.sample_ttl = std::chrono::hours(24 * 365);
+}
+
 core::Cluster::Options ClusterOptions(const DeploymentOptions& options) {
   core::Cluster::Options cluster;
   cluster.num_sites = options.num_sites;
@@ -63,6 +71,7 @@ std::unique_ptr<core::SystemInterface> MakeSystem(
       o.selector.weights = options.weights;
       o.selector.sample_rate = options.sample_rate;
       o.selector.seed = options.seed;
+      if (options.deterministic) MakeSelectorDeterministic(&o.selector);
       o.placement = core::InitialPlacement::kRoundRobin;
       return std::make_unique<core::DynaMastSystem>(o, &partitioner);
     }
@@ -70,6 +79,7 @@ std::unique_ptr<core::SystemInterface> MakeSystem(
       core::DynaMastSystem::Options o;
       o.cluster = ClusterOptions(options);
       o.selector.seed = options.seed;
+      if (options.deterministic) MakeSelectorDeterministic(&o.selector);
       o = core::DynaMastSystem::SingleMasterOptions(std::move(o));
       return std::make_unique<core::DynaMastSystem>(o, &partitioner);
     }

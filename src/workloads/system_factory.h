@@ -53,6 +53,12 @@ struct DeploymentOptions {
   /// Record per-transaction spans (Chrome trace-event export). Off by
   /// default; benches enable it via --trace-out.
   bool trace = false;
+  /// Deterministic-model mode for record/replay golden tests: removes
+  /// every wall-clock input to routing (adaptive sampling, statistics
+  /// inter-transaction window and sample TTL), so the selector's
+  /// decisions are a pure function of the synchronization order the
+  /// scheduler records and replays.
+  bool deterministic = false;
 };
 
 /// Builds one ready-to-load system of `kind` over `partitioner`.

@@ -14,6 +14,7 @@
 #include "workloads/driver.h"
 #include "workloads/smallbank.h"
 #include "workloads/system_factory.h"
+#include "workloads/ycsb.h"
 
 namespace dynamast {
 namespace {
@@ -270,6 +271,98 @@ TEST(SiCheckerTest, MarkerSlotReadIsIntermediate) {
       << report.ToString();
 }
 
+// ---- SSI certification (G2 dangerous structures) ---------------------
+
+TEST(SiCheckerSsiTest, FlagsWriteSkew) {
+  // Classic write skew: T1 reads {x, y} and writes y; T2 reads {x, y} and
+  // writes x; both begin on the base snapshot. Legal under SI (disjoint
+  // write sets), not serializable: T1 ->rw T2 ->rw T1.
+  auto events = Sequenced({
+      Commit(0, VV({0}), VV({1}), 1, {{kX, 0, 0}, {kY, 0, 0}}, {{kY, 0}}, 1,
+             1),
+      Commit(0, VV({0}), VV({2}), 2, {{kX, 0, 0}, {kY, 0, 0}}, {{kX, 0}}, 2,
+             1),
+  });
+  const AuditReport report = AuditHistory(events);
+  // The default audit checks the SI contract only: write skew is legal.
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  EXPECT_EQ(report.rw_antidependencies, 2u);
+  EXPECT_EQ(report.dangerous_structures, 1u) << report.ToString();
+  EXPECT_FALSE(report.serializable());
+  ASSERT_EQ(report.ssi.size(), 1u);
+  EXPECT_EQ(report.ssi[0].kind, AnomalyKind::kSsiDangerousStructure);
+
+  // Certification mode promotes the structure into a failing anomaly.
+  SiCheckerOptions certify;
+  certify.certify_serializable = true;
+  const AuditReport certified = AuditHistory(events, certify);
+  EXPECT_FALSE(certified.ok());
+  EXPECT_EQ(CountKind(certified, AnomalyKind::kSsiDangerousStructure), 1u);
+}
+
+TEST(SiCheckerSsiTest, FlagsReadOnlyAnomaly) {
+  // Fekete et al.'s read-only transaction anomaly: T1 (writes x) commits;
+  // read-only T3 sees T1 but not T2; T2 (read x and y on the base
+  // snapshot, writes y) commits last. Serialization needs T3 < T2 < T1 <
+  // T3 — a cycle through the read-only participant. Pivot is T2: in-edge
+  // T3 ->rw T2, out-edge T2 ->rw T1, and T1 committed first.
+  auto events = Sequenced({
+      Commit(0, VV({0}), VV({1}), 1, {{kX, 0, 0}}, {{kX, 0}}, 1, 1),
+      Commit(0, VV({1}), VV({1}), 0, {{kX, 0, 1}, {kY, 0, 0}}, {}, 3, 1),
+      Commit(0, VV({0}), VV({2}), 2, {{kX, 0, 0}, {kY, 0, 0}}, {{kY, 0}}, 2,
+             1),
+  });
+  const AuditReport report = AuditHistory(events);
+  EXPECT_TRUE(report.ok()) << report.ToString();  // SI itself is intact
+  EXPECT_EQ(report.rw_antidependencies, 2u);
+  EXPECT_EQ(report.dangerous_structures, 1u) << report.ToString();
+  ASSERT_EQ(report.ssi.size(), 1u);
+  // The pivot is the last-committing transaction (event 3).
+  EXPECT_EQ(report.ssi[0].event_seq, 3u);
+}
+
+TEST(SiCheckerSsiTest, SerialHistoryCertifies) {
+  // Strictly serial execution. One rw-antidependency exists (T1 read the
+  // base version of x that T2 later overwrote) — rw edges are normal in
+  // serializable histories; only a pivot whose out-neighbour committed
+  // first is dangerous, and serial order makes that impossible.
+  auto events = Sequenced({
+      Commit(0, VV({0}), VV({1}), 1, {{kX, 0, 0}, {kY, 0, 0}}, {{kY, 0}}, 1,
+             1),
+      Commit(0, VV({1}), VV({2}), 2, {{kX, 0, 0}, {kY, 0, 1}}, {{kX, 0}}, 2,
+             1),
+  });
+  SiCheckerOptions certify;
+  certify.certify_serializable = true;
+  const AuditReport report = AuditHistory(events, certify);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  EXPECT_EQ(report.rw_antidependencies, 1u);
+  EXPECT_EQ(report.dangerous_structures, 0u);
+  EXPECT_TRUE(report.serializable());
+}
+
+TEST(SiCheckerSsiTest, VisibleWriteIsNotAnAntidependency) {
+  // The reader observed the writer's install (wr, not rw): no edge.
+  auto events = Sequenced({
+      Commit(0, VV({0}), VV({1}), 1, {}, {{kX, 0}}, 1, 1),
+      Commit(0, VV({1}), VV({1}), 0, {{kX, 0, 1}}, {}, 1, 2),
+  });
+  const AuditReport report = AuditHistory(events);
+  EXPECT_EQ(report.rw_antidependencies, 0u);
+  EXPECT_TRUE(report.serializable());
+}
+
+TEST(SiCheckerSsiTest, TwoPhaseCommitBranchesDoNotAntidependOnEachOther) {
+  // One logical transaction's branches share (client, client_txn): the
+  // site-1 branch does not "miss" the site-0 branch's write.
+  auto events = Sequenced({
+      Commit(0, VV({0, 0}), VV({1, 0}), 1, {}, {{kX, 0}}, 7, 1),
+      Commit(1, VV({0, 0}), VV({0, 1}), 1, {{kX, 0, 0}}, {{kY, 1}}, 7, 1),
+  });
+  const AuditReport report = AuditHistory(events);
+  EXPECT_EQ(report.rw_antidependencies, 0u) << report.ToString();
+}
+
 TEST(SiCheckerTest, OptionsForSystemPresets) {
   EXPECT_TRUE(tools::OptionsForSystem("dynamast").full_session_vectors);
   EXPECT_TRUE(tools::OptionsForSystem("multi-master").full_session_vectors);
@@ -374,6 +467,48 @@ TEST(SiCheckerLiveTest, DynaMastSmallBankAuditsClean) {
   const AuditReport audit = AuditHistory(system->history()->Snapshot(),
                                          tools::OptionsForSystem("dynamast"));
   EXPECT_TRUE(audit.ok()) << audit.ToString();
+  EXPECT_GT(audit.commits, 0u);
+}
+
+TEST(SiCheckerLiveTest, DynaMastYcsbCertifiesSerializable) {
+  // YCSB's update transactions are read-modify-writes (read set == write
+  // set), so under correct SI every rw-antidependency out of a committed
+  // writer would also be a ww conflict that first-committer-wins forbids:
+  // a clean DynaMast run must certify with zero dangerous structures.
+  workloads::YcsbWorkload::Options wo;
+  wo.num_keys = 800;
+  wo.keys_per_partition = 40;
+  wo.value_size = 32;
+  wo.rmw_pct = 70;
+  wo.seed = 11;
+  workloads::YcsbWorkload workload(wo);
+
+  workloads::DeploymentOptions d;
+  d.num_sites = 3;
+  d.charge_network = false;
+  d.read_op_cost = d.write_op_cost = d.apply_op_cost =
+      std::chrono::microseconds(0);
+  d.record_history = true;
+  auto system = workloads::MakeSystem(workloads::SystemKind::kDynaMast, d,
+                                      workload.partitioner());
+  ASSERT_TRUE(workload.Load(*system).ok());
+  system->Seal();
+
+  workloads::Driver::Options dro;
+  dro.num_clients = 4;
+  dro.ops_per_client = 60;  // fixed-count mode: machine-speed independent
+  const workloads::Driver::Report report =
+      workloads::Driver(dro).Run(*system, workload);
+  system->Shutdown();
+  EXPECT_GT(report.committed, 0u);
+
+  tools::SiCheckerOptions options = tools::OptionsForSystem("dynamast");
+  options.certify_serializable = true;
+  const AuditReport audit =
+      AuditHistory(system->history()->Snapshot(), options);
+  EXPECT_TRUE(audit.ok()) << audit.ToString();
+  EXPECT_TRUE(audit.serializable()) << audit.ToString();
+  EXPECT_EQ(audit.dangerous_structures, 0u);
   EXPECT_GT(audit.commits, 0u);
 }
 
