@@ -5,6 +5,11 @@
 #   format       .clang-format via scripts/format-check.sh
 #   build        default build (everything: tests, examples, benches)
 #   tier1/tier2  default ctest
+#   lint-project scripts/dynamast-lint.py project-invariant linter
+#                (lock-class registry, sched-op pairing, history
+#                commit/abort pairing, metric naming)
+#   tsa          clang-tsa preset: src/ under -Werror=thread-safety,
+#                plus the tests/tsa_compile_fail negative-compile suite
 #   clang-tidy   .clang-tidy over src/ (compile_commands.json)
 #   asan-ubsan   sanitizer preset build + ctest (invariants, lock checks)
 #   tsan         ThreadSanitizer preset build + ctest
@@ -30,8 +35,8 @@
 # Every stage runs even if an earlier one failed; the summary table at the
 # end shows PASS/FAIL/SKIP per stage and the exit code propagates any
 # failure. Stages needing tools the machine lacks (clang-format /
-# clang-tidy) are SKIPped rather than failed, so the gate is still useful
-# on a bare-gcc box.
+# clang-tidy / clang++ / python3) are SKIPped rather than failed, so the
+# gate is still useful on a bare-gcc box.
 #
 # Environment knobs:
 #   JOBS=<n>         parallel build jobs (default: nproc)
@@ -159,7 +164,37 @@ else
   fi
 fi
 
-# 4. clang-tidy -------------------------------------------------------------
+# 4. Project-invariant linter ----------------------------------------------
+step "lint-project"
+if command -v python3 >/dev/null 2>&1; then
+  if python3 scripts/dynamast-lint.py; then
+    record lint-project PASS
+  else
+    record lint-project FAIL
+  fi
+else
+  echo "check.sh: python3 not found; skipping" >&2
+  record lint-project SKIP "python3 not installed"
+fi
+
+# 5. Clang thread-safety analysis -------------------------------------------
+# Builds src/ with -Werror=thread-safety plus the tsa_compile_fail
+# negative-compile suite; needs clang++ (GCC has no such analysis).
+step "tsa"
+if command -v clang++ >/dev/null 2>&1; then
+  if cmake --preset clang-tsa &&
+     cmake --build build-clang-tsa -j "$JOBS" &&
+     ctest --test-dir build-clang-tsa -R '^tsa_' --output-on-failure; then
+    record tsa PASS
+  else
+    record tsa FAIL
+  fi
+else
+  echo "check.sh: clang++ not found; skipping" >&2
+  record tsa SKIP "clang++ not installed"
+fi
+
+# 6. clang-tidy -------------------------------------------------------------
 step "clang-tidy"
 if command -v clang-tidy >/dev/null 2>&1; then
   mapfile -t tidy_files < <(git ls-files 'src/*.cc')
@@ -173,7 +208,7 @@ else
   record clang-tidy SKIP "clang-tidy not installed"
 fi
 
-# 5. Sanitizer configurations ----------------------------------------------
+# 7. Sanitizer configurations ----------------------------------------------
 sanitizer_stage() {  # sanitizer_stage <preset>
   local preset="$1"
   step "$preset build (tests only)"
@@ -197,7 +232,7 @@ else
   record tsan SKIP "SKIP_TSAN=1"
 fi
 
-# 6. Schedule exploration + SI audit ---------------------------------------
+# 8. Schedule exploration + SI audit ---------------------------------------
 if [[ "${SKIP_FUZZ:-0}" != "1" ]]; then
   step "sched-fuzz build (tests only)"
   if cmake --preset sched-fuzz &&

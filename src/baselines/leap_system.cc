@@ -53,7 +53,7 @@ Status LeapSystem::LoadReplicatedRow(const RecordKey& key, std::string value) {
   // Static read-only tables live at every site and are never localized.
   const PartitionId p = partitioner_->PartitionOf(key);
   {
-    std::lock_guard guard(static_partitions_mu_);
+    MutexLock guard(static_partitions_mu_);
     static_partitions_.insert(p);
   }
   for (SiteId s = 0; s < cluster_.num_sites(); ++s) {
@@ -150,7 +150,7 @@ Status LeapSystem::Execute(core::ClientState& client,
                    partitions.end());
   {
     // Static replicated partitions need no localization.
-    std::lock_guard guard(static_partitions_mu_);
+    MutexLock guard(static_partitions_mu_);
     std::erase_if(partitions, [&](PartitionId p) {
       return static_partitions_.count(p) > 0;
     });

@@ -72,8 +72,9 @@ class LeapSystem final : public core::SystemInterface {
   /// map: owner + readers-writer lock per partition).
   selector::PartitionMap ownership_;
   /// Partitions of static replicated tables (never localized).
-  std::unordered_set<PartitionId> static_partitions_;
   DebugMutex static_partitions_mu_{"leap.static_partitions"};
+  std::unordered_set<PartitionId> static_partitions_
+      DYNAMAST_GUARDED_BY(static_partitions_mu_);
   std::atomic<uint64_t> partitions_shipped_{0};
   std::atomic<uint64_t> bytes_shipped_{0};
   bool sealed_ = false;

@@ -209,7 +209,7 @@ Status PartitionedSystem::Execute(core::ClientState& client,
 
   if (options_.random_coordinator) {
     // Placement-oblivious front: the client lands on an arbitrary site.
-    std::lock_guard guard(rng_mu_);
+    MutexLock guard(rng_mu_);
     coordinator = static_cast<SiteId>(rng_.Uniform(cluster_.num_sites()));
   }
 
@@ -334,7 +334,7 @@ Status PartitionedSystem::ExecuteDistributedWrite(
       }
       bool vote_no = false;
       if (options_.injected_abort_probability > 0) {
-        std::lock_guard guard(rng_mu_);
+        MutexLock guard(rng_mu_);
         vote_no = rng_.Bernoulli(options_.injected_abort_probability);
       }
       if (vote_no) {
@@ -382,7 +382,7 @@ Status PartitionedSystem::ExecuteRead(core::ClientState& client,
     }
     SiteId site_id = freshest;
     if (!fresh.empty()) {
-      std::lock_guard guard(rng_mu_);
+      MutexLock guard(rng_mu_);
       site_id = fresh[rng_.Uniform(fresh.size())];
     }
     net.RoundTrip(net::TrafficClass::kClientRequest, kRpcRequestBytes,
@@ -430,7 +430,7 @@ Status PartitionedSystem::ExecuteRead(core::ClientState& client,
     }
   }
   if (options_.random_coordinator) {
-    std::lock_guard guard(rng_mu_);
+    MutexLock guard(rng_mu_);
     coordinator = static_cast<SiteId>(rng_.Uniform(cluster_.num_sites()));
   }
   if (owner_counts.size() > 1) {

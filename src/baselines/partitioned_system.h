@@ -120,7 +120,7 @@ class PartitionedSystem final : public core::SystemInterface {
   std::atomic<uint64_t> distributed_txns_{0};
   std::atomic<uint64_t> single_site_txns_{0};
   DebugMutex rng_mu_{"partitioned.rng"};
-  Random rng_;
+  Random rng_ DYNAMAST_GUARDED_BY(rng_mu_);
   bool sealed_ = false;
 };
 

@@ -9,6 +9,7 @@
 #include <type_traits>
 
 #include "common/scheduler.h"
+#include "common/thread_annotations.h"
 
 namespace dynamast {
 
@@ -37,6 +38,14 @@ namespace dynamast {
 /// dynamast_common so its unit tests run in every build configuration; the
 /// DYNAMAST_LOCK_DEBUG macro only selects which wrapper the production
 /// types alias.
+///
+/// All wrappers are additionally Clang TSA *capabilities* (see DESIGN.md,
+/// "Static thread-safety"): under the `clang-tsa` preset the compiler
+/// proves, for every path, that DYNAMAST_GUARDED_BY fields are only
+/// touched with their lock held. Guarded state must therefore be accessed
+/// through the scoped lockers below (MutexLock / ReaderMutexLock /
+/// WriterMutexLock) — std::lock_guard over these types still compiles but
+/// is invisible to the analysis.
 namespace lockdebug {
 
 /// Rank for lock classes whose instances must never be held together.
@@ -76,7 +85,7 @@ void SetViolationHandlerForTest(ViolationHandler handler);
 // code names them via the DebugMutex / DebugSharedMutex aliases below).
 // ---------------------------------------------------------------------
 
-class TrackedMutex {
+class DYNAMAST_CAPABILITY("mutex") TrackedMutex {
  public:
   explicit TrackedMutex(const char* name, uint64_t rank = kNoRank)
       : name_(name), rank_(rank), sched_uid_(DYNAMAST_SCHED_REGISTER(name)) {}
@@ -84,7 +93,7 @@ class TrackedMutex {
   TrackedMutex(const TrackedMutex&) = delete;
   TrackedMutex& operator=(const TrackedMutex&) = delete;
 
-  void lock() {
+  void lock() DYNAMAST_ACQUIRE() {
     // The scope spans the native acquisition: in record mode the entry is
     // appended once the lock is actually held (post-completion), in
     // replay mode the gate blocks until this acquisition is the object's
@@ -93,12 +102,12 @@ class TrackedMutex {
     OnLock(this, name_, rank_);
     mu_.lock();
   }
-  bool try_lock() {
+  bool try_lock() DYNAMAST_TRY_ACQUIRE(true) {
     if (!mu_.try_lock()) return false;
     OnTryLock(this, name_, rank_);
     return true;
   }
-  void unlock() {
+  void unlock() DYNAMAST_RELEASE() {
     // Releases trace pre-operation, so every enabling release precedes
     // the acquisition it enables in the recorded stream.
     DYNAMAST_SCHED_OP_SCOPE(sched_op, kMutexUnlock, sched_uid_);
@@ -121,7 +130,7 @@ class TrackedMutex {
   uint32_t sched_uid_;
 };
 
-class TrackedSharedMutex {
+class DYNAMAST_CAPABILITY("shared_mutex") TrackedSharedMutex {
  public:
   explicit TrackedSharedMutex(const char* name, uint64_t rank = kNoRank)
       : name_(name), rank_(rank), sched_uid_(DYNAMAST_SCHED_REGISTER(name)) {}
@@ -129,17 +138,17 @@ class TrackedSharedMutex {
   TrackedSharedMutex(const TrackedSharedMutex&) = delete;
   TrackedSharedMutex& operator=(const TrackedSharedMutex&) = delete;
 
-  void lock() {
+  void lock() DYNAMAST_ACQUIRE() {
     DYNAMAST_SCHED_OP_SCOPE(sched_op, kMutexLock, sched_uid_);
     OnLock(this, name_, rank_);
     mu_.lock();
   }
-  bool try_lock() {
+  bool try_lock() DYNAMAST_TRY_ACQUIRE(true) {
     if (!mu_.try_lock()) return false;
     OnTryLock(this, name_, rank_);
     return true;
   }
-  void unlock() {
+  void unlock() DYNAMAST_RELEASE() {
     DYNAMAST_SCHED_OP_SCOPE(sched_op, kMutexUnlock, sched_uid_);
     OnUnlock(this);
     mu_.unlock();
@@ -147,17 +156,17 @@ class TrackedSharedMutex {
 
   // Shared acquisitions participate in ordering checks too: a reader
   // blocked behind a queued writer is still a wait-for edge.
-  void lock_shared() {
+  void lock_shared() DYNAMAST_ACQUIRE_SHARED() {
     DYNAMAST_SCHED_OP_SCOPE(sched_op, kMutexLockShared, sched_uid_);
     OnLock(this, name_, rank_);
     mu_.lock_shared();
   }
-  bool try_lock_shared() {
+  bool try_lock_shared() DYNAMAST_TRY_ACQUIRE_SHARED(true) {
     if (!mu_.try_lock_shared()) return false;
     OnTryLock(this, name_, rank_);
     return true;
   }
-  void unlock_shared() {
+  void unlock_shared() DYNAMAST_RELEASE_SHARED() {
     DYNAMAST_SCHED_OP_SCOPE(sched_op, kMutexUnlockShared, sched_uid_);
     OnUnlock(this);
     mu_.unlock_shared();
@@ -176,7 +185,7 @@ class TrackedSharedMutex {
 // Zero-cost pass-through wrappers (default builds).
 // ---------------------------------------------------------------------
 
-class PlainMutex {
+class DYNAMAST_CAPABILITY("mutex") PlainMutex {
  public:
   explicit PlainMutex(const char* name, uint64_t /*rank*/ = kNoRank)
       : sched_uid_(DYNAMAST_SCHED_REGISTER(name)) {}
@@ -184,12 +193,12 @@ class PlainMutex {
   PlainMutex(const PlainMutex&) = delete;
   PlainMutex& operator=(const PlainMutex&) = delete;
 
-  void lock() {
+  void lock() DYNAMAST_ACQUIRE() {
     DYNAMAST_SCHED_OP_SCOPE(sched_op, kMutexLock, sched_uid_);
     mu_.lock();
   }
-  bool try_lock() { return mu_.try_lock(); }
-  void unlock() {
+  bool try_lock() DYNAMAST_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void unlock() DYNAMAST_RELEASE() {
     DYNAMAST_SCHED_OP_SCOPE(sched_op, kMutexUnlock, sched_uid_);
     mu_.unlock();
   }
@@ -204,7 +213,7 @@ class PlainMutex {
   uint32_t sched_uid_;
 };
 
-class PlainSharedMutex {
+class DYNAMAST_CAPABILITY("shared_mutex") PlainSharedMutex {
  public:
   explicit PlainSharedMutex(const char* name, uint64_t /*rank*/ = kNoRank)
       : sched_uid_(DYNAMAST_SCHED_REGISTER(name)) {}
@@ -212,21 +221,23 @@ class PlainSharedMutex {
   PlainSharedMutex(const PlainSharedMutex&) = delete;
   PlainSharedMutex& operator=(const PlainSharedMutex&) = delete;
 
-  void lock() {
+  void lock() DYNAMAST_ACQUIRE() {
     DYNAMAST_SCHED_OP_SCOPE(sched_op, kMutexLock, sched_uid_);
     mu_.lock();
   }
-  bool try_lock() { return mu_.try_lock(); }
-  void unlock() {
+  bool try_lock() DYNAMAST_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void unlock() DYNAMAST_RELEASE() {
     DYNAMAST_SCHED_OP_SCOPE(sched_op, kMutexUnlock, sched_uid_);
     mu_.unlock();
   }
-  void lock_shared() {
+  void lock_shared() DYNAMAST_ACQUIRE_SHARED() {
     DYNAMAST_SCHED_OP_SCOPE(sched_op, kMutexLockShared, sched_uid_);
     mu_.lock_shared();
   }
-  bool try_lock_shared() { return mu_.try_lock_shared(); }
-  void unlock_shared() {
+  bool try_lock_shared() DYNAMAST_TRY_ACQUIRE_SHARED(true) {
+    return mu_.try_lock_shared();
+  }
+  void unlock_shared() DYNAMAST_RELEASE_SHARED() {
     DYNAMAST_SCHED_OP_SCOPE(sched_op, kMutexUnlockShared, sched_uid_);
     mu_.unlock_shared();
   }
@@ -247,8 +258,77 @@ using DebugMutex = lockdebug::PlainMutex;
 using DebugSharedMutex = lockdebug::PlainSharedMutex;
 #endif
 
-/// Condition variable usable with std::unique_lock<DebugMutex>. Waits run
-/// on the wrapped std::mutex directly (no condition_variable_any), so the
+/// Capability-annotated plain std::mutex, for infrastructure at or below
+/// the scheduler layer (metrics registry, tracer, latency recorder, the
+/// routing-explain ring): state that must stay *outside* the
+/// schedule-exploration decision stream. A DebugMutex here would call
+/// DYNAMAST_SCHED_REGISTER and emit lock operations into the record/replay
+/// trace, perturbing the object-identity tables whenever telemetry is
+/// toggled; RawMutex carries the TSA capability without any hooks.
+class DYNAMAST_CAPABILITY("mutex") RawMutex {
+ public:
+  RawMutex() = default;
+  RawMutex(const RawMutex&) = delete;
+  RawMutex& operator=(const RawMutex&) = delete;
+
+  void lock() DYNAMAST_ACQUIRE() { mu_.lock(); }
+  bool try_lock() DYNAMAST_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void unlock() DYNAMAST_RELEASE() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+// ---------------------------------------------------------------------
+// Scoped lockers. These are what annotated code must use: the analysis
+// tracks their constructor/destructor (DYNAMAST_SCOPED_CAPABILITY), which
+// std::lock_guard/std::unique_lock over our wrapper types — instantiated
+// inside unannotated system headers — cannot provide.
+// ---------------------------------------------------------------------
+
+/// Exclusive RAII lock over any capability with lock()/unlock()
+/// (DebugMutex, DebugSharedMutex, RawMutex).
+template <class MutexT>
+class DYNAMAST_SCOPED_CAPABILITY BasicMutexLock {
+ public:
+  explicit BasicMutexLock(MutexT& mu) DYNAMAST_ACQUIRE(mu) : mu_(mu) {
+    mu_.lock();
+  }
+  ~BasicMutexLock() DYNAMAST_RELEASE() { mu_.unlock(); }
+
+  BasicMutexLock(const BasicMutexLock&) = delete;
+  BasicMutexLock& operator=(const BasicMutexLock&) = delete;
+
+ private:
+  MutexT& mu_;
+};
+
+/// Shared (reader) RAII lock over a shared-capable capability.
+template <class MutexT>
+class DYNAMAST_SCOPED_CAPABILITY BasicReaderLock {
+ public:
+  explicit BasicReaderLock(MutexT& mu) DYNAMAST_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.lock_shared();
+  }
+  ~BasicReaderLock() DYNAMAST_RELEASE() { mu_.unlock_shared(); }
+
+  BasicReaderLock(const BasicReaderLock&) = delete;
+  BasicReaderLock& operator=(const BasicReaderLock&) = delete;
+
+ private:
+  MutexT& mu_;
+};
+
+using MutexLock = BasicMutexLock<DebugMutex>;
+using WriterMutexLock = BasicMutexLock<DebugSharedMutex>;
+using ReaderMutexLock = BasicReaderLock<DebugSharedMutex>;
+using RawMutexLock = BasicMutexLock<RawMutex>;
+
+/// Condition variable for DebugMutex-guarded state. Waits are called with
+/// the guarding mutex held (`cv.wait(mu_, pred)`) — the mutex parameter
+/// carries the DYNAMAST_REQUIRES contract, so a wait without the
+/// capability is a compile error under the clang-tsa preset. Waits run on
+/// the wrapped std::mutex directly (no condition_variable_any), so the
 /// default build is exactly a std::condition_variable; in lock-debug
 /// builds the wait notifies the checker that the mutex is released for the
 /// duration of the wait.
@@ -281,52 +361,53 @@ class BasicDebugCondVar {
 #endif
   }
 
-  void wait(std::unique_lock<MutexT>& lock) {
+  void wait(MutexT& mu) DYNAMAST_REQUIRES(mu) {
 #if DYNAMAST_SCHED_FUZZ_ENABLED
     if (sched::CvRedirectArmed()) {
-      (void)ArmedWait(lock, std::chrono::steady_clock::time_point::max());
+      (void)ArmedWait(mu, std::chrono::steady_clock::time_point::max());
       return;
     }
 #endif
-    WaitScope scope(lock);
+    WaitScope scope(mu);
     cv_.wait(scope.inner);
   }
 
   template <class Pred>
-  void wait(std::unique_lock<MutexT>& lock, Pred pred) {
-    while (!pred()) wait(lock);
+  void wait(MutexT& mu, Pred pred) DYNAMAST_REQUIRES(mu) {
+    while (!pred()) wait(mu);
   }
 
   template <class Clock, class Duration>
   std::cv_status wait_until(
-      std::unique_lock<MutexT>& lock,
-      const std::chrono::time_point<Clock, Duration>& deadline) {
+      MutexT& mu, const std::chrono::time_point<Clock, Duration>& deadline)
+      DYNAMAST_REQUIRES(mu) {
 #if DYNAMAST_SCHED_FUZZ_ENABLED
-    if (sched::CvRedirectArmed()) return ArmedWait(lock, ToSteady(deadline));
+    if (sched::CvRedirectArmed()) return ArmedWait(mu, ToSteady(deadline));
 #endif
-    WaitScope scope(lock);
+    WaitScope scope(mu);
     return cv_.wait_until(scope.inner, deadline);
   }
 
   template <class Clock, class Duration, class Pred>
-  bool wait_until(std::unique_lock<MutexT>& lock,
+  bool wait_until(MutexT& mu,
                   const std::chrono::time_point<Clock, Duration>& deadline,
-                  Pred pred) {
+                  Pred pred) DYNAMAST_REQUIRES(mu) {
     while (!pred()) {
-      if (wait_until(lock, deadline) == std::cv_status::timeout) return pred();
+      if (wait_until(mu, deadline) == std::cv_status::timeout) return pred();
     }
     return true;
   }
 
   template <class Rep, class Period>
-  std::cv_status wait_for(std::unique_lock<MutexT>& lock,
-                          const std::chrono::duration<Rep, Period>& rel) {
+  std::cv_status wait_for(MutexT& mu,
+                          const std::chrono::duration<Rep, Period>& rel)
+      DYNAMAST_REQUIRES(mu) {
 #if DYNAMAST_SCHED_FUZZ_ENABLED
     if (sched::CvRedirectArmed()) {
-      return ArmedWait(lock, std::chrono::steady_clock::now() + rel);
+      return ArmedWait(mu, std::chrono::steady_clock::now() + rel);
     }
 #endif
-    WaitScope scope(lock);
+    WaitScope scope(mu);
     return cv_.wait_for(scope.inner, rel);
   }
 
@@ -346,23 +427,26 @@ class BasicDebugCondVar {
     }
   }
 
-  std::cv_status ArmedWait(std::unique_lock<MutexT>& lock,
-                           std::chrono::steady_clock::time_point deadline) {
+  std::cv_status ArmedWait(MutexT& mu,
+                           std::chrono::steady_clock::time_point deadline)
+      DYNAMAST_REQUIRES(mu) {
     const uint64_t gen = sched::CvGeneration(this);
-    lock.unlock();  // traced release
+    mu.unlock();  // traced release
     const bool changed = sched::CvPark(this, gen, deadline);
-    lock.lock();  // traced reacquisition: the arbitration is in the trace
+    mu.lock();  // traced reacquisition: the arbitration is in the trace
     return changed ? std::cv_status::no_timeout : std::cv_status::timeout;
   }
 #endif
 
   // Adopts the caller's DebugMutex as a std::unique_lock<std::mutex> over
   // its native mutex for the duration of one wait, so the standard
-  // condition variable can unlock/relock it. The outer unique_lock keeps
-  // ownership; the checker sees the release and reacquisition.
+  // condition variable can unlock/relock it. The caller's scoped lock
+  // keeps ownership; the checker sees the release and reacquisition. (The
+  // native handoff is invisible to TSA — the wait's REQUIRES contract
+  // holds at entry and exit, which is what callers rely on.)
   struct WaitScope {
-    explicit WaitScope(std::unique_lock<MutexT>& outer)
-        : mutex(outer.mutex()), inner(mutex->native(), std::adopt_lock) {
+    explicit WaitScope(MutexT& mu)
+        : mutex(&mu), inner(mu.native(), std::adopt_lock) {
       mutex->OnCvWaitRelease();
     }
     ~WaitScope() {

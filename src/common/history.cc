@@ -93,23 +93,23 @@ const char* EventKindName(EventKind kind) {
 }
 
 void Recorder::Record(HistoryEvent event) {
-  std::lock_guard guard(mu_);
+  MutexLock guard(mu_);
   event.seq = events_.size() + 1;
   events_.push_back(std::move(event));
 }
 
 size_t Recorder::size() const {
-  std::lock_guard guard(mu_);
+  MutexLock guard(mu_);
   return events_.size();
 }
 
 std::vector<HistoryEvent> Recorder::Snapshot() const {
-  std::lock_guard guard(mu_);
+  MutexLock guard(mu_);
   return events_;
 }
 
 void Recorder::Clear() {
-  std::lock_guard guard(mu_);
+  MutexLock guard(mu_);
   events_.clear();
 }
 

@@ -95,11 +95,11 @@ class Recorder {
 
   /// Assigns the event its global sequence and appends it. Safe to call
   /// while holding a site's state mutex (the recorder mutex is a leaf).
-  void Record(HistoryEvent event);
+  void Record(HistoryEvent event) DYNAMAST_EXCLUDES(mu_);
 
-  size_t size() const;
-  std::vector<HistoryEvent> Snapshot() const;
-  void Clear();
+  size_t size() const DYNAMAST_EXCLUDES(mu_);
+  std::vector<HistoryEvent> Snapshot() const DYNAMAST_EXCLUDES(mu_);
+  void Clear() DYNAMAST_EXCLUDES(mu_);
 
   /// Serializes the recorded history in the line format ParseHistory
   /// reads (the si_checker CLI's input).
@@ -114,7 +114,7 @@ class Recorder {
 
  private:
   mutable DebugMutex mu_{"history.recorder"};
-  std::vector<HistoryEvent> events_;
+  std::vector<HistoryEvent> events_ DYNAMAST_GUARDED_BY(mu_);
 };
 
 /// Hash() over an already-snapshotted event list.

@@ -30,7 +30,7 @@ double LatencyRecorder::BucketLowerBound(size_t bucket) {
 }
 
 void LatencyRecorder::Record(uint64_t micros) {
-  std::lock_guard<std::mutex> guard(mu_);
+  RawMutexLock guard(mu_);
   buckets_[BucketFor(micros)]++;
   count_++;
   sum_ += static_cast<double>(micros);
@@ -38,27 +38,42 @@ void LatencyRecorder::Record(uint64_t micros) {
 }
 
 void LatencyRecorder::Merge(const LatencyRecorder& other) {
-  // Lock ordering by address to avoid deadlock on cross-merges.
   if (this == &other) return;
-  std::scoped_lock guard(mu_, other.mu_);
-  for (size_t i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
-  count_ += other.count_;
-  sum_ += other.sum_;
-  max_ = std::max(max_, other.max_);
+  // Snapshot `other` under its own lock, then fold the copy into this
+  // recorder; the two locks are never held together, so concurrent
+  // cross-merges (a.Merge(b) racing b.Merge(a)) cannot deadlock. The old
+  // two-lock scoped_lock was deadlock-safe only via std::lock's retry
+  // algorithm — its "ordering by address" comment was wrong.
+  std::vector<uint64_t> other_buckets;
+  uint64_t other_count;
+  double other_sum;
+  uint64_t other_max;
+  {
+    RawMutexLock guard(other.mu_);
+    other_buckets = other.buckets_;
+    other_count = other.count_;
+    other_sum = other.sum_;
+    other_max = other.max_;
+  }
+  RawMutexLock guard(mu_);
+  for (size_t i = 0; i < kNumBuckets; ++i) buckets_[i] += other_buckets[i];
+  count_ += other_count;
+  sum_ += other_sum;
+  max_ = std::max(max_, other_max);
 }
 
 uint64_t LatencyRecorder::count() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  RawMutexLock guard(mu_);
   return count_;
 }
 
 double LatencyRecorder::MeanMicros() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  RawMutexLock guard(mu_);
   return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
 }
 
 double LatencyRecorder::PercentileMicros(double q) const {
-  std::lock_guard<std::mutex> guard(mu_);
+  RawMutexLock guard(mu_);
   if (count_ == 0) return 0.0;
   const double target = q * static_cast<double>(count_);
   uint64_t seen = 0;
@@ -80,12 +95,12 @@ double LatencyRecorder::PercentileMicros(double q) const {
 }
 
 uint64_t LatencyRecorder::MaxMicros() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  RawMutexLock guard(mu_);
   return max_;
 }
 
 void LatencyRecorder::Reset() {
-  std::lock_guard<std::mutex> guard(mu_);
+  RawMutexLock guard(mu_);
   std::fill(buckets_.begin(), buckets_.end(), 0);
   count_ = 0;
   sum_ = 0;

@@ -3,9 +3,10 @@
 
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/debug_mutex.h"
 
 namespace dynamast {
 
@@ -17,7 +18,7 @@ class LatencyRecorder {
   LatencyRecorder();
 
   /// Records one latency observation, in microseconds.
-  void Record(uint64_t micros);
+  void Record(uint64_t micros) DYNAMAST_EXCLUDES(mu_);
 
   void RecordDuration(std::chrono::nanoseconds d) {
     Record(static_cast<uint64_t>(
@@ -25,15 +26,15 @@ class LatencyRecorder {
   }
 
   /// Merges another recorder's observations into this one.
-  void Merge(const LatencyRecorder& other);
+  void Merge(const LatencyRecorder& other) DYNAMAST_EXCLUDES(mu_);
 
-  uint64_t count() const;
-  double MeanMicros() const;
+  uint64_t count() const DYNAMAST_EXCLUDES(mu_);
+  double MeanMicros() const DYNAMAST_EXCLUDES(mu_);
   /// q in [0, 1]; returns the bucket-interpolated latency in microseconds.
-  double PercentileMicros(double q) const;
-  uint64_t MaxMicros() const;
+  double PercentileMicros(double q) const DYNAMAST_EXCLUDES(mu_);
+  uint64_t MaxMicros() const DYNAMAST_EXCLUDES(mu_);
 
-  void Reset();
+  void Reset() DYNAMAST_EXCLUDES(mu_);
 
   /// Renders "avg=1.23ms p50=... p90=... p99=... p99.9=... max=...".
   std::string Summary() const;
@@ -48,11 +49,13 @@ class LatencyRecorder {
   static size_t BucketFor(uint64_t micros);
   static double BucketLowerBound(size_t bucket);
 
-  mutable std::mutex mu_;
-  std::vector<uint64_t> buckets_;
-  uint64_t count_ = 0;
-  double sum_ = 0;
-  uint64_t max_ = 0;
+  // RawMutex (no sched hooks): histograms record inside scheduler-visible
+  // critical sections, so the leaf lock must not re-enter the scheduler.
+  mutable RawMutex mu_;
+  std::vector<uint64_t> buckets_ DYNAMAST_GUARDED_BY(mu_);
+  uint64_t count_ DYNAMAST_GUARDED_BY(mu_) = 0;
+  double sum_ DYNAMAST_GUARDED_BY(mu_) = 0;
+  uint64_t max_ DYNAMAST_GUARDED_BY(mu_) = 0;
 };
 
 /// Monotonic stopwatch for latency measurements.

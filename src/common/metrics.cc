@@ -116,7 +116,7 @@ Registry& Registry::Global() {
 
 Registry::Series* Registry::GetSeries(const std::string& name,
                                       const Labels& labels, Type type) {
-  std::lock_guard<std::mutex> guard(mu_);
+  RawMutexLock guard(mu_);
   auto [family_it, inserted] = families_.try_emplace(name);
   Family& family = family_it->second;
   if (inserted) {
@@ -152,7 +152,7 @@ Registry::Series* Registry::GetSeries(const std::string& name,
 const Registry::Series* Registry::FindSeries(const std::string& name,
                                              const Labels& labels,
                                              Type type) const {
-  std::lock_guard<std::mutex> guard(mu_);
+  RawMutexLock guard(mu_);
   auto family_it = families_.find(name);
   if (family_it == families_.end() || family_it->second.type != type) {
     return nullptr;
@@ -179,7 +179,7 @@ Histogram* Registry::GetHistogram(const std::string& name,
 }
 
 void Registry::ResetValues() {
-  std::lock_guard<std::mutex> guard(mu_);
+  RawMutexLock guard(mu_);
   for (auto& [name, family] : families_) {
     for (auto& [key, series] : family.series) {
       if (series.counter) series.counter->Reset();
@@ -193,14 +193,14 @@ void Registry::ResetValues() {
 }
 
 size_t Registry::NumSeries() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  RawMutexLock guard(mu_);
   size_t total = 0;
   for (const auto& [name, family] : families_) total += family.series.size();
   return total;
 }
 
 size_t Registry::NumSeries(const std::string& name) const {
-  std::lock_guard<std::mutex> guard(mu_);
+  RawMutexLock guard(mu_);
   auto it = families_.find(name);
   return it == families_.end() ? 0 : it->second.series.size();
 }
@@ -218,7 +218,7 @@ double Registry::GaugeValue(const std::string& name,
 }
 
 std::string Registry::SnapshotJson() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  RawMutexLock guard(mu_);
   std::string out = "{\"metrics\":[";
   bool first_family = true;
   for (const auto& [name, family] : families_) {

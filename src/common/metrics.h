@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/debug_mutex.h"
 #include "common/latency_recorder.h"
 
 namespace dynamast::metrics {
@@ -123,17 +124,20 @@ class Registry {
   /// A name registered with a different metric type, or a family past its
   /// cardinality cap, yields a detached scrap metric (never exported) so
   /// callers need no error handling.
-  Counter* GetCounter(const std::string& name, const Labels& labels = {});
-  Gauge* GetGauge(const std::string& name, const Labels& labels = {});
-  Histogram* GetHistogram(const std::string& name, const Labels& labels = {});
+  Counter* GetCounter(const std::string& name, const Labels& labels = {})
+      DYNAMAST_EXCLUDES(mu_);
+  Gauge* GetGauge(const std::string& name, const Labels& labels = {})
+      DYNAMAST_EXCLUDES(mu_);
+  Histogram* GetHistogram(const std::string& name, const Labels& labels = {})
+      DYNAMAST_EXCLUDES(mu_);
 
   /// Zeroes every value while keeping all families/series (and therefore
   /// all outstanding handles) alive.
-  void ResetValues();
+  void ResetValues() DYNAMAST_EXCLUDES(mu_);
 
   /// Number of series across all families / in one family (0 if absent).
-  size_t NumSeries() const;
-  size_t NumSeries(const std::string& name) const;
+  size_t NumSeries() const DYNAMAST_EXCLUDES(mu_);
+  size_t NumSeries(const std::string& name) const DYNAMAST_EXCLUDES(mu_);
 
   /// Value lookups for tests and reconciliation tools; zero/absent series
   /// read as 0.
@@ -143,7 +147,7 @@ class Registry {
   /// {"metrics":[{"name":...,"type":"counter","series":[{"labels":{...},
   /// "value":N},...]},...]}. Histogram series carry count/mean/p50/p90/
   /// p99/p999/max summaries.
-  std::string SnapshotJson() const;
+  std::string SnapshotJson() const DYNAMAST_EXCLUDES(mu_);
 
   /// Max series per family before new label sets fall into the scrap
   /// metric (cardinality-explosion guard).
@@ -163,12 +167,15 @@ class Registry {
     std::map<std::string, Series> series;
   };
 
-  Series* GetSeries(const std::string& name, const Labels& labels, Type type);
+  Series* GetSeries(const std::string& name, const Labels& labels, Type type)
+      DYNAMAST_EXCLUDES(mu_);
   const Series* FindSeries(const std::string& name, const Labels& labels,
-                           Type type) const;
+                           Type type) const DYNAMAST_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::map<std::string, Family> families_;
+  // RawMutex (no sched hooks): the registry is infrastructure below the
+  // scheduler layer; registering it would perturb record/replay identity.
+  mutable RawMutex mu_;
+  std::map<std::string, Family> families_ DYNAMAST_GUARDED_BY(mu_);
   // Scrap series for type mismatches / cardinality overflow.
   Counter scrap_counter_;
   Gauge scrap_gauge_;

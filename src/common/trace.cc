@@ -44,7 +44,7 @@ Tracer::Tracer(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {
 }
 
 void Tracer::Record(TraceEvent event) {
-  std::lock_guard<std::mutex> guard(mu_);
+  RawMutexLock guard(mu_);
   if (ring_.size() < capacity_) {
     ring_.push_back(std::move(event));
     return;
@@ -57,7 +57,7 @@ void Tracer::Record(TraceEvent event) {
 }
 
 std::vector<TraceEvent> Tracer::Snapshot() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  RawMutexLock guard(mu_);
   if (!wrapped_) return ring_;
   std::vector<TraceEvent> out;
   out.reserve(ring_.size());
@@ -68,22 +68,22 @@ std::vector<TraceEvent> Tracer::Snapshot() const {
 }
 
 uint64_t Tracer::dropped() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  RawMutexLock guard(mu_);
   return dropped_;
 }
 
 size_t Tracer::size() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  RawMutexLock guard(mu_);
   return ring_.size();
 }
 
 void Tracer::SetProcessName(uint32_t pid, std::string name) {
-  std::lock_guard<std::mutex> guard(mu_);
+  RawMutexLock guard(mu_);
   process_names_[pid] = std::move(name);
 }
 
 std::map<uint32_t, std::string> Tracer::process_names() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  RawMutexLock guard(mu_);
   return process_names_;
 }
 

@@ -3,10 +3,11 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "common/debug_mutex.h"
 
 namespace dynamast::trace {
 
@@ -46,19 +47,20 @@ class Tracer {
   Tracer(const Tracer&) = delete;
   Tracer& operator=(const Tracer&) = delete;
 
-  void Record(TraceEvent event);
+  void Record(TraceEvent event) DYNAMAST_EXCLUDES(mu_);
 
   /// Ring contents in record order (oldest first).
-  std::vector<TraceEvent> Snapshot() const;
+  std::vector<TraceEvent> Snapshot() const DYNAMAST_EXCLUDES(mu_);
 
   /// Events evicted because the ring was full.
-  uint64_t dropped() const;
-  size_t size() const;
+  uint64_t dropped() const DYNAMAST_EXCLUDES(mu_);
+  size_t size() const DYNAMAST_EXCLUDES(mu_);
   size_t capacity() const { return capacity_; }
 
   /// Names a pid lane ("site0", "selector") in the exported trace.
-  void SetProcessName(uint32_t pid, std::string name);
-  std::map<uint32_t, std::string> process_names() const;
+  void SetProcessName(uint32_t pid, std::string name) DYNAMAST_EXCLUDES(mu_);
+  std::map<uint32_t, std::string> process_names() const
+      DYNAMAST_EXCLUDES(mu_);
 
   /// Full Chrome trace-event JSON ({"traceEvents":[...]}) of this tracer's
   /// contents, including process_name metadata events. Loadable in
@@ -69,12 +71,14 @@ class Tracer {
 
  private:
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::vector<TraceEvent> ring_;
-  size_t next_ = 0;      // write cursor when full
-  bool wrapped_ = false; // ring_ has wrapped at least once
-  uint64_t dropped_ = 0;
-  std::map<uint32_t, std::string> process_names_;
+  // RawMutex (no sched hooks): spans are recorded inside scheduler-visible
+  // critical sections, so the sink lock must not re-enter the scheduler.
+  mutable RawMutex mu_;
+  std::vector<TraceEvent> ring_ DYNAMAST_GUARDED_BY(mu_);
+  size_t next_ DYNAMAST_GUARDED_BY(mu_) = 0;       // write cursor when full
+  bool wrapped_ DYNAMAST_GUARDED_BY(mu_) = false;  // wrapped at least once
+  uint64_t dropped_ DYNAMAST_GUARDED_BY(mu_) = 0;
+  std::map<uint32_t, std::string> process_names_ DYNAMAST_GUARDED_BY(mu_);
 };
 
 /// Builds a process_name metadata event (ph "M").

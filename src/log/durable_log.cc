@@ -10,7 +10,7 @@ uint64_t DurableLog::Append(std::string serialized) {
   Stopwatch watch;
   uint64_t offset;
   {
-    std::lock_guard guard(mu_);
+    MutexLock lock(mu_);
     if (crash_countdown_ != nullptr &&
         crash_countdown_->fetch_sub(1, std::memory_order_acq_rel) <= 0) {
       // Crash injection armed and exhausted: the write is lost. Report
@@ -29,16 +29,16 @@ uint64_t DurableLog::Append(std::string serialized) {
 }
 
 uint64_t DurableLog::Size() const {
-  std::lock_guard guard(mu_);
+  MutexLock lock(mu_);
   return entries_.size();
 }
 
 Status DurableLog::Read(uint64_t offset, std::string* out,
                         std::chrono::steady_clock::time_point deadline) const {
-  std::unique_lock lock(mu_);
+  MutexLock lock(mu_);
   while (offset >= entries_.size()) {
     if (closed_) return Status::Unavailable("log closed");
-    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout &&
+    if (cv_.wait_until(mu_, deadline) == std::cv_status::timeout &&
         offset >= entries_.size()) {
       return Status::TimedOut("log read deadline");
     }
@@ -48,20 +48,20 @@ Status DurableLog::Read(uint64_t offset, std::string* out,
 }
 
 Status DurableLog::TryRead(uint64_t offset, std::string* out) const {
-  std::lock_guard guard(mu_);
+  MutexLock lock(mu_);
   if (offset >= entries_.size()) return Status::NotFound("offset beyond end");
   *out = entries_[offset];
   return Status::OK();
 }
 
 void DurableLog::Close() {
-  std::lock_guard guard(mu_);
+  MutexLock lock(mu_);
   closed_ = true;
   cv_.notify_all();
 }
 
 bool DurableLog::closed() const {
-  std::lock_guard guard(mu_);
+  MutexLock lock(mu_);
   return closed_;
 }
 

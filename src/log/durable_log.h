@@ -35,25 +35,27 @@ class DurableLog {
   DurableLog& operator=(const DurableLog&) = delete;
 
   /// Appends a record and returns its offset (0-based, dense).
-  uint64_t Append(std::string serialized);
+  uint64_t Append(std::string serialized) DYNAMAST_EXCLUDES(mu_);
 
   /// Number of records appended so far.
-  uint64_t Size() const;
+  uint64_t Size() const DYNAMAST_EXCLUDES(mu_);
 
   /// Reads the record at `offset`, blocking until it exists or `deadline`
   /// passes (TimedOut), or the log is closed (Unavailable) with no record
   /// at that offset.
   Status Read(uint64_t offset, std::string* out,
-              std::chrono::steady_clock::time_point deadline) const;
+              std::chrono::steady_clock::time_point deadline) const
+      DYNAMAST_EXCLUDES(mu_);
 
   /// Non-blocking read; NotFound if the offset has not been written.
-  Status TryRead(uint64_t offset, std::string* out) const;
+  Status TryRead(uint64_t offset, std::string* out) const
+      DYNAMAST_EXCLUDES(mu_);
 
   /// Wakes all blocked readers and makes subsequent blocking reads past the
   /// end return Unavailable. Used for orderly shutdown.
-  void Close();
+  void Close() DYNAMAST_EXCLUDES(mu_);
 
-  bool closed() const;
+  bool closed() const DYNAMAST_EXCLUDES(mu_);
 
   /// Optional append-latency histogram (lock wait + append). Set once at
   /// cluster construction, before concurrent appends.
@@ -66,18 +68,20 @@ class DurableLog {
   /// the record — modeling writes that never reached the durable log
   /// before the site crashed. Readers see nothing; the returned offset is
   /// a plausible lie, exactly like an acknowledged-but-lost write.
-  void SetCrashCountdown(std::shared_ptr<std::atomic<int64_t>> countdown) {
-    std::lock_guard guard(mu_);
+  void SetCrashCountdown(std::shared_ptr<std::atomic<int64_t>> countdown)
+      DYNAMAST_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     crash_countdown_ = std::move(countdown);
   }
 
  private:
   mutable DebugMutex mu_{"log.topic"};
   mutable DebugCondVar cv_;
-  std::vector<std::string> entries_;
-  bool closed_ = false;
+  std::vector<std::string> entries_ DYNAMAST_GUARDED_BY(mu_);
+  bool closed_ DYNAMAST_GUARDED_BY(mu_) = false;
   std::atomic<metrics::Histogram*> append_latency_{nullptr};
-  std::shared_ptr<std::atomic<int64_t>> crash_countdown_;
+  std::shared_ptr<std::atomic<int64_t>> crash_countdown_
+      DYNAMAST_GUARDED_BY(mu_);
   // Scheduler identity of this topic's append decision stream.
   uint32_t sched_uid_ = DYNAMAST_SCHED_REGISTER("log.append");
 };

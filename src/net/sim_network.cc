@@ -64,7 +64,7 @@ void SimulatedNetwork::Send(TrafficClass c, size_t bytes) {
     // back-to-back, while propagation latency overlaps across messages.
     std::chrono::steady_clock::time_point done;
     {
-      std::lock_guard guard(link_mu_);
+      MutexLock lock(link_mu_);
       const auto now = std::chrono::steady_clock::now();
       const auto start = link_busy_until_ > now ? link_busy_until_ : now;
       link_busy_until_ = start + transmission;

@@ -62,7 +62,7 @@ class SimulatedNetwork {
 
   /// Charges the cost of sending one message of `bytes` payload and blocks
   /// the caller for the simulated delivery time.
-  void Send(TrafficClass c, size_t bytes);
+  void Send(TrafficClass c, size_t bytes) DYNAMAST_EXCLUDES(link_mu_);
 
   /// A full round trip: request of `request_bytes` plus response of
   /// `response_bytes`.
@@ -106,7 +106,8 @@ class SimulatedNetwork {
   // Serialized-link state: when the wire frees up. Leaf lock, held only to
   // reserve a transmission slot (the sleep happens outside the lock).
   DebugMutex link_mu_{"net.link"};
-  std::chrono::steady_clock::time_point link_busy_until_{};
+  std::chrono::steady_clock::time_point link_busy_until_
+      DYNAMAST_GUARDED_BY(link_mu_){};
   // Scheduler identity of this network's delivery decision stream.
   uint32_t sched_uid_ = DYNAMAST_SCHED_REGISTER("net.deliver");
 };

@@ -26,7 +26,7 @@ void AccessStatistics::BumpPair(
 void AccessStatistics::RecordWriteSet(ClientId client,
                                       const std::vector<PartitionId>& parts,
                                       TimePoint now) {
-  std::lock_guard guard(mu_);
+  MutexLock guard(mu_);
   ExpireLocked(now);
 
   Sample sample;
@@ -100,7 +100,7 @@ void AccessStatistics::RemoveSampleLocked(const Sample& sample) {
 }
 
 void AccessStatistics::OnRemaster(PartitionId p, SiteId to) {
-  std::lock_guard guard(mu_);
+  MutexLock guard(mu_);
   const SiteId from = master_of_[p];
   if (from == to) return;
   site_writes_[from] -= partition_writes_[p];
@@ -109,26 +109,26 @@ void AccessStatistics::OnRemaster(PartitionId p, SiteId to) {
 }
 
 double AccessStatistics::SiteWriteFraction(SiteId site) const {
-  std::lock_guard guard(mu_);
+  MutexLock guard(mu_);
   if (total_writes_ <= 0) return 0.0;
   return static_cast<double>(site_writes_[site]) /
          static_cast<double>(total_writes_);
 }
 
 uint64_t AccessStatistics::PartitionWriteCount(PartitionId p) const {
-  std::lock_guard guard(mu_);
+  MutexLock guard(mu_);
   return partition_writes_[p] < 0 ? 0
                                   : static_cast<uint64_t>(partition_writes_[p]);
 }
 
 uint64_t AccessStatistics::TotalWriteCount() const {
-  std::lock_guard guard(mu_);
+  MutexLock guard(mu_);
   return total_writes_ < 0 ? 0 : static_cast<uint64_t>(total_writes_);
 }
 
 std::vector<std::pair<PartitionId, double>> AccessStatistics::IntraCoAccess(
     PartitionId p) const {
-  std::lock_guard guard(mu_);
+  MutexLock guard(mu_);
   std::vector<std::pair<PartitionId, double>> out;
   auto it = intra_.find(p);
   if (it == intra_.end() || partition_writes_[p] <= 0) return out;
@@ -142,7 +142,7 @@ std::vector<std::pair<PartitionId, double>> AccessStatistics::IntraCoAccess(
 
 std::vector<std::pair<PartitionId, double>> AccessStatistics::InterCoAccess(
     PartitionId p) const {
-  std::lock_guard guard(mu_);
+  MutexLock guard(mu_);
   std::vector<std::pair<PartitionId, double>> out;
   auto it = inter_.find(p);
   if (it == inter_.end() || partition_writes_[p] <= 0) return out;
@@ -155,12 +155,12 @@ std::vector<std::pair<PartitionId, double>> AccessStatistics::InterCoAccess(
 }
 
 SiteId AccessStatistics::MasterMirror(PartitionId p) const {
-  std::lock_guard guard(mu_);
+  MutexLock guard(mu_);
   return master_of_[p];
 }
 
 size_t AccessStatistics::HistorySize() const {
-  std::lock_guard guard(mu_);
+  MutexLock guard(mu_);
   return history_.size();
 }
 

@@ -54,32 +54,32 @@ class AccessStatistics {
   /// against the client's recent transactions within Δt. Expires old
   /// samples opportunistically.
   void RecordWriteSet(ClientId client, const std::vector<PartitionId>& parts,
-                      TimePoint now);
+                      TimePoint now) DYNAMAST_EXCLUDES(mu_);
 
   /// The selector calls this when it remasters `p`, keeping per-site
   /// write totals consistent with the new allocation.
-  void OnRemaster(PartitionId p, SiteId to);
+  void OnRemaster(PartitionId p, SiteId to) DYNAMAST_EXCLUDES(mu_);
 
   /// Fraction of recorded write accesses that partition-masters at `site`
   /// under the current allocation — freq(X_i) of Eq. 2.
-  double SiteWriteFraction(SiteId site) const;
+  double SiteWriteFraction(SiteId site) const DYNAMAST_EXCLUDES(mu_);
 
   /// Current write-frequency count of one partition, and the grand total.
-  uint64_t PartitionWriteCount(PartitionId p) const;
-  uint64_t TotalWriteCount() const;
+  uint64_t PartitionWriteCount(PartitionId p) const DYNAMAST_EXCLUDES(mu_);
+  uint64_t TotalWriteCount() const DYNAMAST_EXCLUDES(mu_);
 
   /// Co-access distributions of `p`: (other partition, P(other | p)).
   /// Intra = within one transaction (Eq. 6); inter = across transactions
   /// within Δt (Eq. 7).
-  std::vector<std::pair<PartitionId, double>> IntraCoAccess(
-      PartitionId p) const;
-  std::vector<std::pair<PartitionId, double>> InterCoAccess(
-      PartitionId p) const;
+  std::vector<std::pair<PartitionId, double>> IntraCoAccess(PartitionId p)
+      const DYNAMAST_EXCLUDES(mu_);
+  std::vector<std::pair<PartitionId, double>> InterCoAccess(PartitionId p)
+      const DYNAMAST_EXCLUDES(mu_);
 
   /// Mastership mirror (selector state, not ground truth at the sites).
-  SiteId MasterMirror(PartitionId p) const;
+  SiteId MasterMirror(PartitionId p) const DYNAMAST_EXCLUDES(mu_);
 
-  size_t HistorySize() const;
+  size_t HistorySize() const DYNAMAST_EXCLUDES(mu_);
 
  private:
   struct Sample {
@@ -91,28 +91,33 @@ class AccessStatistics {
     std::vector<std::pair<PartitionId, PartitionId>> inter_pairs;
   };
 
-  void ExpireLocked(TimePoint now);
-  void RemoveSampleLocked(const Sample& sample);
+  void ExpireLocked(TimePoint now) DYNAMAST_REQUIRES(mu_);
+  void RemoveSampleLocked(const Sample& sample) DYNAMAST_REQUIRES(mu_);
+  // Operates on intra_/inter_ passed by reference; callers hold mu_.
   void BumpPair(std::unordered_map<PartitionId,
                                    std::unordered_map<PartitionId, int64_t>>& m,
-                PartitionId a, PartitionId b, int64_t delta);
+                PartitionId a, PartitionId b, int64_t delta)
+      DYNAMAST_REQUIRES(mu_);
 
   Options options_;
 
   mutable DebugMutex mu_{"selector.access_stats"};
-  std::vector<SiteId> master_of_;          // mirror of the allocation
-  std::vector<int64_t> partition_writes_;  // per-partition write frequency
-  std::vector<int64_t> site_writes_;       // per-site totals (allocation B)
-  int64_t total_writes_ = 0;
+  // mirror of the allocation
+  std::vector<SiteId> master_of_ DYNAMAST_GUARDED_BY(mu_);
+  // per-partition write frequency
+  std::vector<int64_t> partition_writes_ DYNAMAST_GUARDED_BY(mu_);
+  // per-site totals (allocation B)
+  std::vector<int64_t> site_writes_ DYNAMAST_GUARDED_BY(mu_);
+  int64_t total_writes_ DYNAMAST_GUARDED_BY(mu_) = 0;
   // pair counts: outer key d1, inner key d2 -> count.
   std::unordered_map<PartitionId, std::unordered_map<PartitionId, int64_t>>
-      intra_;
+      intra_ DYNAMAST_GUARDED_BY(mu_);
   std::unordered_map<PartitionId, std::unordered_map<PartitionId, int64_t>>
-      inter_;
-  std::deque<Sample> history_;
+      inter_ DYNAMAST_GUARDED_BY(mu_);
+  std::deque<Sample> history_ DYNAMAST_GUARDED_BY(mu_);
   std::unordered_map<ClientId, std::deque<std::pair<TimePoint,
                                                     std::vector<PartitionId>>>>
-      client_recent_;
+      client_recent_ DYNAMAST_GUARDED_BY(mu_);
 };
 
 }  // namespace dynamast::selector

@@ -5,7 +5,7 @@ namespace dynamast::selector {
 std::vector<size_t> PartitionMap::MasterCounts(uint32_t num_sites) const {
   std::vector<size_t> counts(num_sites, 0);
   for (const Entry& e : entries_) {
-    std::shared_lock lock(e.mu);
+    ReaderMutexLock lock(e.mu);
     if (e.master < num_sites) counts[e.master]++;
   }
   return counts;

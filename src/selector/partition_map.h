@@ -1,7 +1,6 @@
 #ifndef DYNAMAST_SELECTOR_PARTITION_MAP_H_
 #define DYNAMAST_SELECTOR_PARTITION_MAP_H_
 
-#include <shared_mutex>
 #include <vector>
 
 #include "common/debug_mutex.h"
@@ -36,21 +35,39 @@ class PartitionMap {
 
   size_t NumPartitions() const { return entries_.size(); }
 
-  /// Unsynchronized master lookup (caller holds the partition lock).
-  SiteId MasterOf(PartitionId p) const { return entries_[p].master; }
-  void SetMaster(PartitionId p, SiteId site) { entries_[p].master = site; }
+  /// Master lookup/update; the caller must hold partition `p`'s lock (via
+  /// LockShared / LockExclusive below).
+  SiteId MasterOf(PartitionId p) const
+      DYNAMAST_REQUIRES_SHARED(entries_[p].mu) {
+    return entries_[p].master;
+  }
+  void SetMaster(PartitionId p, SiteId site)
+      DYNAMAST_REQUIRES(entries_[p].mu) {
+    entries_[p].master = site;
+  }
 
   /// Locked single-partition lookup, for diagnostics and read paths that
   /// tolerate immediate staleness.
   SiteId MasterOfLocked(PartitionId p) const {
-    std::shared_lock lock(entries_[p].mu);
-    return entries_[p].master;
+    const Entry& e = entries_[p];
+    ReaderMutexLock lock(e.mu);
+    return e.master;
   }
 
-  void LockShared(PartitionId p) const { entries_[p].mu.lock_shared(); }
-  void UnlockShared(PartitionId p) const { entries_[p].mu.unlock_shared(); }
-  void LockExclusive(PartitionId p) const { entries_[p].mu.lock(); }
-  void UnlockExclusive(PartitionId p) const { entries_[p].mu.unlock(); }
+  void LockShared(PartitionId p) const
+      DYNAMAST_ACQUIRE_SHARED(entries_[p].mu) {
+    entries_[p].mu.lock_shared();
+  }
+  void UnlockShared(PartitionId p) const
+      DYNAMAST_RELEASE_SHARED(entries_[p].mu) {
+    entries_[p].mu.unlock_shared();
+  }
+  void LockExclusive(PartitionId p) const DYNAMAST_ACQUIRE(entries_[p].mu) {
+    entries_[p].mu.lock();
+  }
+  void UnlockExclusive(PartitionId p) const DYNAMAST_RELEASE(entries_[p].mu) {
+    entries_[p].mu.unlock();
+  }
 
   /// Number of partitions currently mastered at each site (diagnostics /
   /// experiments). Takes shared locks partition by partition.
@@ -59,7 +76,7 @@ class PartitionMap {
  private:
   struct Entry {
     mutable DebugSharedMutex mu{"selector.partition"};
-    SiteId master = 0;
+    SiteId master DYNAMAST_GUARDED_BY(mu) = 0;
   };
   // Fixed at construction; Entry is neither movable nor copyable.
   mutable std::vector<Entry> entries_;

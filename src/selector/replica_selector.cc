@@ -15,7 +15,7 @@ void ReplicaSiteSelector::Sync() {
   for (PartitionId p = 0; p < fresh.size(); ++p) {
     fresh[p] = master_->partition_map().MasterOfLocked(p);
   }
-  std::lock_guard guard(cache_mu_);
+  MutexLock guard(cache_mu_);
   cached_master_ = std::move(fresh);
   syncs_.fetch_add(1);
 }
@@ -44,7 +44,7 @@ Status ReplicaSiteSelector::TryRouteWritePartitions(
                    partitions.end());
   SiteId site = kInvalidSite;
   {
-    std::lock_guard guard(cache_mu_);
+    MutexLock guard(cache_mu_);
     for (PartitionId p : partitions) {
       const SiteId owner = cached_master_[p];
       if (site == kInvalidSite) {

@@ -38,7 +38,7 @@ class ReplicaSiteSelector {
   ReplicaSiteSelector& operator=(const ReplicaSiteSelector&) = delete;
 
   /// Refreshes the cached master locations from the master selector.
-  void Sync();
+  void Sync() DYNAMAST_EXCLUDES(cache_mu_);
 
   /// Attempts a local routing decision. Returns:
   ///  * OK and a filled RouteResult when the cached write set is
@@ -51,7 +51,7 @@ class ReplicaSiteSelector {
   Status TryRouteWritePartitions(ClientId client,
                                  std::vector<PartitionId> partitions,
                                  const VersionVector& client_session,
-                                 RouteResult* out);
+                                 RouteResult* out) DYNAMAST_EXCLUDES(cache_mu_);
 
   /// Read routing never requires mastership knowledge; it is served by
   /// the replica exactly as by the master (Appendix I: "read-only
@@ -70,7 +70,7 @@ class ReplicaSiteSelector {
   const Partitioner* partitioner_;
 
   mutable DebugMutex cache_mu_{"selector.replica_cache"};
-  std::vector<SiteId> cached_master_;
+  std::vector<SiteId> cached_master_ DYNAMAST_GUARDED_BY(cache_mu_);
 
   std::atomic<uint64_t> local_routes_{0};
   std::atomic<uint64_t> fallbacks_{0};

@@ -65,7 +65,7 @@ SiteSelector::SiteSelector(const SelectorOptions& options,
 }
 
 std::vector<RoutingExplain> SiteSelector::RecentExplains() const {
-  std::lock_guard<std::mutex> guard(explain_mu_);
+  RawMutexLock guard(explain_mu_);
   return std::vector<RoutingExplain>(explains_.begin(), explains_.end());
 }
 
@@ -87,7 +87,7 @@ void SiteSelector::RecordExplain(const std::vector<PartitionId>& partitions,
   explain.masters = masters;
   explain.scores = std::move(scores);
   explain.winner = winner;
-  std::lock_guard<std::mutex> guard(explain_mu_);
+  RawMutexLock guard(explain_mu_);
   explain.seq = ++explain_seq_;
   explains_.push_back(std::move(explain));
   if (explains_.size() > kMaxExplains) explains_.pop_front();
@@ -97,7 +97,9 @@ void SiteSelector::InstallPlacement(
     const std::vector<SiteId>& master_of_partition) {
   for (PartitionId p = 0; p < master_of_partition.size(); ++p) {
     const SiteId owner = master_of_partition[p];
+    map_.LockExclusive(p);
     map_.SetMaster(p, owner);
+    map_.UnlockExclusive(p);
     stats_->OnRemaster(p, owner);
     for (SiteId s = 0; s < options_.num_sites; ++s) {
       sites_[s]->SetMasterOf(p, s == owner);
@@ -110,7 +112,7 @@ void SiteSelector::MaybeSample(ClientId client,
   const auto now = std::chrono::steady_clock::now();
   bool sample;
   {
-    std::lock_guard guard(rng_mu_);
+    MutexLock guard(rng_mu_);
     if (options_.adaptive_sampling) {
       if (now - sample_window_start_ >= std::chrono::seconds(1)) {
         // New window: if the last one overshot the budget, throttle;
@@ -139,7 +141,7 @@ void SiteSelector::MaybeSample(ClientId client,
 }
 
 double SiteSelector::EffectiveSampleRate() const {
-  std::lock_guard guard(rng_mu_);
+  MutexLock guard(rng_mu_);
   return options_.adaptive_sampling
              ? options_.sample_rate * effective_sample_rate_
              : options_.sample_rate;
@@ -161,7 +163,11 @@ Status SiteSelector::RouteWrite(ClientId client,
 Status SiteSelector::RouteWritePartitions(ClientId client,
                                           std::vector<PartitionId> partitions,
                                           const VersionVector& client_session,
-                                          RouteResult* out) {
+                                          RouteResult* out)
+    // Dynamic lock set: acquires the write set's partition locks in sorted
+    // order inside loops, which TSA cannot model; the runtime lock-rank
+    // checker (partition rank == id) enforces the ordering instead.
+    DYNAMAST_NO_THREAD_SAFETY_ANALYSIS {
   if (partitions.empty()) {
     return Status::InvalidArgument("write route with no partitions");
   }
@@ -379,7 +385,7 @@ Status SiteSelector::RouteRead(ClientId client,
   if (fresh.empty()) {
     *out_site = freshest;
   } else {
-    std::lock_guard guard(rng_mu_);
+    MutexLock guard(rng_mu_);
     *out_site = fresh[rng_.Uniform(fresh.size())];
   }
   return Status::OK();

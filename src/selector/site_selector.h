@@ -125,7 +125,7 @@ class SiteSelector {
   /// Routes a read-only transaction to a random session-fresh site
   /// (Section IV-B).
   Status RouteRead(ClientId client, const VersionVector& client_session,
-                   SiteId* out_site);
+                   SiteId* out_site) DYNAMAST_EXCLUDES(rng_mu_);
 
   PartitionMap& partition_map() { return map_; }
   AccessStatistics& statistics() { return *stats_; }
@@ -138,7 +138,8 @@ class SiteSelector {
 
   /// The most recent slow-path routing decisions (oldest first, at most
   /// kMaxExplains entries).
-  std::vector<RoutingExplain> RecentExplains() const;
+  std::vector<RoutingExplain> RecentExplains() const
+      DYNAMAST_EXCLUDES(explain_mu_);
 
   /// Bound on the routing-explain ring.
   static constexpr size_t kMaxExplains = 256;
@@ -150,17 +151,19 @@ class SiteSelector {
                   const std::vector<SiteId>& masters, SiteId dest,
                   VersionVector* out_vv, uint32_t* moved);
 
-  void MaybeSample(ClientId client, const std::vector<PartitionId>& parts);
+  void MaybeSample(ClientId client, const std::vector<PartitionId>& parts)
+      DYNAMAST_EXCLUDES(rng_mu_);
 
   /// Current effective sample rate (== options().sample_rate unless the
   /// adaptive sampler has throttled it). Exposed for tests/diagnostics.
-  double EffectiveSampleRate() const;
+  double EffectiveSampleRate() const DYNAMAST_EXCLUDES(rng_mu_);
 
   // Stores one slow-path decision into the explain ring and the
   // routing-explain metrics (factor sums are accumulated for the winner).
   void RecordExplain(const std::vector<PartitionId>& partitions,
                      const std::vector<SiteId>& masters,
-                     std::vector<SiteScore> scores, SiteId winner);
+                     std::vector<SiteScore> scores, SiteId winner)
+      DYNAMAST_EXCLUDES(explain_mu_);
 
   // Exported metric handles, resolved once at construction (null without
   // a registry).
@@ -190,18 +193,20 @@ class SiteSelector {
   SelectorCounters counters_;
 
   mutable DebugMutex rng_mu_{"selector.rng"};
-  Random rng_;
+  Random rng_ DYNAMAST_GUARDED_BY(rng_mu_);
 
   // Adaptive sampling state (guarded by rng_mu_, which MaybeSample holds
   // anyway): samples taken in the current one-second window.
-  std::chrono::steady_clock::time_point sample_window_start_{};
-  uint64_t samples_in_window_ = 0;
-  double effective_sample_rate_ = 1.0;
+  std::chrono::steady_clock::time_point sample_window_start_
+      DYNAMAST_GUARDED_BY(rng_mu_){};
+  uint64_t samples_in_window_ DYNAMAST_GUARDED_BY(rng_mu_) = 0;
+  double effective_sample_rate_ DYNAMAST_GUARDED_BY(rng_mu_) = 1.0;
 
-  // Routing-explain ring (bounded; oldest evicted first).
-  mutable std::mutex explain_mu_;
-  std::deque<RoutingExplain> explains_;
-  uint64_t explain_seq_ = 0;
+  // Routing-explain ring (bounded; oldest evicted first). RawMutex: below
+  // the scheduler layer, so ring pushes never perturb record/replay.
+  mutable RawMutex explain_mu_;
+  std::deque<RoutingExplain> explains_ DYNAMAST_GUARDED_BY(explain_mu_);
+  uint64_t explain_seq_ DYNAMAST_GUARDED_BY(explain_mu_) = 0;
 };
 
 }  // namespace dynamast::selector

@@ -7,7 +7,7 @@ namespace dynamast::site {
 
 void AdmissionGate::SetMetrics(metrics::Histogram* wait_us,
                                metrics::Gauge* queue_depth) {
-  std::lock_guard guard(mu_);
+  MutexLock guard(mu_);
   wait_us_ = wait_us;
   queue_depth_ = queue_depth;
 }
@@ -15,12 +15,12 @@ void AdmissionGate::SetMetrics(metrics::Histogram* wait_us,
 void AdmissionGate::Enter() {
   {
     Stopwatch watch;
-    std::unique_lock lock(mu_);
+    MutexLock lock(mu_);
     ++waiting_;
     if (queue_depth_ != nullptr) {
       queue_depth_->Set(static_cast<double>(waiting_));
     }
-    cv_.wait(lock, [&] { return free_slots_ > 0; });
+    cv_.wait(mu_, [&] { return free_slots_ > 0; });
     --waiting_;
     --free_slots_;
     if (queue_depth_ != nullptr) {
@@ -36,13 +36,13 @@ void AdmissionGate::Enter() {
 }
 
 void AdmissionGate::Exit() {
-  std::lock_guard guard(mu_);
+  MutexLock guard(mu_);
   ++free_slots_;
   cv_.notify_one();
 }
 
 uint64_t AdmissionGate::QueueDepth() const {
-  std::lock_guard guard(mu_);
+  MutexLock guard(mu_);
   return waiting_;
 }
 

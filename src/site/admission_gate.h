@@ -22,17 +22,18 @@ class AdmissionGate {
   AdmissionGate& operator=(const AdmissionGate&) = delete;
 
   /// Blocks until a slot is free, then occupies it.
-  void Enter();
+  void Enter() DYNAMAST_EXCLUDES(mu_);
 
   /// Frees a slot.
-  void Exit();
+  void Exit() DYNAMAST_EXCLUDES(mu_);
 
   /// Number of arrivals currently waiting for a slot (diagnostics).
-  uint64_t QueueDepth() const;
+  uint64_t QueueDepth() const DYNAMAST_EXCLUDES(mu_);
 
   /// Wires exported metrics: the slot-wait latency histogram and a gauge
   /// mirroring the queue depth. Either may be null. Call before traffic.
-  void SetMetrics(metrics::Histogram* wait_us, metrics::Gauge* queue_depth);
+  void SetMetrics(metrics::Histogram* wait_us, metrics::Gauge* queue_depth)
+      DYNAMAST_EXCLUDES(mu_);
 
   /// RAII slot occupancy.
   class Scoped {
@@ -49,12 +50,12 @@ class AdmissionGate {
  private:
   mutable DebugMutex mu_{"site.admission_gate"};
   DebugCondVar cv_;
-  size_t free_slots_;
-  uint64_t waiting_ = 0;
+  size_t free_slots_ DYNAMAST_GUARDED_BY(mu_);
+  uint64_t waiting_ DYNAMAST_GUARDED_BY(mu_) = 0;
   // Scheduler identity of this gate's slot-grant decision stream.
   uint32_t sched_uid_ = DYNAMAST_SCHED_REGISTER("gate.grant");
-  metrics::Histogram* wait_us_ = nullptr;
-  metrics::Gauge* queue_depth_ = nullptr;
+  metrics::Histogram* wait_us_ DYNAMAST_GUARDED_BY(mu_) = nullptr;
+  metrics::Gauge* queue_depth_ DYNAMAST_GUARDED_BY(mu_) = nullptr;
 };
 
 }  // namespace dynamast::site

@@ -119,17 +119,17 @@ void SiteManager::Stop() {
 }
 
 VersionVector SiteManager::CurrentVersion() const {
-  std::lock_guard guard(state_mu_);
+  MutexLock guard(state_mu_);
   return svv_;
 }
 
 Status SiteManager::WaitForVersion(const VersionVector& min) const {
   const auto deadline =
       std::chrono::steady_clock::now() + options_.freshness_timeout;
-  std::unique_lock lock(state_mu_);
+  MutexLock lock(state_mu_);
   while (!svv_.DominatesOrEquals(min)) {
     if (stopping_.load()) return Status::Unavailable("site stopping");
-    if (state_cv_.wait_until(lock, deadline) == std::cv_status::timeout &&
+    if (state_cv_.wait_until(state_mu_, deadline) == std::cv_status::timeout &&
         !svv_.DominatesOrEquals(min)) {
       return Status::TimedOut("freshness wait: site at " + svv_.ToString() +
                               " needs " + min.ToString());
@@ -178,7 +178,7 @@ Status SiteManager::BeginTransaction(const TxnOptions& opts, Transaction* txn) {
   txn->op_count_ = 0;
 
   if (opts.read_only) {
-    std::lock_guard guard(state_mu_);
+    MutexLock guard(state_mu_);
     txn->begin_version_ = svv_;
     // Strong-session SI: the begin snapshot must include everything the
     // session has already observed (WaitForVersion blocked until it did,
@@ -205,7 +205,7 @@ Status SiteManager::BeginTransaction(const TxnOptions& opts, Transaction* txn) {
   // Admission: mastership check + active-writer registration must be
   // atomic with respect to Release draining this partition.
   {
-    std::lock_guard guard(state_mu_);
+    MutexLock guard(state_mu_);
     if (options_.enforce_mastership && !opts.skip_mastership_check) {
       for (PartitionId p : partitions) {
         if (mastered_.find(p) == mastered_.end()) {
@@ -236,7 +236,7 @@ Status SiteManager::BeginTransaction(const TxnOptions& opts, Transaction* txn) {
     }
   }
   if (!s.ok()) {
-    std::lock_guard guard(state_mu_);
+    MutexLock guard(state_mu_);
     for (PartitionId p : txn->write_partitions_) {
       if (--active_writers_[p] == 0) active_writers_.erase(p);
     }
@@ -253,7 +253,7 @@ Status SiteManager::BeginTransaction(const TxnOptions& opts, Transaction* txn) {
   // Begin snapshot is taken after lock acquisition (Appendix A, Case 1:
   // if T1 locks after T2 commits, T2's commit is in T1's begin vector).
   {
-    std::lock_guard guard(state_mu_);
+    MutexLock guard(state_mu_);
     txn->begin_version_ = svv_;
     DYNAMAST_INVARIANT(
         txn->begin_version_.DominatesOrEquals(opts.min_begin_version),
@@ -300,7 +300,7 @@ Status SiteManager::TxnPut(Transaction* txn, const RecordKey& key,
     // Dynamic insert: register its partition and lock the key.
     const PartitionId p = partitioner_->PartitionOf(key);
     {
-      std::lock_guard guard(state_mu_);
+      MutexLock guard(state_mu_);
       if (options_.enforce_mastership &&
           mastered_.find(p) == mastered_.end()) {
         return Status::NotMaster("insert into unmastered partition " +
@@ -353,7 +353,7 @@ Status SiteManager::Commit(Transaction* txn, VersionVector* commit_version) {
     // Nothing to install; release any locks and unregister.
     engine_.lock_manager().ReleaseAll(txn->locked_keys_, txn->id_);
     if (!txn->write_partitions_.empty()) {
-      std::lock_guard guard(state_mu_);
+      MutexLock guard(state_mu_);
       for (PartitionId p : txn->write_partitions_) {
         auto it = active_writers_.find(p);
         if (it != active_writers_.end() && --it->second == 0) {
@@ -385,7 +385,7 @@ Status SiteManager::Commit(Transaction* txn, VersionVector* commit_version) {
   }
 
   {
-    std::lock_guard guard(state_mu_);
+    MutexLock guard(state_mu_);
     const uint64_t seq = svv_[site_id()] + 1;
     // Commit timestamp: begin vector with this site's slot set to the new
     // local sequence number (Section III-A).
@@ -447,7 +447,7 @@ void SiteManager::Abort(Transaction* txn, const Status& reason) {
   txn->staged_.clear();
   engine_.lock_manager().ReleaseAll(txn->locked_keys_, txn->id_);
   if (!txn->write_partitions_.empty()) {
-    std::lock_guard guard(state_mu_);
+    MutexLock guard(state_mu_);
     for (PartitionId p : txn->write_partitions_) {
       auto it = active_writers_.find(p);
       if (it != active_writers_.end() && --it->second == 0) {
@@ -464,7 +464,7 @@ void SiteManager::Abort(Transaction* txn, const Status& reason) {
 // ---------------------------------------------------------------------
 
 void SiteManager::SetMasterOf(PartitionId partition, bool is_master) {
-  std::lock_guard guard(state_mu_);
+  MutexLock guard(state_mu_);
   if (is_master) {
     mastered_.insert(partition);
   } else {
@@ -473,12 +473,12 @@ void SiteManager::SetMasterOf(PartitionId partition, bool is_master) {
 }
 
 bool SiteManager::IsMasterOf(PartitionId partition) const {
-  std::lock_guard guard(state_mu_);
+  MutexLock guard(state_mu_);
   return mastered_.find(partition) != mastered_.end();
 }
 
 std::vector<PartitionId> SiteManager::MasteredPartitions() const {
-  std::lock_guard guard(state_mu_);
+  MutexLock guard(state_mu_);
   return std::vector<PartitionId>(mastered_.begin(), mastered_.end());
 }
 
@@ -506,7 +506,7 @@ Status SiteManager::Release(const std::vector<PartitionId>& partitions,
   span.AddNum("partitions", static_cast<double>(partitions.size()));
   const auto deadline =
       std::chrono::steady_clock::now() + options_.freshness_timeout;
-  std::unique_lock lock(state_mu_);
+  MutexLock lock(state_mu_);
   for (PartitionId p : partitions) {
     if (mastered_.find(p) == mastered_.end()) {
       return Status::NotMaster("release of unmastered partition " +
@@ -528,7 +528,7 @@ Status SiteManager::Release(const std::vector<PartitionId>& partitions,
       for (PartitionId p : partitions) mastered_.insert(p);
       return Status::Unavailable("site stopping");
     }
-    if (state_cv_.wait_until(lock, deadline) == std::cv_status::timeout &&
+    if (state_cv_.wait_until(state_mu_, deadline) == std::cv_status::timeout &&
         !drained()) {
       for (PartitionId p : partitions) mastered_.insert(p);
       return Status::TimedOut("release drain");
@@ -570,7 +570,7 @@ Status SiteManager::Grant(const std::vector<PartitionId>& partitions,
   Status s = WaitForVersion(release_version);
   if (!s.ok()) return s;
 #endif
-  std::lock_guard guard(state_mu_);
+  MutexLock guard(state_mu_);
   *grant_version =
       AppendMarkerLocked(log::LogRecord::Type::kGrant, partitions, from_site);
 #if !defined(DYNAMAST_BREAK_SI) || !DYNAMAST_BREAK_SI
@@ -611,7 +611,7 @@ bool SiteManager::ApplyRefreshRecord(const log::LogRecord& record) {
                    origin);
   span.AddNum("seq", static_cast<double>(seq));
   span.AddNum("writes", static_cast<double>(record.writes.size()));
-  std::unique_lock lock(state_mu_);
+  MutexLock lock(state_mu_);
   // Update application rule, Eq. 1: all cross-origin dependencies applied
   // and this record is the next in the origin's commit order.
   auto applicable = [&] {
@@ -624,7 +624,7 @@ bool SiteManager::ApplyRefreshRecord(const log::LogRecord& record) {
   };
   while (!applicable()) {
     if (stopping_.load()) return false;
-    state_cv_.wait_for(lock, kApplierPollInterval);
+    state_cv_.wait_for(state_mu_, kApplierPollInterval);
   }
   // Update application rule (Eq. 1): the record is the next in its
   // origin's commit order and all its cross-origin dependencies are
@@ -712,6 +712,11 @@ Status SiteManager::RecoverFromLogs(
     const std::unordered_map<PartitionId, SiteId>& initial_masters,
     std::unordered_map<PartitionId, SiteId>* recovered_masters) {
   *recovered_masters = initial_masters;
+  // The replay mutates svv_ and mastered_, so hold state_mu_ throughout
+  // even though recovery is single-threaded by contract ("call on a
+  // stopped site") -- the guarded fields must only be touched under their
+  // capability. Nesting under the log/storage locks matches Commit.
+  MutexLock lock(state_mu_);
   std::vector<uint64_t> offsets(options_.num_sites, 0);
   bool progressed = true;
   while (progressed) {
@@ -756,12 +761,9 @@ Status SiteManager::RecoverFromLogs(
     }
   }
   // Adopt the mastership this site is entitled to.
-  {
-    std::lock_guard guard(state_mu_);
-    mastered_.clear();
-    for (const auto& [p, owner] : *recovered_masters) {
-      if (owner == site_id()) mastered_.insert(p);
-    }
+  mastered_.clear();
+  for (const auto& [p, owner] : *recovered_masters) {
+    if (owner == site_id()) mastered_.insert(p);
   }
   return Status::OK();
 }

@@ -82,7 +82,7 @@ class SiteManager {
   history::Recorder* history() const { return history_; }
 
   /// Current site version vector (copy).
-  VersionVector CurrentVersion() const;
+  VersionVector CurrentVersion() const DYNAMAST_EXCLUDES(state_mu_);
 
   // ---- Transaction API -----------------------------------------------
 
@@ -90,19 +90,22 @@ class SiteManager {
   /// mastership of the write partitions, acquires write locks, then takes
   /// the begin snapshot (after lock acquisition — required by the SI
   /// proof, Appendix A Case 1).
-  Status BeginTransaction(const TxnOptions& opts, Transaction* txn);
+  Status BeginTransaction(const TxnOptions& opts, Transaction* txn)
+      DYNAMAST_EXCLUDES(state_mu_);
 
   /// Commits: atomically assigns the next local sequence number, installs
   /// staged writes, appends the redo/propagation record to this site's
   /// log topic, advances svv, and releases locks. Returns the commit
   /// timestamp (transaction version vector) in `commit_version`.
-  Status Commit(Transaction* txn, VersionVector* commit_version);
+  Status Commit(Transaction* txn, VersionVector* commit_version)
+      DYNAMAST_EXCLUDES(state_mu_);
 
   /// Drops staged writes and releases locks. `reason` feeds the
   /// abort-reason taxonomy (site_aborts_total{reason=...}): pass the
   /// Status that caused the abort so the metric names the actual cause.
   void Abort(Transaction* txn,
-             const Status& reason = Status::Aborted("caller abort"));
+             const Status& reason = Status::Aborted("caller abort"))
+      DYNAMAST_EXCLUDES(state_mu_);
 
   /// Sleeps for the simulated CPU cost of `reads` snapshot reads plus
   /// `writes` write operations. Call while holding a gate slot. Callers
@@ -114,14 +117,17 @@ class SiteManager {
   void ChargeDuration(std::chrono::nanoseconds d) const;
 
   /// Blocks until svv dominates `min`, or the freshness timeout expires.
-  Status WaitForVersion(const VersionVector& min) const;
+  Status WaitForVersion(const VersionVector& min) const
+      DYNAMAST_EXCLUDES(state_mu_);
 
   // ---- Mastership / remastering (Algorithm 1 server side) -------------
 
   /// Initial mastership assignment (loader); not logged.
-  void SetMasterOf(PartitionId partition, bool is_master);
-  bool IsMasterOf(PartitionId partition) const;
-  std::vector<PartitionId> MasteredPartitions() const;
+  void SetMasterOf(PartitionId partition, bool is_master)
+      DYNAMAST_EXCLUDES(state_mu_);
+  bool IsMasterOf(PartitionId partition) const DYNAMAST_EXCLUDES(state_mu_);
+  std::vector<PartitionId> MasteredPartitions() const
+      DYNAMAST_EXCLUDES(state_mu_);
 
   /// Releases mastership of `partitions` to `to_site`: immediately stops
   /// admitting new write transactions on them, waits for in-flight writers
@@ -129,7 +135,7 @@ class SiteManager {
   /// site's commit order and therefore propagates), and returns the site
   /// version vector at the point of release.
   Status Release(const std::vector<PartitionId>& partitions, SiteId to_site,
-                 VersionVector* release_version);
+                 VersionVector* release_version) DYNAMAST_EXCLUDES(state_mu_);
 
   /// Takes mastership of `partitions` from `from_site`: waits until this
   /// site has applied everything up to `release_version`, appends a grant
@@ -137,7 +143,7 @@ class SiteManager {
   /// time ownership was taken.
   Status Grant(const std::vector<PartitionId>& partitions, SiteId from_site,
                const VersionVector& release_version,
-               VersionVector* grant_version);
+               VersionVector* grant_version) DYNAMAST_EXCLUDES(state_mu_);
 
   // ---- Loading & recovery ---------------------------------------------
 
@@ -155,14 +161,16 @@ class SiteManager {
   /// constructed site. Returns the reconstructed mastership map.
   Status RecoverFromLogs(
       const std::unordered_map<PartitionId, SiteId>& initial_masters,
-      std::unordered_map<PartitionId, SiteId>* recovered_masters);
+      std::unordered_map<PartitionId, SiteId>* recovered_masters)
+      DYNAMAST_EXCLUDES(state_mu_);
 
  private:
   friend class Transaction;
 
   // Applies one refresh/marker record from `origin` once Eq. 1 allows.
   // Returns false if shutting down.
-  bool ApplyRefreshRecord(const log::LogRecord& record);
+  bool ApplyRefreshRecord(const log::LogRecord& record)
+      DYNAMAST_EXCLUDES(state_mu_);
 
   // Refresh applier main loop for one origin topic.
   void ApplierLoop(SiteId origin);
@@ -170,7 +178,8 @@ class SiteManager {
   // Appends a marker record under state_mu_; returns svv copy after bump.
   VersionVector AppendMarkerLocked(log::LogRecord::Type type,
                                    const std::vector<PartitionId>& partitions,
-                                   SiteId peer);
+                                   SiteId peer)
+      DYNAMAST_REQUIRES(state_mu_);
 
   // Transaction helpers (called by Transaction).
   Status TxnGet(Transaction* txn, const RecordKey& key, std::string* value);
@@ -226,12 +235,13 @@ class SiteManager {
 
   mutable DebugMutex state_mu_{"site.state"};
   mutable DebugCondVar state_cv_;
-  VersionVector svv_;
+  VersionVector svv_ DYNAMAST_GUARDED_BY(state_mu_);
   // Partitions this site masters; a partition being released is removed
   // before the drain so no new writers are admitted.
-  std::unordered_set<PartitionId> mastered_;
+  std::unordered_set<PartitionId> mastered_ DYNAMAST_GUARDED_BY(state_mu_);
   // In-flight write transactions per partition (release drains these).
-  std::unordered_map<PartitionId, uint32_t> active_writers_;
+  std::unordered_map<PartitionId, uint32_t> active_writers_
+      DYNAMAST_GUARDED_BY(state_mu_);
 
   std::atomic<storage::TxnId> next_txn_id_{1};
   std::atomic<bool> stopping_{false};

@@ -7,7 +7,7 @@ namespace dynamast::storage {
 Status LockManager::Acquire(const RecordKey& key, TxnId txn,
                             std::chrono::steady_clock::time_point deadline) {
   Stripe& stripe = StripeFor(key);
-  std::unique_lock lock(stripe.mu);
+  MutexLock lock(stripe.mu);
   while (true) {
     auto it = stripe.held.find(key);
     if (it == stripe.held.end()) {
@@ -15,7 +15,7 @@ Status LockManager::Acquire(const RecordKey& key, TxnId txn,
       return Status::OK();
     }
     if (it->second == txn) return Status::OK();  // re-entrant
-    if (stripe.cv.wait_until(lock, deadline) == std::cv_status::timeout) {
+    if (stripe.cv.wait_until(stripe.mu, deadline) == std::cv_status::timeout) {
       // Re-check once after timeout: the holder may have released between
       // the last wakeup and now.
       it = stripe.held.find(key);
@@ -45,7 +45,7 @@ Status LockManager::AcquireAll(std::vector<RecordKey> keys, TxnId txn,
 
 void LockManager::Release(const RecordKey& key, TxnId txn) {
   Stripe& stripe = StripeFor(key);
-  std::lock_guard guard(stripe.mu);
+  MutexLock lock(stripe.mu);
   auto it = stripe.held.find(key);
   if (it != stripe.held.end() && it->second == txn) {
     stripe.held.erase(it);
@@ -59,7 +59,7 @@ void LockManager::ReleaseAll(const std::vector<RecordKey>& keys, TxnId txn) {
 
 bool LockManager::Holds(const RecordKey& key, TxnId txn) const {
   const Stripe& stripe = StripeFor(key);
-  std::lock_guard guard(stripe.mu);
+  MutexLock lock(stripe.mu);
   auto it = stripe.held.find(key);
   return it != stripe.held.end() && it->second == txn;
 }
@@ -67,7 +67,7 @@ bool LockManager::Holds(const RecordKey& key, TxnId txn) const {
 size_t LockManager::NumHeldLocks() const {
   size_t total = 0;
   for (const Stripe& stripe : stripes_) {
-    std::lock_guard guard(stripe.mu);
+    MutexLock lock(stripe.mu);
     total += stripe.held.size();
   }
   return total;

@@ -62,7 +62,8 @@ class LockManager {
     // releases each stripe's mutex before moving to the next key).
     mutable DebugMutex mu{"storage.lock_stripe"};
     DebugCondVar cv;
-    std::unordered_map<RecordKey, TxnId, RecordKeyHash> held;
+    std::unordered_map<RecordKey, TxnId, RecordKeyHash> held
+        DYNAMAST_GUARDED_BY(mu);
   };
   Stripe& StripeFor(const RecordKey& key) {
     return stripes_[RecordKeyHash()(key) % kNumStripes];

@@ -4,7 +4,7 @@ namespace dynamast::storage {
 
 void VersionedRecord::Install(SiteId origin, uint64_t seq, std::string value,
                               InstallStats* stats) {
-  std::lock_guard guard(mu_);
+  MutexLock lock(mu_);
   versions_.push_back(RecordVersion{origin, seq, std::move(value)});
   bool pruned = false;
   if (versions_.size() > max_versions_) {
@@ -21,7 +21,7 @@ void VersionedRecord::Install(SiteId origin, uint64_t seq, std::string value,
 Status VersionedRecord::ReadAtSnapshot(const VersionVector& snapshot,
                                        std::string* out,
                                        VersionStamp* observed) const {
-  std::lock_guard guard(mu_);
+  MutexLock lock(mu_);
   for (auto it = versions_.rbegin(); it != versions_.rend(); ++it) {
     const uint64_t visible_up_to =
         it->origin < snapshot.size() ? snapshot[it->origin] : 0;
@@ -38,19 +38,19 @@ Status VersionedRecord::ReadAtSnapshot(const VersionVector& snapshot,
 }
 
 Status VersionedRecord::ReadLatest(std::string* out) const {
-  std::lock_guard guard(mu_);
+  MutexLock lock(mu_);
   if (versions_.empty()) return Status::NotFound("no versions");
   *out = versions_.back().value;
   return Status::OK();
 }
 
 size_t VersionedRecord::NumVersions() const {
-  std::lock_guard guard(mu_);
+  MutexLock lock(mu_);
   return versions_.size();
 }
 
 uint64_t VersionedRecord::PrunedCount() const {
-  std::lock_guard guard(mu_);
+  MutexLock lock(mu_);
   return pruned_;
 }
 

@@ -63,7 +63,7 @@ class VersionedRecord {
   /// version if the chain exceeds its capacity. `stats` (when non-null)
   /// receives the post-install chain length and whether a prune happened.
   void Install(SiteId origin, uint64_t seq, std::string value,
-               InstallStats* stats = nullptr);
+               InstallStats* stats = nullptr) DYNAMAST_EXCLUDES(mu_);
 
   /// Reads the newest version visible to `snapshot`. Returns:
   ///  * OK and the value when a visible version exists;
@@ -73,21 +73,23 @@ class VersionedRecord {
   /// On OK, `observed` (when non-null) receives the stamp of the version
   /// returned.
   Status ReadAtSnapshot(const VersionVector& snapshot, std::string* out,
-                        VersionStamp* observed = nullptr) const;
+                        VersionStamp* observed = nullptr) const
+      DYNAMAST_EXCLUDES(mu_);
 
   /// Reads the newest version unconditionally (loader / debugging).
-  Status ReadLatest(std::string* out) const;
+  Status ReadLatest(std::string* out) const DYNAMAST_EXCLUDES(mu_);
 
-  size_t NumVersions() const;
-  uint64_t PrunedCount() const;
+  size_t NumVersions() const DYNAMAST_EXCLUDES(mu_);
+  uint64_t PrunedCount() const DYNAMAST_EXCLUDES(mu_);
 
  private:
   // Leaf lock: held only around version-chain reads/appends, never while
   // acquiring any other lock.
   mutable DebugMutex mu_{"storage.record"};
-  std::deque<RecordVersion> versions_;  // oldest at front, newest at back
-  size_t max_versions_;
-  uint64_t pruned_ = 0;
+  // Oldest at front, newest at back.
+  std::deque<RecordVersion> versions_ DYNAMAST_GUARDED_BY(mu_);
+  size_t max_versions_;  // immutable after construction
+  uint64_t pruned_ DYNAMAST_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace dynamast::storage

@@ -3,7 +3,7 @@
 namespace dynamast::storage {
 
 Status StorageEngine::CreateTable(TableId id) {
-  std::lock_guard guard(tables_mu_);
+  WriterMutexLock lock(tables_mu_);
   auto [it, inserted] = tables_.emplace(
       id, std::make_unique<Table>(id, options_.max_versions_per_record));
   (void)it;
@@ -12,7 +12,7 @@ Status StorageEngine::CreateTable(TableId id) {
 }
 
 Table* StorageEngine::GetTable(TableId id) const {
-  std::shared_lock lock(tables_mu_);
+  ReaderMutexLock lock(tables_mu_);
   auto it = tables_.find(id);
   return it == tables_.end() ? nullptr : it->second.get();
 }
@@ -45,14 +45,14 @@ bool StorageEngine::Contains(const RecordKey& key) const {
 }
 
 size_t StorageEngine::TotalRows() const {
-  std::shared_lock lock(tables_mu_);
+  ReaderMutexLock lock(tables_mu_);
   size_t total = 0;
   for (const auto& [id, table] : tables_) total += table->NumRows();
   return total;
 }
 
 std::vector<TableId> StorageEngine::TableIds() const {
-  std::shared_lock lock(tables_mu_);
+  ReaderMutexLock lock(tables_mu_);
   std::vector<TableId> ids;
   ids.reserve(tables_.size());
   for (const auto& [id, table] : tables_) ids.push_back(id);

@@ -67,7 +67,8 @@ class StorageEngine {
   // Guards the table map, not table contents. Reader-writer: table lookup
   // is on every operation's path, table creation happens only at load.
   mutable DebugSharedMutex tables_mu_{"storage.tables"};
-  std::unordered_map<TableId, std::unique_ptr<Table>> tables_;
+  std::unordered_map<TableId, std::unique_ptr<Table>> tables_
+      DYNAMAST_GUARDED_BY(tables_mu_);
   LockManager lock_manager_;
 };
 

@@ -7,12 +7,12 @@ void Table::Install(uint64_t row, SiteId origin, uint64_t seq,
   Shard& shard = ShardFor(row);
   VersionedRecord* record = nullptr;
   {
-    std::shared_lock read_lock(shard.mu);
+    ReaderMutexLock read_lock(shard.mu);
     auto it = shard.rows.find(row);
     if (it != shard.rows.end()) record = it->second.get();
   }
   if (record == nullptr) {
-    std::unique_lock write_lock(shard.mu);
+    WriterMutexLock write_lock(shard.mu);
     auto& slot = shard.rows[row];
     if (!slot) slot = std::make_unique<VersionedRecord>(max_versions_);
     record = slot.get();
@@ -22,7 +22,7 @@ void Table::Install(uint64_t row, SiteId origin, uint64_t seq,
 
 const VersionedRecord* Table::Find(uint64_t row) const {
   const Shard& shard = ShardFor(row);
-  std::shared_lock read_lock(shard.mu);
+  ReaderMutexLock read_lock(shard.mu);
   auto it = shard.rows.find(row);
   return it == shard.rows.end() ? nullptr : it->second.get();
 }
@@ -44,7 +44,7 @@ bool Table::Contains(uint64_t row) const { return Find(row) != nullptr; }
 
 void Table::ForEachRowId(const std::function<void(uint64_t)>& fn) const {
   for (const Shard& shard : shards_) {
-    std::shared_lock read_lock(shard.mu);
+    ReaderMutexLock read_lock(shard.mu);
     for (const auto& [row, record] : shard.rows) fn(row);
   }
 }
@@ -52,7 +52,7 @@ void Table::ForEachRowId(const std::function<void(uint64_t)>& fn) const {
 size_t Table::NumRows() const {
   size_t total = 0;
   for (const Shard& shard : shards_) {
-    std::shared_lock read_lock(shard.mu);
+    ReaderMutexLock read_lock(shard.mu);
     total += shard.rows.size();
   }
   return total;

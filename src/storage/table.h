@@ -63,7 +63,10 @@ class Table {
     // Shards never nest: every operation touches exactly one shard at a
     // time (ForEachRowId iterates shard by shard).
     mutable DebugSharedMutex mu{"storage.table_shard"};
-    std::unordered_map<uint64_t, std::unique_ptr<VersionedRecord>> rows;
+    // The *index* is guarded; VersionedRecord pointers are stable once
+    // inserted, so readers drop the index lock before touching chains.
+    std::unordered_map<uint64_t, std::unique_ptr<VersionedRecord>> rows
+        DYNAMAST_GUARDED_BY(mu);
   };
   Shard& ShardFor(uint64_t row) { return shards_[ShardIndex(row)]; }
   const Shard& ShardFor(uint64_t row) const { return shards_[ShardIndex(row)]; }

@@ -156,7 +156,7 @@ std::vector<SiteId> TpccWorkload::WarehousePlacement(
 
 void TpccWorkload::RecordOrderStockPartitions(
     uint32_t w, uint32_t d, const std::vector<PartitionId>& stock_partitions) {
-  std::lock_guard<std::mutex> guard(recon_mu_);
+  RawMutexLock guard(recon_mu_);
   auto& ring = recent_orders_[DistrictKey(w, d)];
   ring.push_back(stock_partitions);
   while (ring.size() > 20) ring.pop_front();
@@ -164,7 +164,7 @@ void TpccWorkload::RecordOrderStockPartitions(
 
 std::vector<PartitionId> TpccWorkload::RecentStockPartitions(
     uint32_t w, uint32_t d) const {
-  std::lock_guard<std::mutex> guard(recon_mu_);
+  RawMutexLock guard(recon_mu_);
   std::unordered_set<PartitionId> set;
   for (const auto& order : recent_orders_[DistrictKey(w, d)]) {
     set.insert(order.begin(), order.end());

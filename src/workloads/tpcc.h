@@ -8,6 +8,7 @@
 #include <mutex>
 #include <vector>
 
+#include "common/debug_mutex.h"
 #include "common/random.h"
 #include "workloads/workload.h"
 
@@ -166,9 +167,10 @@ class TpccWorkload final : public Workload {
   /// Section II-B1): which stock partitions the recent orders of (w, d)
   /// touched — drives Stock-Level's declared read partitions.
   void RecordOrderStockPartitions(
-      uint32_t w, uint32_t d, const std::vector<PartitionId>& stock_partitions);
-  std::vector<PartitionId> RecentStockPartitions(uint32_t w,
-                                                 uint32_t d) const;
+      uint32_t w, uint32_t d, const std::vector<PartitionId>& stock_partitions)
+      DYNAMAST_EXCLUDES(recon_mu_);
+  std::vector<PartitionId> RecentStockPartitions(uint32_t w, uint32_t d) const
+      DYNAMAST_EXCLUDES(recon_mu_);
 
  private:
   friend class TpccClient;
@@ -176,9 +178,10 @@ class TpccWorkload final : public Workload {
   Options options_;
   std::unique_ptr<FunctionPartitioner> partitioner_;
 
-  mutable std::mutex recon_mu_;
+  mutable RawMutex recon_mu_;
   /// Per district: stock-partition sets of recent orders (bounded deque).
-  std::vector<std::deque<std::vector<PartitionId>>> recent_orders_;
+  std::vector<std::deque<std::vector<PartitionId>>> recent_orders_
+      DYNAMAST_GUARDED_BY(recon_mu_);
   std::atomic<uint64_t> history_counter_{1};
 };
 

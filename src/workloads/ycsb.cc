@@ -19,7 +19,7 @@ YcsbWorkload::YcsbWorkload(const Options& options)
 }
 
 void YcsbWorkload::ShuffleCorrelations(uint64_t seed) {
-  std::lock_guard<std::mutex> guard(order_mu_);
+  RawMutexLock guard(order_mu_);
   Random rng(seed);
   for (size_t i = order_.size(); i > 1; --i) {
     std::swap(order_[i - 1], order_[rng.Uniform(i)]);
@@ -31,12 +31,12 @@ void YcsbWorkload::ShuffleCorrelations(uint64_t seed) {
 }
 
 PartitionId YcsbWorkload::OrderedAt(uint64_t pos) const {
-  std::lock_guard<std::mutex> guard(order_mu_);
+  RawMutexLock guard(order_mu_);
   return order_[pos];
 }
 
 uint64_t YcsbWorkload::PositionOf(PartitionId p) const {
-  std::lock_guard<std::mutex> guard(order_mu_);
+  RawMutexLock guard(order_mu_);
   return position_[p];
 }
 

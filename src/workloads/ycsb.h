@@ -6,6 +6,7 @@
 #include <mutex>
 #include <vector>
 
+#include "common/debug_mutex.h"
 #include "common/random.h"
 #include "workloads/workload.h"
 
@@ -72,11 +73,12 @@ class YcsbWorkload final : public Workload {
   /// Re-shuffles the correlation order mid-run (adaptivity experiment
   /// trigger). Thread-safe; existing clients pick it up on their next
   /// affinity renewal.
-  void ShuffleCorrelations(uint64_t seed);
+  void ShuffleCorrelations(uint64_t seed) DYNAMAST_EXCLUDES(order_mu_);
 
   /// Position of partition p in the correlation order and its inverse.
-  PartitionId OrderedAt(uint64_t position) const;
-  uint64_t PositionOf(PartitionId p) const;
+  PartitionId OrderedAt(uint64_t position) const
+      DYNAMAST_EXCLUDES(order_mu_);
+  uint64_t PositionOf(PartitionId p) const DYNAMAST_EXCLUDES(order_mu_);
 
   /// Encodes/decodes the 8-byte counter prefix of a YCSB value.
   static std::string MakeValue(uint64_t counter, size_t value_size);
@@ -89,10 +91,12 @@ class YcsbWorkload final : public Workload {
   uint64_t num_partitions_;
   RangePartitioner partitioner_;
 
-  mutable std::mutex order_mu_;
-  std::vector<PartitionId> order_;    // position -> partition
-  std::vector<uint64_t> position_;    // partition -> position
-  uint64_t order_epoch_ = 0;
+  mutable RawMutex order_mu_;
+  // position -> partition
+  std::vector<PartitionId> order_ DYNAMAST_GUARDED_BY(order_mu_);
+  // partition -> position
+  std::vector<uint64_t> position_ DYNAMAST_GUARDED_BY(order_mu_);
+  uint64_t order_epoch_ DYNAMAST_GUARDED_BY(order_mu_) = 0;
 };
 
 }  // namespace dynamast::workloads

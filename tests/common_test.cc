@@ -4,6 +4,7 @@
 
 #include <cmath>
 #include <map>
+#include <thread>
 #include <vector>
 
 #include "common/latency_recorder.h"
@@ -193,6 +194,32 @@ TEST(LatencyRecorderTest, MergeCombines) {
   EXPECT_EQ(a.count(), 200u);
   EXPECT_GT(a.PercentileMicros(0.99), 50000.0);
   EXPECT_LT(a.PercentileMicros(0.25), 100.0);
+}
+
+// Regression: Merge used to take both recorders' locks at once (relying
+// on std::scoped_lock's retry algorithm under a wrong "ordered by
+// address" comment). It now snapshots `other` and folds the copy in, so
+// concurrent cross-merges can never hold the two locks together. This
+// must terminate — and deadlock here hangs the test runner, which the
+// ctest timeout turns into a failure.
+TEST(LatencyRecorderTest, ConcurrentCrossMergeTerminates) {
+  LatencyRecorder a, b;
+  for (int i = 0; i < 50; ++i) {
+    a.Record(10);
+    b.Record(20);
+  }
+  std::thread ta([&] {
+    for (int i = 0; i < 2000; ++i) a.Merge(b);
+  });
+  std::thread tb([&] {
+    for (int i = 0; i < 2000; ++i) b.Merge(a);
+  });
+  ta.join();
+  tb.join();
+  EXPECT_GE(a.count(), 100u);  // own 50 + at least one merge of b
+  EXPECT_GE(b.count(), 100u);
+  EXPECT_EQ(a.MaxMicros(), 20u);
+  EXPECT_EQ(b.MaxMicros(), 20u);
 }
 
 TEST(LatencyRecorderTest, MergeWithSelfIsNoop) {

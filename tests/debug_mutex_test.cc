@@ -178,8 +178,8 @@ TEST(DebugMutexTest, CondVarWaitReleasesAndReacquires) {
     cv.notify_all();
   });
   {
-    std::unique_lock lock(m);
-    cv.wait(lock, [&] { return ready; });
+    BasicMutexLock<TrackedMutex> lock(m);
+    cv.wait(m, [&] { return ready; });
     EXPECT_EQ(HeldCount(), 1u);  // reacquired after the wait
   }
   t.join();
@@ -190,9 +190,9 @@ TEST(DebugMutexTest, CondVarWaitUntilTimesOut) {
   ResetGraphForTest();
   TrackedMutex m("cvto.M");
   BasicDebugCondVar<TrackedMutex> cv;
-  std::unique_lock lock(m);
+  BasicMutexLock<TrackedMutex> lock(m);
   const auto r = cv.wait_until(
-      lock, std::chrono::steady_clock::now() + std::chrono::milliseconds(10));
+      m, std::chrono::steady_clock::now() + std::chrono::milliseconds(10));
   EXPECT_EQ(r, std::cv_status::timeout);
   EXPECT_EQ(HeldCount(), 1u);
 }

@@ -1,0 +1,16 @@
+// Fixture: OpKindName covers every enumerator.
+#include "common/sched_trace.h"
+
+namespace dynamast::sched {
+
+const char* OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kMutexLock:
+      return "mutex_lock";
+    case OpKind::kNetDeliver:
+      return "net_deliver";
+  }
+  return "?";
+}
+
+}  // namespace dynamast::sched

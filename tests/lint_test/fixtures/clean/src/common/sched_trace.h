@@ -1,0 +1,19 @@
+// Fixture: minimal trace codec header; enum, count and name table agree.
+#ifndef FIXTURE_SCHED_TRACE_H_
+#define FIXTURE_SCHED_TRACE_H_
+
+#include <cstdint>
+
+namespace dynamast::sched {
+
+enum class OpKind : uint8_t {
+  kMutexLock = 0,
+  kNetDeliver = 1,
+};
+inline constexpr uint8_t kNumOpKinds = 2;
+
+const char* OpKindName(OpKind kind);
+
+}  // namespace dynamast::sched
+
+#endif  // FIXTURE_SCHED_TRACE_H_

@@ -1,0 +1,11 @@
+// Fixture: well-formed hook site, paired history emission, snake_case
+// metrics.
+#include "site/good.h"
+
+void Good::Apply() {
+  DYNAMAST_SCHED_OP(kNetDeliver, sched_uid_);
+  history_->Record(MakeTxnEvent(txn, history::EventKind::kCommit));
+  history_->Record(MakeTxnEvent(txn, history::EventKind::kAbort));
+  commits_ = registry->GetCounter("site_commits_total", {{"site", name}});
+  depth_ = registry->GetGauge("site_queue_depth");
+}

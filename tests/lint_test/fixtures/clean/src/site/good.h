@@ -1,0 +1,10 @@
+// Fixture: a registered lock class.
+#ifndef FIXTURE_GOOD_H_
+#define FIXTURE_GOOD_H_
+
+class Good {
+ private:
+  mutable DebugMutex mu_{"site.state"};
+};
+
+#endif  // FIXTURE_GOOD_H_

@@ -1,0 +1,6 @@
+// Fixture: records commits but never aborts — unpaired emission.
+#include "site/bad.h"
+
+void Bad::Commit() {
+  history_->Record(MakeTxnEvent(txn, history::EventKind::kCommit));
+}

@@ -1,0 +1,12 @@
+// Fixture: one malformed class name, one unregistered class, one fine.
+#ifndef FIXTURE_BAD_H_
+#define FIXTURE_BAD_H_
+
+class Bad {
+ private:
+  mutable DebugMutex a_{"Bad.Class"};       // not snake_case
+  mutable DebugSharedMutex b_{"site.rogue"};  // not in the registry
+  mutable DebugMutex c_{"site.state"};      // registered: no finding
+};
+
+#endif  // FIXTURE_BAD_H_

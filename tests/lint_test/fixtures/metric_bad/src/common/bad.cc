@@ -1,0 +1,10 @@
+// Fixture: a non-snake_case family, a counter without the _total suffix,
+// and a non-snake_case label key.
+#include "common/metrics.h"
+
+void Export(Registry* registry) {
+  camel_ = registry->GetCounter("BadName_total");
+  count_ = registry->GetCounter("foo_count");
+  gauge_ = registry->GetGauge("ok_gauge", {{"BadKey", "v"}});
+  fine_ = registry->GetHistogram("fine_latency_us", {{"site", "0"}});
+}

@@ -1,0 +1,17 @@
+// Fixture: OpKindName is missing the kGateGrant case.
+#include "common/sched_trace.h"
+
+namespace dynamast::sched {
+
+const char* OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kMutexLock:
+      return "mutex_lock";
+    case OpKind::kNetDeliver:
+      return "net_deliver";
+    default:
+      return "?";
+  }
+}
+
+}  // namespace dynamast::sched

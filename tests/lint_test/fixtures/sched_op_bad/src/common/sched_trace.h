@@ -1,0 +1,20 @@
+// Fixture: kNumOpKinds disagrees with the enumerator count.
+#ifndef FIXTURE_SCHED_TRACE_H_
+#define FIXTURE_SCHED_TRACE_H_
+
+#include <cstdint>
+
+namespace dynamast::sched {
+
+enum class OpKind : uint8_t {
+  kMutexLock = 0,
+  kNetDeliver = 1,
+  kGateGrant = 2,
+};
+inline constexpr uint8_t kNumOpKinds = 4;  // wrong: 3 enumerators
+
+const char* OpKindName(OpKind kind);
+
+}  // namespace dynamast::sched
+
+#endif  // FIXTURE_SCHED_TRACE_H_

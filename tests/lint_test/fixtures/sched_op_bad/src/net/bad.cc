@@ -1,0 +1,7 @@
+// Fixture: hook site names an OpKind that was never declared.
+#include "common/sched_trace.h"
+
+void Deliver() {
+  DYNAMAST_SCHED_OP(kBogus, sched_uid_);
+  DYNAMAST_SCHED_OP_SCOPE(op, kGateGrant, sched_uid_);  // declared: fine
+}

@@ -7,8 +7,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstring>
+#include <thread>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -153,6 +155,62 @@ TEST(RecoveryRemasterTest, ReleaseLoggedGrantMissingConvergesToRecipient) {
 
   logs.CloseAll();
   for (auto& s : sites) s->Stop();
+}
+
+// Regression: RecoverFromLogs used to mutate svv_ and mastered_ without
+// state_mu_ (TSA's GUARDED_BY flagged it). The replay now holds the
+// state lock throughout, so readers racing recovery see consistent
+// state. The race itself is what TSan and the lock checker catch when
+// the sanitizer presets run this test; in a plain build it still proves
+// the locked replay cannot deadlock against concurrent readers.
+TEST(RecoveryRemasterTest, ConcurrentReadsDuringRecoveryAreSafe) {
+  RangePartitioner partitioner(10, 4);  // 4 partitions of 10 keys
+  log::LogManager logs(1);
+  {
+    site::SiteManager live(FastSite(0, 1), &partitioner, &logs, nullptr);
+    ASSERT_TRUE(live.CreateTable(kTable).ok());
+    for (uint64_t key = 0; key < kKeys; ++key) {
+      ASSERT_TRUE(live.LoadRecord(RecordKey{kTable, key}, Num(0)).ok());
+    }
+    for (PartitionId p = 0; p < 4; ++p) live.SetMasterOf(p, true);
+    uint64_t txn = 0;
+    for (uint64_t key = 0; key < kKeys; key += 2) {
+      ASSERT_TRUE(WriteKey(&live, key, key + 1, 1, ++txn).ok());
+    }
+    live.Stop();
+  }
+
+  site::SiteManager replay(FastSite(0, 1), &partitioner, &logs, nullptr);
+  ASSERT_TRUE(replay.CreateTable(kTable).ok());
+  for (uint64_t key = 0; key < kKeys; ++key) {
+    ASSERT_TRUE(replay.LoadRecord(RecordKey{kTable, key}, Num(0)).ok());
+  }
+
+  std::atomic<bool> done{false};
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      (void)replay.CurrentVersion();
+      (void)replay.IsMasterOf(0);
+      (void)replay.MasteredPartitions();
+    }
+  });
+
+  std::unordered_map<PartitionId, SiteId> initial;
+  for (PartitionId p = 0; p < 4; ++p) initial[p] = 0;
+  std::unordered_map<PartitionId, SiteId> recovered;
+  ASSERT_TRUE(replay.RecoverFromLogs(initial, &recovered).ok());
+  done.store(true, std::memory_order_release);
+  reader.join();
+
+  for (PartitionId p = 0; p < 4; ++p) {
+    EXPECT_EQ(recovered[p], 0u) << "partition " << p;
+    EXPECT_TRUE(replay.IsMasterOf(p)) << "partition " << p;
+  }
+  std::string value;
+  ASSERT_TRUE(replay.engine().ReadLatest(RecordKey{kTable, 2}, &value).ok());
+  EXPECT_EQ(AsNum(value), 3u);
+  replay.Stop();
+  logs.CloseAll();
 }
 
 TEST(RecoveryRemasterTest, GrantMarkerReassertsRecoveredOwner) {

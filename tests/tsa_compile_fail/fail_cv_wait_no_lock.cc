@@ -1,0 +1,22 @@
+// MUST NOT COMPILE under -Werror=thread-safety: waits on a condition
+// variable without holding the mutex the wait names.
+#include "common/debug_mutex.h"
+
+class Gate {
+ public:
+  void Await() {
+    // mu_ is not held across the wait.
+    cv_.wait(mu_, [this]() DYNAMAST_REQUIRES(mu_) { return open_; });
+  }
+
+ private:
+  mutable dynamast::DebugMutex mu_{"tsa.fixture"};
+  dynamast::DebugCondVar cv_;
+  bool open_ DYNAMAST_GUARDED_BY(mu_) = false;
+};
+
+int main() {
+  Gate g;
+  g.Await();
+  return 0;
+}

@@ -1,0 +1,22 @@
+// MUST NOT COMPILE under -Werror=thread-safety: acquires the same
+// mutex twice in one scope via the scoped lockers.
+#include "common/debug_mutex.h"
+
+class Counter {
+ public:
+  void Bump() {
+    dynamast::MutexLock outer(mu_);
+    dynamast::MutexLock inner(mu_);  // already held
+    ++value_;
+  }
+
+ private:
+  mutable dynamast::DebugMutex mu_{"tsa.fixture"};
+  int value_ DYNAMAST_GUARDED_BY(mu_) = 0;
+};
+
+int main() {
+  Counter c;
+  c.Bump();
+  return 0;
+}

@@ -1,0 +1,17 @@
+// MUST NOT COMPILE under -Werror=thread-safety: reads a GUARDED_BY
+// field without holding its mutex.
+#include "common/debug_mutex.h"
+
+class Counter {
+ public:
+  int Get() const { return value_; }  // no lock held
+
+ private:
+  mutable dynamast::DebugMutex mu_{"tsa.fixture"};
+  int value_ DYNAMAST_GUARDED_BY(mu_) = 0;
+};
+
+int main() {
+  Counter c;
+  return c.Get();
+}

@@ -1,0 +1,22 @@
+// MUST NOT COMPILE under -Werror=thread-safety: returns while still
+// holding a manually-acquired lock.
+#include "common/debug_mutex.h"
+
+class Counter {
+ public:
+  void Bump() {
+    mu_.lock();
+    ++value_;
+    // missing mu_.unlock()
+  }
+
+ private:
+  mutable dynamast::DebugMutex mu_{"tsa.fixture"};
+  int value_ DYNAMAST_GUARDED_BY(mu_) = 0;
+};
+
+int main() {
+  Counter c;
+  c.Bump();
+  return 0;
+}

@@ -1,0 +1,19 @@
+// MUST NOT COMPILE under -Werror=thread-safety: calls a REQUIRES
+// helper without holding the lock it names.
+#include "common/debug_mutex.h"
+
+class Counter {
+ public:
+  void BumpLocked() DYNAMAST_REQUIRES(mu_) { ++value_; }
+  void Bump() { BumpLocked(); }  // lock not held
+
+ private:
+  mutable dynamast::DebugMutex mu_{"tsa.fixture"};
+  int value_ DYNAMAST_GUARDED_BY(mu_) = 0;
+};
+
+int main() {
+  Counter c;
+  c.Bump();
+  return 0;
+}

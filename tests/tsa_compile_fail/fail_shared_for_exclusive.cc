@@ -1,0 +1,21 @@
+// MUST NOT COMPILE under -Werror=thread-safety: writes a guarded field
+// while holding only the shared (reader) side of the lock.
+#include "common/debug_mutex.h"
+
+class Table {
+ public:
+  void Mutate() {
+    dynamast::ReaderMutexLock lock(mu_);
+    ++version_;  // needs the exclusive capability
+  }
+
+ private:
+  mutable dynamast::DebugSharedMutex mu_{"tsa.fixture"};
+  int version_ DYNAMAST_GUARDED_BY(mu_) = 0;
+};
+
+int main() {
+  Table t;
+  t.Mutate();
+  return 0;
+}

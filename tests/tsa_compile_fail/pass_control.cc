@@ -1,0 +1,69 @@
+// Positive control: the same shapes as the fail_* snippets, written
+// correctly. MUST compile cleanly under -Werror=thread-safety — if it
+// doesn't, the harness (not the analysis) is broken.
+#include "common/debug_mutex.h"
+
+class Counter {
+ public:
+  int Get() const {
+    dynamast::MutexLock lock(mu_);
+    return value_;
+  }
+  void BumpLocked() DYNAMAST_REQUIRES(mu_) { ++value_; }
+  void Bump() {
+    dynamast::MutexLock lock(mu_);
+    BumpLocked();
+  }
+  void BumpManual() {
+    mu_.lock();
+    ++value_;
+    mu_.unlock();
+  }
+
+ private:
+  mutable dynamast::DebugMutex mu_{"tsa.fixture"};
+  int value_ DYNAMAST_GUARDED_BY(mu_) = 0;
+};
+
+class Gate {
+ public:
+  void Await() {
+    dynamast::MutexLock lock(mu_);
+    cv_.wait(mu_, [this]() DYNAMAST_REQUIRES(mu_) { return open_; });
+  }
+  void Open() {
+    dynamast::MutexLock lock(mu_);
+    open_ = true;
+    cv_.notify_all();
+  }
+
+ private:
+  mutable dynamast::DebugMutex mu_{"tsa.fixture"};
+  dynamast::DebugCondVar cv_;
+  bool open_ DYNAMAST_GUARDED_BY(mu_) = false;
+};
+
+class Table {
+ public:
+  int Read() const {
+    dynamast::ReaderMutexLock lock(mu_);
+    return version_;
+  }
+  void Mutate() {
+    dynamast::WriterMutexLock lock(mu_);
+    ++version_;
+  }
+
+ private:
+  mutable dynamast::DebugSharedMutex mu_{"tsa.fixture"};
+  int version_ DYNAMAST_GUARDED_BY(mu_) = 0;
+};
+
+int main() {
+  Counter c;
+  c.Bump();
+  c.BumpManual();
+  Table t;
+  t.Mutate();
+  return c.Get() + t.Read();
+}
