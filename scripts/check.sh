@@ -7,7 +7,12 @@
 #   tier1/tier2  default ctest
 #   lint-project scripts/dynamast-lint.py project-invariant linter
 #                (lock-class registry, sched-op pairing, history
-#                commit/abort pairing, metric naming)
+#                commit/abort pairing, metric naming, tsa-escape and
+#                CSA-allowlist justifications)
+#   csa          scripts/csa.py critical-section cost analyzer: fixture
+#                suite, the ratchet against CSA_BASELINE.json, and a
+#                double-dump reproducibility check; on failure the
+#                current profile is left in build/csa/ for diffing
 #   tsa          clang-tsa preset: src/ under -Werror=thread-safety,
 #                plus the tests/tsa_compile_fail negative-compile suite
 #   clang-tidy   .clang-tidy over src/ (compile_commands.json)
@@ -177,7 +182,42 @@ else
   record lint-project SKIP "python3 not installed"
 fi
 
-# 5. Clang thread-safety analysis -------------------------------------------
+# 5. Critical-section cost analyzer -----------------------------------------
+# Fixture suite, then the ratchet: the current profile must match the
+# committed CSA_BASELINE.json, and two dumps must be byte-identical. On a
+# ratchet failure the current profile lands in build/csa/ so CI can upload
+# it next to the baseline for diffing.
+csa_stage() {
+  local out="build/csa"
+  mkdir -p "$out"
+  python3 tests/csa_test/run_csa_test.py || return 1
+  python3 scripts/csa.py --check || {
+    python3 scripts/csa.py --dump > "$out/profile.json" 2>/dev/null
+    echo "check.sh: csa ratchet failed; current profile in $out/profile.json" >&2
+    return 1
+  }
+  python3 scripts/csa.py --dump > "$out/profile.json"
+  python3 scripts/csa.py --dump > "$out/profile.2.json"
+  if ! cmp -s "$out/profile.json" "$out/profile.2.json"; then
+    echo "check.sh: csa profile dump is not reproducible" >&2
+    return 1
+  fi
+  rm -f "$out/profile.2.json"
+}
+
+step "csa"
+if command -v python3 >/dev/null 2>&1; then
+  if csa_stage; then
+    record csa PASS
+  else
+    record csa FAIL
+  fi
+else
+  echo "check.sh: python3 not found; skipping" >&2
+  record csa SKIP "python3 not installed"
+fi
+
+# 6. Clang thread-safety analysis -------------------------------------------
 # Builds src/ with -Werror=thread-safety plus the tsa_compile_fail
 # negative-compile suite; needs clang++ (GCC has no such analysis).
 step "tsa"
@@ -194,7 +234,7 @@ else
   record tsa SKIP "clang++ not installed"
 fi
 
-# 6. clang-tidy -------------------------------------------------------------
+# 7. clang-tidy -------------------------------------------------------------
 step "clang-tidy"
 if command -v clang-tidy >/dev/null 2>&1; then
   mapfile -t tidy_files < <(git ls-files 'src/*.cc')
@@ -208,7 +248,7 @@ else
   record clang-tidy SKIP "clang-tidy not installed"
 fi
 
-# 7. Sanitizer configurations ----------------------------------------------
+# 8. Sanitizer configurations ----------------------------------------------
 sanitizer_stage() {  # sanitizer_stage <preset>
   local preset="$1"
   step "$preset build (tests only)"
@@ -232,7 +272,7 @@ else
   record tsan SKIP "SKIP_TSAN=1"
 fi
 
-# 8. Schedule exploration + SI audit ---------------------------------------
+# 9. Schedule exploration + SI audit ---------------------------------------
 if [[ "${SKIP_FUZZ:-0}" != "1" ]]; then
   step "sched-fuzz build (tests only)"
   if cmake --preset sched-fuzz &&

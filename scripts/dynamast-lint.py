@@ -18,6 +18,14 @@ because they span files or live in string literals:
   metric-naming   metric family names passed to GetCounter/GetGauge/
                   GetHistogram are snake_case, counter names end in
                   `_total`, and label keys are snake_case.
+  escape-justification
+                  every DYNAMAST_NO_THREAD_SAFETY_ANALYSIS site carries a
+                  `tsa-escape(<lock.class>): reason` comment naming a
+                  registered lock class, and every CSA_BASELINE.json
+                  allowlist entry has a justification, names a registered
+                  lock class (synthesized `raw.*` classes are exempt), and
+                  still matches an edge in the baseline (stale-entry
+                  detection for scripts/csa.py's ratchet).
 
 Usage: dynamast-lint.py [--root DIR] [--rule RULE]...
 Exit status 0 when clean, 1 when violations were found, 2 on usage or
@@ -25,11 +33,13 @@ tree-shape errors. Messages: `dynamast-lint: <rule>: <file>:<line>: ...`.
 """
 
 import argparse
+import json
 import os
 import re
 import sys
 
-RULES = ("lock-class", "sched-op", "history-pairing", "metric-naming")
+RULES = ("lock-class", "sched-op", "history-pairing", "metric-naming",
+         "escape-justification")
 
 SNAKE_RE = re.compile(r"^[a-z][a-z0-9_]*$")
 LOCK_CLASS_RE = re.compile(r"^[a-z][a-z0-9_]*\.[a-z][a-z0-9_]*$")
@@ -47,11 +57,18 @@ SCHED_OP_SCOPE_RE = re.compile(r"\bDYNAMAST_SCHED_OP_SCOPE\(\s*\w+\s*,\s*(k\w+)"
 METRIC_CALL_RE = re.compile(r"\bGet(Counter|Gauge|Histogram)\s*\(")
 LABEL_KEY_RE = re.compile(r"\{\s*\"([^\"]*)\"")
 
+ESCAPE_RE = re.compile(r"\bDYNAMAST_NO_THREAD_SAFETY_ANALYSIS\b")
+# `// tsa-escape(selector.partition): dynamic lock set — ...`
+ESCAPE_MARKER_RE = re.compile(r"tsa-escape\(([^()]*)\):\s*(\S.*)?")
+# Lines of comment context searched above an escape site for its marker.
+ESCAPE_WINDOW = 8
+
 
 class Linter:
     def __init__(self, root):
         self.root = root
         self.violations = []
+        self._registry = None
 
     def report(self, rule, path, line, message):
         rel = os.path.relpath(path, self.root)
@@ -78,7 +95,17 @@ class Linter:
     # ---------------------------------------------------------- lock-class
 
     def parse_registry(self):
-        """Registry rows from DESIGN.md: {class name: line number}."""
+        """Registry rows from DESIGN.md: {class name: line number}.
+
+        Cached: several rules consult the registry; tree-shape problems
+        are only reported once (under the lock-class rule).
+        """
+        if self._registry is not None:
+            return self._registry
+        self._registry = self._parse_registry_uncached()
+        return self._registry
+
+    def _parse_registry_uncached(self):
         design = os.path.join(self.root, "DESIGN.md")
         if not os.path.exists(design):
             self.report("lock-class", design, 1, "DESIGN.md not found")
@@ -257,6 +284,87 @@ class Linter:
                                     "is not snake_case")
 
 
+    # ----------------------------------------------- escape-justification
+
+    def rule_escape_justification(self):
+        registry = self.parse_registry()
+        self._check_escape_sites(registry)
+        self._check_csa_allowlist(registry)
+
+    def _check_escape_sites(self, registry):
+        for path in self.src_files():
+            if os.path.basename(path) == "thread_annotations.h":
+                continue  # the macro's definition and documentation
+            text = self.read(path)
+            lines = text.splitlines()
+            for m in ESCAPE_RE.finditer(text):
+                line_start = text.rfind("\n", 0, m.start()) + 1
+                if text[line_start:m.start()].lstrip().startswith("#define"):
+                    continue
+                line = self.line_of(text, m.start())
+                marker = None
+                window = lines[max(0, line - 1 - ESCAPE_WINDOW):line - 1]
+                for candidate in reversed(window):
+                    if "//" not in candidate:
+                        continue
+                    mm = ESCAPE_MARKER_RE.search(candidate)
+                    if mm:
+                        marker = mm
+                        break
+                if marker is None:
+                    self.report(
+                        "escape-justification", path, line,
+                        "NO_THREAD_SAFETY_ANALYSIS without a "
+                        "`// tsa-escape(<lock.class>): reason` comment in "
+                        f"the {ESCAPE_WINDOW} lines above (say which lock "
+                        "class TSA cannot model here, and why the code is "
+                        "still safe)")
+                    continue
+                cls = marker.group(1).strip()
+                reason = (marker.group(2) or "").strip()
+                if registry and cls not in registry:
+                    self.report(
+                        "escape-justification", path, line,
+                        f'tsa-escape names lock class "{cls}", which is '
+                        "not in the DESIGN.md lock-class registry")
+                if not reason:
+                    self.report(
+                        "escape-justification", path, line,
+                        "tsa-escape marker has an empty reason")
+
+    def _check_csa_allowlist(self, registry):
+        baseline = os.path.join(self.root, "CSA_BASELINE.json")
+        if not os.path.exists(baseline):
+            return  # tree predates the csa ratchet (or fixture without it)
+        try:
+            doc = json.loads(self.read(baseline))
+        except ValueError as e:
+            self.report("escape-justification", baseline, 1,
+                        f"CSA_BASELINE.json is not valid JSON: {e}")
+            return
+        edges = doc.get("edges", [])
+        for i, entry in enumerate(doc.get("allowlist", [])):
+            cls = entry.get("lock_class", "")
+            op = entry.get("op", "")
+            where = f"allowlist[{i}] ({cls} / {op})"
+            if not str(entry.get("justification", "")).strip():
+                self.report("escape-justification", baseline, 1,
+                            f"{where} has no justification")
+            if registry and cls not in registry \
+                    and not cls.startswith("raw."):
+                self.report("escape-justification", baseline, 1,
+                            f'{where} names lock class "{cls}", which is '
+                            "not in the DESIGN.md lock-class registry")
+            fn = entry.get("function")
+            if not any(e.get("lock_class") == cls and e.get("op") == op
+                       and (fn is None or e.get("function") == fn)
+                       for e in edges):
+                self.report("escape-justification", baseline, 1,
+                            f"{where} matches no edge in the baseline "
+                            "(stale entry: the critical section no longer "
+                            "performs this operation; delete it)")
+
+
 def main():
     parser = argparse.ArgumentParser(
         prog="dynamast-lint",
@@ -283,6 +391,7 @@ def main():
         "sched-op": linter.rule_sched_op,
         "history-pairing": linter.rule_history_pairing,
         "metric-naming": linter.rule_metric_naming,
+        "escape-justification": linter.rule_escape_justification,
     }
     for rule in rules:
         dispatch[rule]()

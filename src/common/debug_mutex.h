@@ -361,7 +361,7 @@ class BasicDebugCondVar {
 #endif
   }
 
-  void wait(MutexT& mu) DYNAMAST_REQUIRES(mu) {
+  DYNAMAST_BLOCKING void wait(MutexT& mu) DYNAMAST_REQUIRES(mu) {
 #if DYNAMAST_SCHED_FUZZ_ENABLED
     if (sched::CvRedirectArmed()) {
       (void)ArmedWait(mu, std::chrono::steady_clock::time_point::max());
@@ -373,12 +373,12 @@ class BasicDebugCondVar {
   }
 
   template <class Pred>
-  void wait(MutexT& mu, Pred pred) DYNAMAST_REQUIRES(mu) {
+  DYNAMAST_BLOCKING void wait(MutexT& mu, Pred pred) DYNAMAST_REQUIRES(mu) {
     while (!pred()) wait(mu);
   }
 
   template <class Clock, class Duration>
-  std::cv_status wait_until(
+  DYNAMAST_BLOCKING std::cv_status wait_until(
       MutexT& mu, const std::chrono::time_point<Clock, Duration>& deadline)
       DYNAMAST_REQUIRES(mu) {
 #if DYNAMAST_SCHED_FUZZ_ENABLED
@@ -389,9 +389,9 @@ class BasicDebugCondVar {
   }
 
   template <class Clock, class Duration, class Pred>
-  bool wait_until(MutexT& mu,
-                  const std::chrono::time_point<Clock, Duration>& deadline,
-                  Pred pred) DYNAMAST_REQUIRES(mu) {
+  DYNAMAST_BLOCKING bool wait_until(
+      MutexT& mu, const std::chrono::time_point<Clock, Duration>& deadline,
+      Pred pred) DYNAMAST_REQUIRES(mu) {
     while (!pred()) {
       if (wait_until(mu, deadline) == std::cv_status::timeout) return pred();
     }
@@ -399,8 +399,8 @@ class BasicDebugCondVar {
   }
 
   template <class Rep, class Period>
-  std::cv_status wait_for(MutexT& mu,
-                          const std::chrono::duration<Rep, Period>& rel)
+  DYNAMAST_BLOCKING std::cv_status wait_for(
+      MutexT& mu, const std::chrono::duration<Rep, Period>& rel)
       DYNAMAST_REQUIRES(mu) {
 #if DYNAMAST_SCHED_FUZZ_ENABLED
     if (sched::CvRedirectArmed()) {

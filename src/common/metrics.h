@@ -88,8 +88,8 @@ class Gauge {
 /// distribution works — e.g. version-chain lengths).
 class Histogram {
  public:
-  void Observe(uint64_t value) { recorder_.Record(value); }
-  void ObserveDuration(std::chrono::nanoseconds d) {
+  DYNAMAST_EXPENSIVE void Observe(uint64_t value) { recorder_.Record(value); }
+  DYNAMAST_EXPENSIVE void ObserveDuration(std::chrono::nanoseconds d) {
     recorder_.RecordDuration(d);
   }
   const LatencyRecorder& recorder() const { return recorder_; }
@@ -124,11 +124,14 @@ class Registry {
   /// A name registered with a different metric type, or a family past its
   /// cardinality cap, yields a detached scrap metric (never exported) so
   /// callers need no error handling.
-  Counter* GetCounter(const std::string& name, const Labels& labels = {})
+  DYNAMAST_EXPENSIVE Counter* GetCounter(const std::string& name,
+                                         const Labels& labels = {})
       DYNAMAST_EXCLUDES(mu_);
-  Gauge* GetGauge(const std::string& name, const Labels& labels = {})
+  DYNAMAST_EXPENSIVE Gauge* GetGauge(const std::string& name,
+                                     const Labels& labels = {})
       DYNAMAST_EXCLUDES(mu_);
-  Histogram* GetHistogram(const std::string& name, const Labels& labels = {})
+  DYNAMAST_EXPENSIVE Histogram* GetHistogram(const std::string& name,
+                                             const Labels& labels = {})
       DYNAMAST_EXCLUDES(mu_);
 
   /// Zeroes every value while keeping all families/series (and therefore

@@ -86,4 +86,25 @@
 #define DYNAMAST_NO_THREAD_SAFETY_ANALYSIS \
   DYNAMAST_THREAD_ANNOTATION_(no_thread_safety_analysis)
 
+/// Cost attributes for the critical-section cost analyzer
+/// (scripts/csa.py; see DESIGN.md, "Critical-section cost analysis").
+///
+/// DYNAMAST_BLOCKING marks a function that can suspend the calling thread
+/// for an unbounded or scheduling-dependent time: network sends, durable
+/// log appends, condition-variable waits, lock-manager acquisition,
+/// admission throttling, deliberate sleeps. DYNAMAST_EXPENSIVE marks a
+/// function that is CPU- or allocation-heavy relative to a critical
+/// section (histogram/latency recording, trace emission, record
+/// serialization, registry lookups that take a global lock).
+///
+/// The analyzer treats every call to an annotated function that is
+/// transitively reachable while a lock class is held as a profile edge in
+/// CSA_BASELINE.json; new edges fail the `csa` stage of check.sh unless
+/// allowlisted with a justification. Under clang the macros emit an
+/// `annotate` attribute so AST-based tooling can see them too; everywhere
+/// else they compile to nothing.
+#define DYNAMAST_BLOCKING DYNAMAST_THREAD_ANNOTATION_(annotate("dynamast_blocking"))
+#define DYNAMAST_EXPENSIVE \
+  DYNAMAST_THREAD_ANNOTATION_(annotate("dynamast_expensive"))
+
 #endif  // DYNAMAST_COMMON_THREAD_ANNOTATIONS_H_

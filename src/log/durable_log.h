@@ -35,7 +35,8 @@ class DurableLog {
   DurableLog& operator=(const DurableLog&) = delete;
 
   /// Appends a record and returns its offset (0-based, dense).
-  uint64_t Append(std::string serialized) DYNAMAST_EXCLUDES(mu_);
+  DYNAMAST_BLOCKING uint64_t Append(std::string serialized)
+      DYNAMAST_EXCLUDES(mu_);
 
   /// Number of records appended so far.
   uint64_t Size() const DYNAMAST_EXCLUDES(mu_);
@@ -43,8 +44,9 @@ class DurableLog {
   /// Reads the record at `offset`, blocking until it exists or `deadline`
   /// passes (TimedOut), or the log is closed (Unavailable) with no record
   /// at that offset.
-  Status Read(uint64_t offset, std::string* out,
-              std::chrono::steady_clock::time_point deadline) const
+  DYNAMAST_BLOCKING Status Read(
+      uint64_t offset, std::string* out,
+      std::chrono::steady_clock::time_point deadline) const
       DYNAMAST_EXCLUDES(mu_);
 
   /// Non-blocking read; NotFound if the offset has not been written.

@@ -7,6 +7,7 @@
 
 #include "common/key.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/version_vector.h"
 
 namespace dynamast::log {
@@ -56,11 +57,12 @@ struct LogRecord {
   /// Serializes to a compact binary representation (length-prefixed).
   /// The byte size of the encoding is what the network simulator charges
   /// for propagation traffic.
-  std::string Serialize() const;
+  DYNAMAST_EXPENSIVE std::string Serialize() const;
 
   /// Parses a record serialized by Serialize(). Returns Corruption on any
   /// malformed input (truncation, bad type, overlong fields).
-  static Status Deserialize(std::string_view data, LogRecord* out);
+  DYNAMAST_EXPENSIVE static Status Deserialize(std::string_view data,
+                                               LogRecord* out);
 
   size_t SerializedSize() const;
 

@@ -13,8 +13,9 @@ void AdmissionGate::SetMetrics(metrics::Histogram* wait_us,
 }
 
 void AdmissionGate::Enter() {
+  Stopwatch watch;
+  metrics::Histogram* wait_us = nullptr;
   {
-    Stopwatch watch;
     MutexLock lock(mu_);
     ++waiting_;
     if (queue_depth_ != nullptr) {
@@ -26,8 +27,12 @@ void AdmissionGate::Enter() {
     if (queue_depth_ != nullptr) {
       queue_depth_->Set(static_cast<double>(waiting_));
     }
-    if (wait_us_ != nullptr) wait_us_->Observe(watch.ElapsedMicros());
+    wait_us = wait_us_;
   }
+  // The wait histogram takes the recorder's leaf lock; observing after mu_
+  // is released keeps slot handoff off that lock (threads queue here under
+  // saturation, exactly when the histogram is busiest).
+  if (wait_us != nullptr) wait_us->Observe(watch.ElapsedMicros());
   // Slot granted: schedule fuzzing reorders which admitted transaction
   // actually reaches BeginTransaction first; record/replay capture the
   // grant order (the winner itself is already pinned by the traced

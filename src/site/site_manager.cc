@@ -67,18 +67,25 @@ SiteManager::SiteManager(const SiteOptions& options,
 }
 
 void SiteManager::InstallVersion(const RecordKey& key, SiteId origin,
-                                 uint64_t seq, std::string value) {
+                                 uint64_t seq, std::string value,
+                                 InstallBatch* batch) {
   storage::InstallStats stats;
   const Status s = engine_.Install(key, origin, seq, std::move(value), &stats);
   DYNAMAST_INVARIANT(s.ok(), "version install failed for " + key.ToString() +
                                  ": " + s.ToString());
   (void)s;
+  batch->chain_lens.push_back(stats.chain_len);
+  if (stats.pruned) ++batch->pruned;
+}
+
+void SiteManager::FlushInstallMetrics(const InstallBatch& batch) {
   if (exported_.version_chain_len != nullptr) {
-    exported_.version_chain_len->Observe(
-        static_cast<uint64_t>(stats.chain_len));
+    for (size_t len : batch.chain_lens) {
+      exported_.version_chain_len->Observe(static_cast<uint64_t>(len));
+    }
   }
-  if (stats.pruned && exported_.pruned_versions != nullptr) {
-    exported_.pruned_versions->Increment();
+  if (batch.pruned > 0 && exported_.pruned_versions != nullptr) {
+    exported_.pruned_versions->Increment(batch.pruned);
   }
 }
 
@@ -384,6 +391,16 @@ Status SiteManager::Commit(Transaction* txn, VersionVector* commit_version) {
         log::WriteEntry{key, std::move(staged.first), staged.second});
   }
 
+  // History-event construction copies the read/write sets (allocating);
+  // only the commit vector and sequence — unknown until the lock is held —
+  // are filled in inside the critical section.
+  history::HistoryEvent event;
+  if (history_ != nullptr) {
+    event = MakeTxnEvent(*txn, history::EventKind::kCommit);
+  }
+  InstallBatch installs;
+  installs.chain_lens.reserve(record.writes.size());
+
   {
     MutexLock guard(state_mu_);
     const uint64_t seq = svv_[site_id()] + 1;
@@ -401,7 +418,7 @@ Status SiteManager::Commit(Transaction* txn, VersionVector* commit_version) {
     // Install versions before publishing the new svv so no concurrent
     // snapshot can observe seq without the versions being readable.
     for (const log::WriteEntry& w : record.writes) {
-      InstallVersion(w.key, site_id(), seq, w.value);
+      InstallVersion(w.key, site_id(), seq, w.value, &installs);
     }
     // Append to the redo/propagation log inside the critical section so
     // topic order equals commit order (appliers rely on it). The append
@@ -421,8 +438,6 @@ Status SiteManager::Commit(Transaction* txn, VersionVector* commit_version) {
       // Record inside the critical section so the recorder's global order
       // is consistent with this site's commit order (and with any release
       // marker that drains this partition).
-      history::HistoryEvent event =
-          MakeTxnEvent(*txn, history::EventKind::kCommit);
       event.commit = tvv;
       event.installed_seq = seq;
       history_->Record(std::move(event));
@@ -430,6 +445,7 @@ Status SiteManager::Commit(Transaction* txn, VersionVector* commit_version) {
     state_cv_.notify_all();
   }
 
+  FlushInstallMetrics(installs);
   engine_.lock_manager().ReleaseAll(txn->locked_keys_, txn->id_);
   counters_.local_commits.fetch_add(1);
   if (exported_.commits_update != nullptr) {
@@ -506,45 +522,48 @@ Status SiteManager::Release(const std::vector<PartitionId>& partitions,
   span.AddNum("partitions", static_cast<double>(partitions.size()));
   const auto deadline =
       std::chrono::steady_clock::now() + options_.freshness_timeout;
-  MutexLock lock(state_mu_);
-  for (PartitionId p : partitions) {
-    if (mastered_.find(p) == mastered_.end()) {
-      return Status::NotMaster("release of unmastered partition " +
-                               std::to_string(p));
-    }
-  }
-  // Stop admitting new write transactions on these partitions, then wait
-  // for in-flight writers to drain ("waits for any ongoing transactions
-  // writing the data to finish", Section III-B).
-  for (PartitionId p : partitions) mastered_.erase(p);
-  auto drained = [&] {
+  {
+    MutexLock lock(state_mu_);
     for (PartitionId p : partitions) {
-      if (active_writers_.count(p) > 0) return false;
+      if (mastered_.find(p) == mastered_.end()) {
+        return Status::NotMaster("release of unmastered partition " +
+                                 std::to_string(p));
+      }
     }
-    return true;
-  };
-  while (!drained()) {
-    if (stopping_.load()) {
-      for (PartitionId p : partitions) mastered_.insert(p);
-      return Status::Unavailable("site stopping");
+    // Stop admitting new write transactions on these partitions, then wait
+    // for in-flight writers to drain ("waits for any ongoing transactions
+    // writing the data to finish", Section III-B).
+    for (PartitionId p : partitions) mastered_.erase(p);
+    auto drained = [&] {
+      for (PartitionId p : partitions) {
+        if (active_writers_.count(p) > 0) return false;
+      }
+      return true;
+    };
+    while (!drained()) {
+      if (stopping_.load()) {
+        for (PartitionId p : partitions) mastered_.insert(p);
+        return Status::Unavailable("site stopping");
+      }
+      if (state_cv_.wait_until(state_mu_, deadline) ==
+              std::cv_status::timeout &&
+          !drained()) {
+        for (PartitionId p : partitions) mastered_.insert(p);
+        return Status::TimedOut("release drain");
+      }
     }
-    if (state_cv_.wait_until(state_mu_, deadline) == std::cv_status::timeout &&
-        !drained()) {
-      for (PartitionId p : partitions) mastered_.insert(p);
-      return Status::TimedOut("release drain");
+    *release_version =
+        AppendMarkerLocked(log::LogRecord::Type::kRelease, partitions, to_site);
+    if (history_ != nullptr) {
+      history::HistoryEvent event;
+      event.kind = history::EventKind::kRelease;
+      event.site = site_id();
+      event.commit = *release_version;
+      event.installed_seq = (*release_version)[site_id()];
+      event.partitions = partitions;
+      event.peer = to_site;
+      history_->Record(std::move(event));
     }
-  }
-  *release_version =
-      AppendMarkerLocked(log::LogRecord::Type::kRelease, partitions, to_site);
-  if (history_ != nullptr) {
-    history::HistoryEvent event;
-    event.kind = history::EventKind::kRelease;
-    event.site = site_id();
-    event.commit = *release_version;
-    event.installed_seq = (*release_version)[site_id()];
-    event.partitions = partitions;
-    event.peer = to_site;
-    history_->Record(std::move(event));
   }
   counters_.releases.fetch_add(1);
   if (exported_.releases != nullptr) exported_.releases->Increment();
@@ -570,29 +589,31 @@ Status SiteManager::Grant(const std::vector<PartitionId>& partitions,
   Status s = WaitForVersion(release_version);
   if (!s.ok()) return s;
 #endif
-  MutexLock guard(state_mu_);
-  *grant_version =
-      AppendMarkerLocked(log::LogRecord::Type::kGrant, partitions, from_site);
+  {
+    MutexLock guard(state_mu_);
+    *grant_version =
+        AppendMarkerLocked(log::LogRecord::Type::kGrant, partitions, from_site);
 #if !defined(DYNAMAST_BREAK_SI) || !DYNAMAST_BREAK_SI
-  // The grant point must include every update committed before the
-  // release, so the first transaction on the new master reads them all.
-  DYNAMAST_INVARIANT(grant_version->DominatesOrEquals(release_version),
-                     "grant vector " + grant_version->ToString() +
-                         " does not dominate release vector " +
-                         release_version.ToString());
+    // The grant point must include every update committed before the
+    // release, so the first transaction on the new master reads them all.
+    DYNAMAST_INVARIANT(grant_version->DominatesOrEquals(release_version),
+                       "grant vector " + grant_version->ToString() +
+                           " does not dominate release vector " +
+                           release_version.ToString());
 #endif
-  if (history_ != nullptr) {
-    history::HistoryEvent event;
-    event.kind = history::EventKind::kGrant;
-    event.site = site_id();
-    event.commit = *grant_version;
-    event.installed_seq = (*grant_version)[site_id()];
-    event.partitions = partitions;
-    event.peer = from_site;
-    event.release_version = release_version;
-    history_->Record(std::move(event));
+    if (history_ != nullptr) {
+      history::HistoryEvent event;
+      event.kind = history::EventKind::kGrant;
+      event.site = site_id();
+      event.commit = *grant_version;
+      event.installed_seq = (*grant_version)[site_id()];
+      event.partitions = partitions;
+      event.peer = from_site;
+      event.release_version = release_version;
+      history_->Record(std::move(event));
+    }
+    for (PartitionId p : partitions) mastered_.insert(p);
   }
-  for (PartitionId p : partitions) mastered_.insert(p);
   counters_.grants.fetch_add(1);
   if (exported_.grants != nullptr) exported_.grants->Increment();
   return Status::OK();
@@ -611,39 +632,47 @@ bool SiteManager::ApplyRefreshRecord(const log::LogRecord& record) {
                    origin);
   span.AddNum("seq", static_cast<double>(seq));
   span.AddNum("writes", static_cast<double>(record.writes.size()));
-  MutexLock lock(state_mu_);
-  // Update application rule, Eq. 1: all cross-origin dependencies applied
-  // and this record is the next in the origin's commit order.
-  auto applicable = [&] {
-    if (svv_[origin] != seq - 1) return false;
-    for (size_t k = 0; k < record.tvv.size(); ++k) {
-      if (k == origin) continue;
-      if (svv_[k] < record.tvv[k]) return false;
+  InstallBatch installs;
+  installs.chain_lens.reserve(record.writes.size());
+  {
+    MutexLock lock(state_mu_);
+    // Update application rule, Eq. 1: all cross-origin dependencies applied
+    // and this record is the next in the origin's commit order.
+    auto applicable = [&] {
+      if (svv_[origin] != seq - 1) return false;
+      for (size_t k = 0; k < record.tvv.size(); ++k) {
+        if (k == origin) continue;
+        if (svv_[k] < record.tvv[k]) return false;
+      }
+      return true;
+    };
+    while (!applicable()) {
+      if (stopping_.load()) return false;
+      state_cv_.wait_for(state_mu_, kApplierPollInterval);
     }
-    return true;
-  };
-  while (!applicable()) {
-    if (stopping_.load()) return false;
-    state_cv_.wait_for(state_mu_, kApplierPollInterval);
+    // Update application rule (Eq. 1): the record is the next in its
+    // origin's commit order and all its cross-origin dependencies are
+    // already applied, so the svv advances monotonically (one step in the
+    // origin slot, no other slot moves).
+    DYNAMAST_INVARIANT(record.tvv.size() == svv_.size(),
+                       "refresh tvv " + record.tvv.ToString() +
+                           " has wrong dimension for svv " + svv_.ToString());
+    DYNAMAST_INVARIANT(svv_[origin] + 1 == seq,
+                       "refresh from origin " + std::to_string(origin) +
+                           " seq " + std::to_string(seq) +
+                           " is not dense after svv " + svv_.ToString());
+    for (const log::WriteEntry& w : record.writes) {
+      InstallVersion(w.key, origin, seq, w.value, &installs);
+    }
+    // Markers carry no writes; applying them just advances the origin slot,
+    // preserving the dense per-origin sequence.
+    svv_[origin] = seq;
+    state_cv_.notify_all();
   }
-  // Update application rule (Eq. 1): the record is the next in its
-  // origin's commit order and all its cross-origin dependencies are
-  // already applied, so the svv advances monotonically (one step in the
-  // origin slot, no other slot moves).
-  DYNAMAST_INVARIANT(record.tvv.size() == svv_.size(),
-                     "refresh tvv " + record.tvv.ToString() +
-                         " has wrong dimension for svv " + svv_.ToString());
-  DYNAMAST_INVARIANT(svv_[origin] + 1 == seq,
-                     "refresh from origin " + std::to_string(origin) +
-                         " seq " + std::to_string(seq) +
-                         " is not dense after svv " + svv_.ToString());
-  for (const log::WriteEntry& w : record.writes) {
-    InstallVersion(w.key, origin, seq, w.value);
-  }
-  // Markers carry no writes; applying them just advances the origin slot,
-  // preserving the dense per-origin sequence.
-  svv_[origin] = seq;
-  state_cv_.notify_all();
+  // Metric emission happens after svv publication: the refresh is already
+  // visible to waiters, and the histogram leaf locks stay out of the
+  // applier's critical section.
+  FlushInstallMetrics(installs);
   counters_.refresh_applied.fetch_add(1);
   if (exported_.refresh_applied != nullptr) {
     exported_.refresh_applied->Increment();
@@ -712,59 +741,65 @@ Status SiteManager::RecoverFromLogs(
     const std::unordered_map<PartitionId, SiteId>& initial_masters,
     std::unordered_map<PartitionId, SiteId>* recovered_masters) {
   *recovered_masters = initial_masters;
-  // The replay mutates svv_ and mastered_, so hold state_mu_ throughout
-  // even though recovery is single-threaded by contract ("call on a
-  // stopped site") -- the guarded fields must only be touched under their
-  // capability. Nesting under the log/storage locks matches Commit.
-  MutexLock lock(state_mu_);
-  std::vector<uint64_t> offsets(options_.num_sites, 0);
-  bool progressed = true;
-  while (progressed) {
-    progressed = false;
-    for (SiteId origin = 0; origin < options_.num_sites; ++origin) {
-      std::string raw;
-      while (logs_->TopicFor(origin)->TryRead(offsets[origin], &raw).ok()) {
-        log::LogRecord record;
-        Status s = log::LogRecord::Deserialize(raw, &record);
-        if (!s.ok()) return s;
-        // Non-blocking Eq. 1 check against the reconstructed svv.
-        bool applicable = svv_[origin] == record.tvv[origin] - 1;
-        for (size_t k = 0; applicable && k < record.tvv.size(); ++k) {
-          if (k != origin && svv_[k] < record.tvv[k]) applicable = false;
-        }
-        if (!applicable) break;  // revisit this origin next round
-        for (const log::WriteEntry& w : record.writes) {
-          InstallVersion(w.key, origin, record.tvv[origin], w.value);
-        }
-        if (record.type == log::LogRecord::Type::kRelease) {
-          // A release marker names its intended recipient, so mastership is
-          // assigned to the peer immediately: if the crash hit between the
-          // release and the grant, every recovering site still converges on
-          // exactly one master (the recipient) instead of leaving the
-          // partition masterless. A following grant marker (the common
-          // case) re-asserts the same owner.
-          for (PartitionId p : record.partitions) {
-            auto it = recovered_masters->find(p);
-            if (it != recovered_masters->end() && it->second == origin) {
-              it->second = record.transfer_peer;
+  // Recovery is single-threaded by contract ("call on a stopped site"),
+  // so install-metric accumulation can grow without a pre-reserved bound.
+  InstallBatch installs;
+  // The replay mutates svv_ and mastered_, so hold state_mu_ throughout —
+  // the guarded fields must only be touched under their capability.
+  // Nesting under the log/storage locks matches Commit.
+  {
+    MutexLock lock(state_mu_);
+    std::vector<uint64_t> offsets(options_.num_sites, 0);
+    bool progressed = true;
+    while (progressed) {
+      progressed = false;
+      for (SiteId origin = 0; origin < options_.num_sites; ++origin) {
+        std::string raw;
+        while (logs_->TopicFor(origin)->TryRead(offsets[origin], &raw).ok()) {
+          log::LogRecord record;
+          Status s = log::LogRecord::Deserialize(raw, &record);
+          if (!s.ok()) return s;
+          // Non-blocking Eq. 1 check against the reconstructed svv.
+          bool applicable = svv_[origin] == record.tvv[origin] - 1;
+          for (size_t k = 0; applicable && k < record.tvv.size(); ++k) {
+            if (k != origin && svv_[k] < record.tvv[k]) applicable = false;
+          }
+          if (!applicable) break;  // revisit this origin next round
+          for (const log::WriteEntry& w : record.writes) {
+            InstallVersion(w.key, origin, record.tvv[origin], w.value,
+                           &installs);
+          }
+          if (record.type == log::LogRecord::Type::kRelease) {
+            // A release marker names its intended recipient, so mastership
+            // is assigned to the peer immediately: if the crash hit between
+            // the release and the grant, every recovering site still
+            // converges on exactly one master (the recipient) instead of
+            // leaving the partition masterless. A following grant marker
+            // (the common case) re-asserts the same owner.
+            for (PartitionId p : record.partitions) {
+              auto it = recovered_masters->find(p);
+              if (it != recovered_masters->end() && it->second == origin) {
+                it->second = record.transfer_peer;
+              }
+            }
+          } else if (record.type == log::LogRecord::Type::kGrant) {
+            for (PartitionId p : record.partitions) {
+              (*recovered_masters)[p] = origin;
             }
           }
-        } else if (record.type == log::LogRecord::Type::kGrant) {
-          for (PartitionId p : record.partitions) {
-            (*recovered_masters)[p] = origin;
-          }
+          svv_[origin] = record.tvv[origin];
+          offsets[origin]++;
+          progressed = true;
         }
-        svv_[origin] = record.tvv[origin];
-        offsets[origin]++;
-        progressed = true;
       }
     }
+    // Adopt the mastership this site is entitled to.
+    mastered_.clear();
+    for (const auto& [p, owner] : *recovered_masters) {
+      if (owner == site_id()) mastered_.insert(p);
+    }
   }
-  // Adopt the mastership this site is entitled to.
-  mastered_.clear();
-  for (const auto& [p, owner] : *recovered_masters) {
-    if (owner == site_id()) mastered_.insert(p);
-  }
+  FlushInstallMetrics(installs);
   return Status::OK();
 }
 

@@ -111,13 +111,13 @@ class SiteManager {
   /// `writes` write operations. Call while holding a gate slot. Callers
   /// batch charges (see core::SiteTxnContext) so sleep-granularity
   /// overshoot does not accumulate per operation.
-  void ChargeOps(size_t reads, size_t writes) const;
+  DYNAMAST_BLOCKING void ChargeOps(size_t reads, size_t writes) const;
 
   /// Sleeps for an explicit duration of simulated site work.
-  void ChargeDuration(std::chrono::nanoseconds d) const;
+  DYNAMAST_BLOCKING void ChargeDuration(std::chrono::nanoseconds d) const;
 
   /// Blocks until svv dominates `min`, or the freshness timeout expires.
-  Status WaitForVersion(const VersionVector& min) const
+  DYNAMAST_BLOCKING Status WaitForVersion(const VersionVector& min) const
       DYNAMAST_EXCLUDES(state_mu_);
 
   // ---- Mastership / remastering (Algorithm 1 server side) -------------
@@ -191,11 +191,24 @@ class SiteManager {
   history::HistoryEvent MakeTxnEvent(const Transaction& txn,
                                      history::EventKind kind) const;
 
-  // Installs a committed/refreshed version, observing version-chain and
-  // prune metrics. Install can only fail if the table vanished mid-run —
-  // a programming error — so failure trips an invariant.
+  // Version-install outcomes accumulated while state_mu_ is held and
+  // flushed to the storage metrics once the critical section releases:
+  // histogram recording takes the recorder's leaf lock, which has no place
+  // inside the site's widest critical section. Callers reserve chain_lens
+  // before taking state_mu_ so the accumulation never allocates under it.
+  struct InstallBatch {
+    std::vector<size_t> chain_lens;
+    uint64_t pruned = 0;
+  };
+
+  // Installs a committed/refreshed version, accumulating version-chain and
+  // prune outcomes into `batch`. Install can only fail if the table
+  // vanished mid-run — a programming error — so failure trips an invariant.
   void InstallVersion(const RecordKey& key, SiteId origin, uint64_t seq,
-                      std::string value);
+                      std::string value, InstallBatch* batch);
+
+  // Observes the accumulated install outcomes. Call without state_mu_.
+  void FlushInstallMetrics(const InstallBatch& batch);
 
   // Counts one abort in both the legacy counter and the per-reason
   // taxonomy metric.

@@ -78,7 +78,10 @@ class Driver {
   explicit Driver(const Options& options) : options_(options) {}
 
   /// Runs the workload against the system (already loaded and sealed).
-  Report Run(core::SystemInterface& system, Workload& workload);
+  /// Blocks the caller for the full run duration (client threads sleep out
+  /// their pacing and the controller sleeps until the end of the run).
+  DYNAMAST_BLOCKING Report Run(core::SystemInterface& system,
+                               Workload& workload);
 
  private:
   Options options_;

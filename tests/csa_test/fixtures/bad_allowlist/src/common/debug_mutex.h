@@ -1,0 +1,9 @@
+// Fixture stand-in for the instrumented mutex (body-exempt in csa.py:
+// only the type names matter to the lexical analyzer).
+#ifndef FIXTURE_COMMON_DEBUG_MUTEX_H_
+#define FIXTURE_COMMON_DEBUG_MUTEX_H_
+
+class DebugMutex {};
+class MutexLock {};
+
+#endif  // FIXTURE_COMMON_DEBUG_MUTEX_H_

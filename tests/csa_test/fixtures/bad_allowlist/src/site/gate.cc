@@ -1,0 +1,18 @@
+#include "site/gate.h"
+
+namespace site {
+
+void Gate::Enter() {
+  MutexLock lock(mu_);
+  ++slots_;
+}
+
+void Gate::Exit() {
+  MutexLock lock(mu_);
+  --slots_;
+  SlowPath();
+}
+
+void Gate::SlowPath() {}
+
+}  // namespace site

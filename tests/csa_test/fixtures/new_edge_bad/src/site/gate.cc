@@ -1,0 +1,26 @@
+#include "site/gate.h"
+
+#include <cstdlib>
+
+namespace site {
+
+void Gate::Enter() {
+  MutexLock lock(mu_);
+  ++slots_;
+  Reserve();
+}
+
+void Gate::Exit() {
+  MutexLock lock(mu_);
+  --slots_;
+  SlowPath();
+}
+
+void Gate::Reserve() {
+  void* scratch = malloc(64);
+  free(scratch);
+}
+
+void Gate::SlowPath() {}
+
+}  // namespace site

@@ -1,0 +1,24 @@
+// Fixture: a gate that grew an allocation under its lock (seeded violation).
+#ifndef FIXTURE_SITE_GATE_H_
+#define FIXTURE_SITE_GATE_H_
+
+#include "common/debug_mutex.h"
+
+namespace site {
+
+class Gate {
+ public:
+  void Enter();
+  void Exit();
+
+ private:
+  void Reserve();
+  DYNAMAST_BLOCKING void SlowPath();
+
+  mutable DebugMutex mu_{"site.gate"};
+  int slots_ = 0;
+};
+
+}  // namespace site
+
+#endif  // FIXTURE_SITE_GATE_H_

@@ -1,0 +1,25 @@
+#include "site/gate.h"
+
+#include <chrono>
+#include <thread>
+
+namespace site {
+
+void Gate::Enter() {
+  MutexLock lock(mu_);
+  ++slots_;
+}
+
+void Gate::Exit() {
+  MutexLock lock(mu_);
+  --slots_;
+  SlowPath();
+}
+
+void Gate::Nap() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+}
+
+void Gate::SlowPath() {}
+
+}  // namespace site

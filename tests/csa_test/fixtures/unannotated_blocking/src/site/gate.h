@@ -1,0 +1,24 @@
+// Fixture: a helper that sleeps without a DYNAMAST_BLOCKING annotation.
+#ifndef FIXTURE_SITE_GATE_H_
+#define FIXTURE_SITE_GATE_H_
+
+#include "common/debug_mutex.h"
+
+namespace site {
+
+class Gate {
+ public:
+  void Enter();
+  void Exit();
+  void Nap();
+
+ private:
+  DYNAMAST_BLOCKING void SlowPath();
+
+  mutable DebugMutex mu_{"site.gate"};
+  int slots_ = 0;
+};
+
+}  // namespace site
+
+#endif  // FIXTURE_SITE_GATE_H_

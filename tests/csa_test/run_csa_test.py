@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""End-to-end tests for scripts/csa.py.
+
+Runs the analyzer over the fixture trees in fixtures/ — a clean tree
+whose profile matches its baseline, plus one seeded violation per
+analyzer rule (new blocking edge, bad allowlist entry, unannotated
+blocking callee) — and asserts exit codes and messages.  Also asserts
+the profile dump is byte-identical across two runs (the committed
+baseline must be reproducible).
+"""
+
+import os
+import subprocess
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.dirname(os.path.dirname(HERE))
+CSA = os.path.join(REPO, "scripts", "csa.py")
+FIXTURES = os.path.join(HERE, "fixtures")
+
+failures = []
+
+
+def run_csa(root, args=()):
+    cmd = [sys.executable, CSA, "--root", os.path.join(FIXTURES, root)]
+    cmd += list(args)
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+def check(name, root, args, want_exit, want_substrings=(), forbid=()):
+    code, output = run_csa(root, args)
+    problems = []
+    if code != want_exit:
+        problems.append(f"exit code {code}, wanted {want_exit}")
+    for want in want_substrings:
+        if want not in output:
+            problems.append(f"output lacks {want!r}")
+    for bad in forbid:
+        if bad in output:
+            problems.append(f"output unexpectedly contains {bad!r}")
+    if problems:
+        failures.append(name)
+        print(f"FAIL {name}: " + "; ".join(problems))
+        print("  --- csa output ---")
+        for line in output.splitlines():
+            print(f"  {line}")
+    else:
+        print(f"ok   {name}")
+
+
+def check_deterministic(name, root):
+    code1, out1 = run_csa(root, ("--dump",))
+    code2, out2 = run_csa(root, ("--dump",))
+    if code1 != 0 or code2 != 0:
+        failures.append(name)
+        print(f"FAIL {name}: dump exit codes {code1}/{code2}")
+    elif out1 != out2:
+        failures.append(name)
+        print(f"FAIL {name}: two --dump runs differ")
+    else:
+        print(f"ok   {name}")
+
+
+def main():
+    check("clean tree matches its baseline", "clean", ("--check",),
+          want_exit=0,
+          want_substrings=("csa: baseline OK (1 edges",),
+          forbid=("new-edge", "allowlist:"))
+
+    check_deterministic("profile dump is deterministic", "clean")
+
+    check("new edge fails naming class, chain and op", "new_edge_bad",
+          ("--check",), want_exit=1,
+          want_substrings=(
+              "csa: new-edge: site.gate: site::Gate::Enter -> "
+              "site::Gate::Reserve -> builtin.alloc.malloc",
+              "new blocking/expensive work inside the `site.gate` "
+              "critical section",
+              "add an allowlist entry with a justification",
+          ),
+          forbid=("site::Gate::Exit",))
+
+    check("update refuses to bake an unjustified new edge", "new_edge_bad",
+          ("--update",), want_exit=1,
+          want_substrings=(
+              "csa: new-edge: site.gate: site::Gate::Enter -> "
+              "site::Gate::Reserve -> builtin.alloc.malloc",
+              "refusing to bake an unjustified edge into the baseline",
+          ))
+
+    check("allowlist: unjustified + unregistered + stale", "bad_allowlist",
+          ("--check",), want_exit=1,
+          want_substrings=(
+              "allowlist[0] (site.gate / blocking:site::Gate::SlowPath) "
+              "has no justification",
+              "allowlist[1] (site.ghost / builtin.sleep) names lock class "
+              "'site.ghost' which is not in the DESIGN.md lock-class "
+              "registry",
+              "allowlist[2] (site.gate / builtin.alloc.malloc) matches no "
+              "current edge (stale entry",
+          ))
+
+    check("direct sleep without DYNAMAST_BLOCKING", "unannotated_blocking",
+          ("--check",), want_exit=1,
+          want_substrings=(
+              "csa: unannotated-blocking: src/site/gate.cc:19: "
+              "site::Gate::Nap sleeps directly but is not declared "
+              "DYNAMAST_BLOCKING",
+          ),
+          forbid=("new-edge",))
+
+    if failures:
+        print(f"\n{len(failures)} csa_test failure(s)", file=sys.stderr)
+        return 1
+    print("\nall csa_test checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

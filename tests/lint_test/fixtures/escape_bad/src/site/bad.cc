@@ -1,0 +1,46 @@
+// Fixture: seeded escape-justification violations (plus one good site).
+#include "site/good.h"
+
+namespace site {
+
+void Good::NoMarker() DYNAMAST_NO_THREAD_SAFETY_ANALYSIS {
+  int a = 0;
+  int b = a;
+  int c = b;
+  int d = c;
+  int e = d;
+  int f = e;
+  int g = f;
+  (void)g;
+}
+
+// tsa-escape(site.ghost): the registry never lists this class.
+void Good::GhostClass() DYNAMAST_NO_THREAD_SAFETY_ANALYSIS {
+  int a = 0;
+  int b = a;
+  int c = b;
+  int d = c;
+  int e = d;
+  int f = e;
+  int g = f;
+  (void)g;
+}
+
+// tsa-escape(site.state):
+void Good::EmptyReason() DYNAMAST_NO_THREAD_SAFETY_ANALYSIS {
+  int a = 0;
+  int b = a;
+  int c = b;
+  int d = c;
+  int e = d;
+  int f = e;
+  int g = f;
+  (void)g;
+}
+
+// tsa-escape(site.state): dynamic lock set taken in sorted order inside a
+// loop; the runtime lock-rank checker enforces the ordering instead.
+void Good::Fine() DYNAMAST_NO_THREAD_SAFETY_ANALYSIS {
+}
+
+}  // namespace site

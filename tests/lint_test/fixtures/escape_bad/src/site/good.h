@@ -1,0 +1,16 @@
+// Fixture: a registered lock class plus escape-site declarations.
+#ifndef FIXTURE_ESCAPE_GOOD_H_
+#define FIXTURE_ESCAPE_GOOD_H_
+
+class Good {
+ public:
+  void NoMarker();
+  void GhostClass();
+  void EmptyReason();
+  void Fine();
+
+ private:
+  mutable DebugMutex mu_{"site.state"};
+};
+
+#endif  // FIXTURE_ESCAPE_GOOD_H_

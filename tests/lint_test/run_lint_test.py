@@ -87,6 +87,21 @@ def main():
           ),
           forbid=("fine_latency_us",))
 
+    check("escape-justification: sites + allowlist", "escape_bad",
+          ("escape-justification",), want_exit=1,
+          want_substrings=(
+              "escape-justification: src/site/bad.cc:6: "
+              "NO_THREAD_SAFETY_ANALYSIS without a",
+              'src/site/bad.cc:18: tsa-escape names lock class "site.ghost"',
+              "src/site/bad.cc:30: tsa-escape marker has an empty reason",
+              "allowlist[1] (site.state / builtin.alloc.new) has no "
+              "justification",
+              'allowlist[2] (site.ghost / builtin.sleep) names lock class '
+              '"site.ghost"',
+              "allowlist[3] (site.state / blocking:Nothing) matches no edge",
+          ),
+          forbid=("bad.cc:43", "allowlist[0]"))
+
     # Each bad fixture is bad in exactly one rule: the others stay quiet.
     check("lock_class_bad is clean for metric-naming", "lock_class_bad",
           ("metric-naming",), want_exit=0)

@@ -133,6 +133,33 @@ TEST(AdmissionGateTest, LimitsConcurrency) {
   EXPECT_GT(max_inside.load(), 0);
 }
 
+// Regression for the deferred wait-histogram observation (Enter records
+// the slot wait after releasing the gate mutex): every Enter must still
+// produce exactly one observation, including contended entries.
+TEST(AdmissionGateTest, WaitHistogramCountsEveryEntry) {
+  metrics::Registry registry;
+  metrics::Histogram* wait_us = registry.GetHistogram("gate_wait_us");
+  metrics::Gauge* depth = registry.GetGauge("gate_queue_depth");
+  site::AdmissionGate gate(2);
+  gate.SetMetrics(wait_us, depth);
+
+  constexpr int kThreads = 8;
+  constexpr int kEntriesPerThread = 25;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kEntriesPerThread; ++i) {
+        site::AdmissionGate::Scoped slot(gate);
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(wait_us->recorder().count(),
+            static_cast<uint64_t>(kThreads) * kEntriesPerThread);
+  EXPECT_EQ(depth->Value(), 0.0);
+}
+
 TEST(AdmissionGateTest, QueueDepthReflectsWaiters) {
   site::AdmissionGate gate(1);
   gate.Enter();

@@ -76,6 +76,84 @@ class SiteFixture : public ::testing::Test {
   std::vector<std::unique_ptr<SiteManager>> sites_;
 };
 
+// Regression for deferred metric observation: install (version-chain /
+// prune) and refresh metrics are accumulated inside the state_mu_ critical
+// section but observed after it releases, and deferral must neither lose
+// nor double-count observations — every installed version yields exactly
+// one chain-length sample, every applied refresh record exactly one
+// refresh-delay sample.
+TEST(SiteMetricsTest, DeferredInstallAndRefreshMetricsMatchWorkDone) {
+  constexpr uint32_t kSites = 2;
+  constexpr uint64_t kKeyA = 1, kKeyB = 2;
+  constexpr int kCommits = 6;  // > max_versions_per_record (4): prunes happen
+
+  // Pin the shared metrics epoch now: the first NowMicros() call in a
+  // process returns 0, and a commit stamped 0 reads as "no append
+  // timestamp" (its refresh-delay sample is skipped by design).
+  metrics::NowMicros();
+  std::this_thread::sleep_for(std::chrono::microseconds(10));
+
+  metrics::Registry registry;
+  RangePartitioner partitioner(10, 10);
+  log::LogManager logs(kSites);
+  std::vector<std::unique_ptr<SiteManager>> sites;
+  for (uint32_t i = 0; i < kSites; ++i) {
+    SiteOptions options;
+    options.site_id = i;
+    options.num_sites = kSites;
+    options.read_op_cost = options.write_op_cost = options.apply_op_cost =
+        std::chrono::microseconds(0);
+    sites.push_back(std::make_unique<SiteManager>(options, &partitioner,
+                                                  &logs, nullptr, nullptr,
+                                                  &registry));
+    ASSERT_TRUE(sites.back()->CreateTable(kTable).ok());
+  }
+  for (PartitionId p = 0; p < 10; ++p) sites[0]->SetMasterOf(p, true);
+  sites[1]->Start();
+
+  for (int i = 0; i < kCommits; ++i) {
+    TxnOptions options;
+    options.write_keys = {RecordKey{kTable, kKeyA}, RecordKey{kTable, kKeyB}};
+    Transaction txn;
+    ASSERT_TRUE(sites[0]->BeginTransaction(options, &txn).ok());
+    ASSERT_TRUE(txn.Put(RecordKey{kTable, kKeyA}, "a" + std::to_string(i)).ok());
+    ASSERT_TRUE(txn.Put(RecordKey{kTable, kKeyB}, "b" + std::to_string(i)).ok());
+    VersionVector tvv;
+    ASSERT_TRUE(sites[0]->Commit(&txn, &tvv).ok());
+  }
+
+  // One chain-length observation per installed version at the origin.
+  metrics::Histogram* chain0 =
+      registry.GetHistogram("storage_version_chain_len", {{"site", "0"}});
+  EXPECT_EQ(chain0->recorder().count(), 2u * kCommits);
+  // Each key holds 4 versions and saw kCommits installs: the overflow was
+  // pruned, and every prune is counted.
+  EXPECT_EQ(registry.CounterValue("storage_pruned_versions_total",
+                                  {{"site", "0"}}),
+            2u * (kCommits - 4));
+
+  // Drain replication to site 1, then check the applier-side metrics.
+  // Metric emission is deliberately after svv publication, so waiters can
+  // observe the new version a beat before the last record's samples land:
+  // poll briefly for the final counts.
+  ASSERT_TRUE(sites[1]->WaitForVersion(sites[0]->CurrentVersion()).ok());
+  metrics::Histogram* delay1 =
+      registry.GetHistogram("site_refresh_delay_us", {{"site", "1"}});
+  metrics::Histogram* chain1 =
+      registry.GetHistogram("storage_version_chain_len", {{"site", "1"}});
+  for (int i = 0; i < 200 && delay1->recorder().count() < kCommits; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(registry.CounterValue("site_refresh_applied_total",
+                                  {{"site", "1"}}),
+            static_cast<uint64_t>(kCommits));
+  EXPECT_EQ(delay1->recorder().count(), static_cast<uint64_t>(kCommits));
+  EXPECT_EQ(chain1->recorder().count(), 2u * kCommits);
+
+  logs.CloseAll();
+  for (auto& s : sites) s->Stop();
+}
+
 TEST_F(SiteFixture, CommitBumpsOwnSvvIndex) {
   const VersionVector tvv = WriteKey(0, 1, "v1");
   EXPECT_EQ(tvv[0], 1u);
