@@ -226,6 +226,23 @@ inline void AppendMetricsRow(const BenchConfig& config,
                 static_cast<unsigned long long>(report.distributed_txns),
                 static_cast<unsigned long long>(report.retries));
   row += buf;
+  // Overall latency distribution, merged across transaction types, so a
+  // metrics row carries the percentile trajectory (BENCH_*.json) without
+  // needing the human-readable stdout tables.
+  LatencyRecorder overall;
+  for (const auto& [type, recorder] : report.latency_by_type) {
+    if (recorder) overall.Merge(*recorder);
+  }
+  if (overall.count() > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "\"latency_us\":{\"count\":%llu,\"mean\":%g,\"p50\":%g,"
+                  "\"p90\":%g,\"p99\":%g},",
+                  static_cast<unsigned long long>(overall.count()),
+                  overall.MeanMicros(), overall.PercentileMicros(0.5),
+                  overall.PercentileMicros(0.9),
+                  overall.PercentileMicros(0.99));
+    row += buf;
+  }
   row += "\"aborted_by_reason\":{";
   bool first = true;
   for (const auto& [reason, count] : report.aborted_by_reason) {

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Distills --metrics-out rows into a committed BENCH_NNNN.json point.
+
+The perf trajectory is a sequence of BENCH_*.json files at the repo
+root, one per PR that touched performance. Each holds the distilled
+(throughput, p99) per (bench, point, system) from a canonical run of
+the two YCSB benchmarks (see scripts/run_bench_point.sh for the exact
+flags). scripts/bench_trend.py compares the newest point against its
+predecessor in the check.sh `bench-trend` stage.
+
+Usage:
+  bench_distill.py --out BENCH_0007.json rows1.jsonl [rows2.jsonl ...]
+
+Each input file is the newline-delimited JSON a bench binary appends
+via --metrics-out. Only identity, throughput and latency percentiles
+survive distillation — full rows stay uncommitted (they embed a
+complete metrics-registry snapshot and are megabytes across runs).
+"""
+
+import argparse
+import json
+import sys
+
+
+def distill_row(row):
+    report = row.get("report", {})
+    latency = report.get("latency_us", {})
+    out = {
+        "bench": row.get("bench", "?"),
+        "point": row.get("point", ""),
+        "system": row.get("system", "?"),
+        "committed": report.get("committed", 0),
+        "errors": report.get("errors", 0),
+        "throughput": round(float(report.get("throughput", 0.0)), 1),
+    }
+    if latency:
+        out["p50_us"] = round(float(latency.get("p50", 0.0)), 1)
+        out["p99_us"] = round(float(latency.get("p99", 0.0)), 1)
+    return out
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        prog="bench_distill.py",
+        description="Distill --metrics-out rows into a BENCH_*.json "
+        "perf-trajectory point.")
+    parser.add_argument("--out", required=True,
+                        help="output path (BENCH_NNNN.json)")
+    parser.add_argument("rows", nargs="+",
+                        help="--metrics-out files (JSON lines)")
+    args = parser.parse_args(argv)
+
+    results = []
+    config = None
+    for path in args.rows:
+        with open(path, encoding="utf-8") as f:
+            for line in f:
+                line = line.strip()
+                if not line:
+                    continue
+                row = json.loads(line)
+                results.append(distill_row(row))
+                if config is None:
+                    config = row.get("config")
+    if not results:
+        print("bench_distill: no rows in input", file=sys.stderr)
+        return 1
+    results.sort(key=lambda r: (r["bench"], r["point"], r["system"]))
+    doc = {"version": 1, "config": config, "results": results}
+    with open(args.out, "w", encoding="utf-8") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print("bench_distill: wrote %s (%d results)" % (args.out, len(results)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Reports the perf trajectory: newest BENCH_*.json vs its predecessor.
+
+Prints per-(bench, point, system) throughput and p99 deltas. This is
+report-only — the check.sh `bench-trend` stage surfaces the trend in
+every run but never fails the build on it; perf regressions are gated
+structurally by scripts/hpa.py instead.
+
+Exit status: 0 when there are at least two points (deltas printed) or
+exactly one (baseline point reported); 1 when no BENCH_*.json exists
+(check.sh records the stage as SKIP).
+"""
+
+import glob
+import json
+import os
+import re
+import sys
+
+
+def load_points(root):
+    paths = sorted(
+        p for p in glob.glob(os.path.join(root, "BENCH_*.json"))
+        if re.fullmatch(r"BENCH_\d+\.json", os.path.basename(p)))
+    return paths
+
+
+def index(doc):
+    return {(r["bench"], r["point"], r["system"]): r
+            for r in doc.get("results", [])}
+
+
+def fmt_delta(new, old, invert=False):
+    if old in (0, None) or new is None:
+        return "n/a"
+    pct = (new - old) / old * 100.0
+    arrow = "+" if pct >= 0 else ""
+    good = (pct >= 0) != invert
+    return "%s%.1f%%%s" % (arrow, pct, "" if good else " (worse)")
+
+
+def main():
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    paths = load_points(root)
+    if not paths:
+        print("bench-trend: no BENCH_*.json trajectory points yet")
+        return 1
+    newest = paths[-1]
+    with open(newest, encoding="utf-8") as f:
+        new_doc = json.load(f)
+    if len(paths) == 1:
+        print("bench-trend: first trajectory point %s (%d results)" %
+              (os.path.basename(newest), len(new_doc.get("results", []))))
+        return 0
+    prev = paths[-2]
+    with open(prev, encoding="utf-8") as f:
+        prev_doc = json.load(f)
+    new_idx, prev_idx = index(new_doc), index(prev_doc)
+    print("bench-trend: %s vs %s" %
+          (os.path.basename(newest), os.path.basename(prev)))
+    for key in sorted(new_idx):
+        n = new_idx[key]
+        p = prev_idx.get(key)
+        if p is None:
+            print("  %s/%s %s: new series (tput=%.1f)" %
+                  (key[0], key[1], key[2], n.get("throughput", 0.0)))
+            continue
+        line = "  %s/%s %s: tput %s" % (
+            key[0], key[1], key[2],
+            fmt_delta(n.get("throughput"), p.get("throughput")))
+        if "p99_us" in n and "p99_us" in p:
+            line += ", p99 %s" % fmt_delta(n.get("p99_us"), p.get("p99_us"),
+                                           invert=True)
+        print(line)
+    for key in sorted(set(prev_idx) - set(new_idx)):
+        print("  %s/%s %s: series disappeared" % key)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,11 +8,17 @@
 #   lint-project scripts/dynamast-lint.py project-invariant linter
 #                (lock-class registry, sched-op pairing, history
 #                commit/abort pairing, metric naming, tsa-escape and
-#                CSA-allowlist justifications)
+#                CSA-allowlist justifications, hot-path-root registry)
 #   csa          scripts/csa.py critical-section cost analyzer: fixture
 #                suite, the ratchet against CSA_BASELINE.json, and a
 #                double-dump reproducibility check; on failure the
 #                current profile is left in build/csa/ for diffing
+#   hpa          scripts/hpa.py hot-path cost analyzer: fixture suite,
+#                the ratchet against HPA_BASELINE.json, and a
+#                double-dump reproducibility check; on failure the
+#                current profile is left in build/hpa/ for diffing
+#   bench-trend  report-only: newest committed BENCH_*.json trajectory
+#                point vs its predecessor (throughput / p99 deltas)
 #   tsa          clang-tsa preset: src/ under -Werror=thread-safety,
 #                plus the tests/tsa_compile_fail negative-compile suite
 #   clang-tidy   .clang-tidy over src/ (compile_commands.json)
@@ -215,6 +221,58 @@ if command -v python3 >/dev/null 2>&1; then
 else
   echo "check.sh: python3 not found; skipping" >&2
   record csa SKIP "python3 not installed"
+fi
+
+# 5b. Hot-path cost analyzer ------------------------------------------------
+# Same shape as csa: fixture suite, ratchet against HPA_BASELINE.json,
+# double-dump reproducibility. On a ratchet failure the current profile
+# lands in build/hpa/ for diffing against the committed baseline.
+hpa_stage() {
+  local out="build/hpa"
+  mkdir -p "$out"
+  python3 tests/hpa_test/run_hpa_test.py || return 1
+  python3 scripts/hpa.py --check || {
+    python3 scripts/hpa.py --dump > "$out/profile.json" 2>/dev/null
+    echo "check.sh: hpa ratchet failed; current profile in $out/profile.json" >&2
+    return 1
+  }
+  python3 scripts/hpa.py --dump > "$out/profile.json"
+  python3 scripts/hpa.py --dump > "$out/profile.2.json"
+  if ! cmp -s "$out/profile.json" "$out/profile.2.json"; then
+    echo "check.sh: hpa profile dump is not reproducible" >&2
+    return 1
+  fi
+  rm -f "$out/profile.2.json"
+}
+
+step "hpa"
+if command -v python3 >/dev/null 2>&1; then
+  if hpa_stage; then
+    record hpa PASS
+  else
+    record hpa FAIL
+  fi
+else
+  echo "check.sh: python3 not found; skipping" >&2
+  record hpa SKIP "python3 not installed"
+fi
+
+# 5c. Bench trend -----------------------------------------------------------
+# Report-only: compares the newest committed BENCH_*.json perf-trajectory
+# point against its predecessor and prints per-(bench, system) throughput
+# and p99 deltas. Never fails the build — the ratchet for perf is the hpa
+# stage; this stage keeps the trajectory visible in every check.sh run.
+step "bench-trend"
+if command -v python3 >/dev/null 2>&1; then
+  if trend_note=$(python3 scripts/bench_trend.py 2>&1); then
+    echo "$trend_note"
+    record bench-trend PASS "$(echo "$trend_note" | head -1)"
+  else
+    echo "$trend_note"
+    record bench-trend SKIP "$(echo "$trend_note" | head -1)"
+  fi
+else
+  record bench-trend SKIP "python3 not installed"
 fi
 
 # 6. Clang thread-safety analysis -------------------------------------------

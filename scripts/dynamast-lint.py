@@ -26,6 +26,11 @@ because they span files or live in string literals:
                   lock class (synthesized `raw.*` classes are exempt), and
                   still matches an edge in the baseline (stale-entry
                   detection for scripts/csa.py's ratchet).
+  hot-path-root   every DYNAMAST_HOT_PATH annotation in src/ has a row in
+                  DESIGN.md's hot-path-root registry table, and every
+                  registry row still corresponds to an annotated function
+                  (the reviewed root list scripts/hpa.py profiles cannot
+                  drift from the code).
 
 Usage: dynamast-lint.py [--root DIR] [--rule RULE]...
 Exit status 0 when clean, 1 when violations were found, 2 on usage or
@@ -39,13 +44,16 @@ import re
 import sys
 
 RULES = ("lock-class", "sched-op", "history-pairing", "metric-naming",
-         "escape-justification")
+         "escape-justification", "hot-path-root")
 
 SNAKE_RE = re.compile(r"^[a-z][a-z0-9_]*$")
 LOCK_CLASS_RE = re.compile(r"^[a-z][a-z0-9_]*\.[a-z][a-z0-9_]*$")
 
 REGISTRY_BEGIN = "<!-- lock-class-registry:begin -->"
 REGISTRY_END = "<!-- lock-class-registry:end -->"
+
+HOT_PATH_REGISTRY_BEGIN = "<!-- hot-path-root-registry:begin -->"
+HOT_PATH_REGISTRY_END = "<!-- hot-path-root-registry:end -->"
 
 # `mutable DebugMutex mu_{"site.state"};`, `DebugSharedMutex mu{"x.y"};`
 MUTEX_DECL_RE = re.compile(
@@ -242,6 +250,48 @@ class Linter:
                             "file references history EventKind::kAbort but "
                             "never EventKind::kCommit (unpaired emission)")
 
+    # ------------------------------------------------------ hot-path-root
+
+    def rule_hot_path_root(self):
+        """DESIGN.md's hot-path-root registry == the annotated roots."""
+        sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+        import cpp_model  # shared lexical front end (also used by hpa)
+
+        design = os.path.join(self.root, "DESIGN.md")
+        rows = {}
+        begin_line = 1
+        if os.path.exists(design):
+            text = self.read(design)
+            begin = text.find(HOT_PATH_REGISTRY_BEGIN)
+            end = text.find(HOT_PATH_REGISTRY_END)
+            if 0 <= begin < end:
+                begin_line = self.line_of(text, begin)
+                for i, row in enumerate(text[begin:end].splitlines()):
+                    m = re.match(r"\|\s*`([^`]+)`\s*\|", row)
+                    if m:
+                        rows[m.group(1)] = begin_line + i
+
+        project = cpp_model.load_project(self.root, tool="dynamast-lint")
+        discovered = {}
+        for info in project.funcs.values():
+            if info.hot_path:
+                discovered[cpp_model.strip_root(info.qual)] = info
+
+        for name in sorted(set(discovered) - set(rows)):
+            info = discovered[name]
+            self.report(
+                "hot-path-root", os.path.join(self.root, info.file),
+                info.line,
+                f"`{name}` is annotated DYNAMAST_HOT_PATH but has no row "
+                "in the DESIGN.md hot-path-root registry table (every "
+                "profiled root must be reviewed and documented there)")
+        for name in sorted(set(rows) - set(discovered)):
+            self.report(
+                "hot-path-root", design, rows[name],
+                f"registry row `{name}` matches no DYNAMAST_HOT_PATH "
+                "annotation in src/ (stale entry: the root was removed or "
+                "renamed; update the table)")
+
     # ------------------------------------------------------- metric-naming
 
     @staticmethod
@@ -392,6 +442,7 @@ def main():
         "history-pairing": linter.rule_history_pairing,
         "metric-naming": linter.rule_metric_naming,
         "escape-justification": linter.rule_escape_justification,
+        "hot-path-root": linter.rule_hot_path_root,
     }
     for rule in rules:
         dispatch[rule]()

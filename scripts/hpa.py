@@ -1,0 +1,849 @@
+#!/usr/bin/env python3
+"""hpa.py - hot-path cost analyzer for the DynaMast tree.
+
+Profiles the transaction critical path — everything reachable from a
+``DYNAMAST_HOT_PATH``-annotated root — for per-operation costs that csa.py
+(which only looks inside lock regions) cannot see: heap allocations,
+by-value copies of wide types, string formatting, and tracked-lock
+acquisitions.  The profile is committed as ``HPA_BASELINE.json`` and
+ratcheted so the per-transaction cost of the system is monotonically
+non-increasing unless a new edge is justified.
+
+How it works
+------------
+The lexical C++ front end (blanking, scope reconstruction, declaration
+model, receiver/call resolution, fixpoint propagation) is shared with
+csa.py and lives in ``cpp_model.py``.  hpa layers on top:
+
+1.  Roots are the functions annotated ``DYNAMAST_HOT_PATH`` (the
+    DESIGN.md hot-path-root registry table documents them; dynamast-lint
+    rule 7 keeps the table honest).
+2.  Each non-exempt function body is scanned for cost operations (the
+    vocabulary below).  Virtual calls through interfaces with no body
+    (``SystemInterface::Execute``, ``WorkloadClient::Next`` ...) are
+    resolved to every derived-class override so workload/driver paths do
+    not escape the analysis.
+3.  Ops propagate caller-ward to a fixpoint with minimal witness chains.
+    A root never absorbs the profile of another root it calls (each
+    root's costs are accounted once, under that root).
+4.  Every (root, performing function, op) triple becomes an edge with
+    the shortest root -> performer witness chain.
+
+Operation vocabulary
+--------------------
+``alloc.new`` / ``alloc.make_unique`` / ``alloc.make_shared`` /
+``alloc.malloc``       direct heap allocation.
+``alloc.container.<m>``  container growth (`push_back`, `emplace_back`,
+                       `emplace`, `insert`, `resize`, `reserve`,
+                       `append`, ...).
+``alloc.string.ctor``  explicit ``std::string(...)`` construction.
+``fmt.to_string``      ``std::to_string`` formatting.
+``fmt.concat``         string concatenation adjacent to a literal
+                       (``"..." +``, ``+ "..."``, ``+= "..."``).
+``copy.assign.<T>``    assignment/decl-init whose right side is a plain
+                       lvalue of a wide type.
+``copy.param.<T>``     a plain lvalue passed to a by-value wide
+                       parameter without ``std::move``.
+``copy.capture.<T>``   a lambda copy-capture of a wide local.
+``copy.return.<T>``    returning a wide member field by value.
+``lock:<class>``       acquisition of a tracked lock class.
+``trace.span``         a ``trace::Span`` constructed on the path.
+
+Wide types are the containers/strings the analyzer always tracks plus
+the class names listed in the DESIGN.md hpa wide-type registry table
+(``VersionVector``, ``LogRecord``, ...).  A copy of a type that is
+*structurally* wide (transitively contains a container/string/wide
+field) but missing from the registry fails the ``unannotated-copy``
+rule, so wide types cannot hide from the ratchet by staying
+unregistered.
+
+The ratchet
+-----------
+``--check`` recomputes the profile and fails when an edge appears that
+is not in ``HPA_BASELINE.json`` (naming the root, the witness chain, and
+the op) unless a justified allowlist entry covers it; when an edge
+disappeared (run ``--update`` to ratchet down); when an allowlist entry
+is unjustified, names an unknown root, or is stale; or when an
+unannotated structurally-wide copy is found on a hot path.  ``--update``
+refuses to bake unjustified new edges and rewrites the baseline
+deterministically (sorted keys, two-space indent).
+
+Known limitations (deterministic under-approximations): range-for
+by-value copies, implicit conversions, and copies hidden behind calls
+(e.g. ``push_back(x)``'s element copy) are not modeled — the growth op
+covers the container site; literal-to-string conversions at call sites
+are not counted.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import cpp_model
+from cpp_model import is_exempt, line_of, strip_root
+
+BASELINE_NAME = "HPA_BASELINE.json"
+ROOT_REGISTRY_BEGIN = "<!-- hot-path-root-registry:begin -->"
+ROOT_REGISTRY_END = "<!-- hot-path-root-registry:end -->"
+WIDE_REGISTRY_BEGIN = "<!-- hpa-wide-type-registry:begin -->"
+WIDE_REGISTRY_END = "<!-- hpa-wide-type-registry:end -->"
+
+# Containers (and strings) are always wide: copying one allocates.
+WIDE_CONTAINERS = {
+    "vector", "deque", "list", "map", "multimap", "set", "unordered_map",
+    "unordered_set", "multiset", "queue", "priority_queue", "stack",
+    "string", "basic_string",
+}
+
+# Ops already extracted by the shared front end, renamed into hpa's
+# taxonomy.  builtin.sleep is csa's domain (blocking, not allocation).
+SHARED_OP_MAP = {
+    "builtin.alloc.new": "alloc.new",
+    "builtin.alloc.make_unique": "alloc.make_unique",
+    "builtin.alloc.make_shared": "alloc.make_shared",
+    "builtin.alloc.malloc": "alloc.malloc",
+    "builtin.str.to_string": "fmt.to_string",
+    "expensive:trace::Span::record": "trace.span",
+}
+
+_GROWTH_RE = re.compile(
+    r"(?:\.|->)\s*(push_back|emplace_back|emplace_hint|emplace|insert"
+    r"|resize|reserve|append)\s*\(")
+_STRING_CTOR_RE = re.compile(r"\bstd\s*::\s*string\s*(?:\w+\s*)?\(")
+_CONCAT_RE = re.compile(r'"\s*\+|\+=?\s*"')
+_LAMBDA_RE = re.compile(
+    r"\[([^\[\]]*)\]\s*(?:\([^()]*\))?\s*(?:mutable\s*)?"
+    r"(?:->\s*[\w:<>&*\s]+)?\{")
+_ASSIGN_COPY_RE = re.compile(
+    r"([A-Za-z_][\w.\[\]>-]*)\s*(?<![=!<>+\-*/%&|^])=(?!=)\s*"
+    r"([A-Za-z_][\w.\[\]>-]*)\s*;")
+_RETURN_MEMBER_RE = re.compile(r"\breturn\s+([A-Za-z_]\w*)\s*;")
+_BARE_LVALUE_RE = re.compile(r"[A-Za-z_][\w.\[\]>-]*")
+
+
+# ---------------------------------------------------------------------------
+# Wide-type model
+
+
+def parse_marked_registry(root, begin, end):
+    """First backticked column of table rows between two markers."""
+    design = os.path.join(root, "DESIGN.md")
+    names = set()
+    try:
+        with open(design, "r", encoding="utf-8") as f:
+            text = f.read()
+    except OSError:
+        return names
+    b = text.find(begin)
+    e = text.find(end)
+    if b < 0 or e < 0:
+        return names
+    for row in text[b:e].splitlines():
+        m = re.match(r"\|\s*`([^`]+)`\s*\|", row)
+        if m:
+            names.add(m.group(1))
+    return names
+
+
+def classify_wide(raw, registry, allow_ref=False):
+    """(wide-kind, candidate) for a raw declared type.
+
+    wide-kind is the op suffix ('vector', 'string', 'VersionVector', ...)
+    when the type is tracked; candidate is the simple class name to test
+    for structural wideness when it is not.  References/pointers are not
+    copies unless allow_ref (lambda copy-captures copy the referent).
+    """
+    if raw is None:
+        return (None, None)
+    if not allow_ref and ("&" in raw or "*" in raw):
+        return (None, None)
+    t = raw.replace("&", " ").replace("*", " ")
+    t = re.sub(r"\b(?:const|constexpr|static|mutable|volatile|typename)\b",
+               " ", t).strip()
+    m = re.match(r"(?:std\s*::\s*)?(\w+)\s*<", t)
+    if m and m.group(1) in WIDE_CONTAINERS:
+        kind = m.group(1)
+        return ("string" if kind == "basic_string" else kind, None)
+    t = re.sub(r"<[^<>]*>", "", t)
+    parts = [p for p in re.split(r"\s|::", t) if p]
+    if not parts:
+        return (None, None)
+    simple = parts[-1]
+    if simple == "string":
+        return ("string", None)
+    if simple in registry:
+        return (simple, None)
+    if re.fullmatch(r"[A-Z]\w*", simple):
+        return (None, simple)
+    return (None, None)
+
+
+def collect_raw_fields(project):
+    """(cls, field) -> raw declared type text, plus cls -> [(fld, raw)]."""
+    raw_fields = {}
+    by_class = {}
+    for rel in sorted(project.files):
+        blanked = project.blanked[rel]
+        for cls in (s for s in project.scopes[rel] if s.kind == "class"):
+            for start, stmt in cpp_model.iter_statements(blanked, cls):
+                stmt = re.sub(r"\b(?:public|private|protected)\s*:", " ",
+                              stmt)
+                stmt = re.sub(r"\bDYNAMAST_\w+\s*\([^()]*\)", " ", stmt)
+                if "(" in stmt or not stmt.strip():
+                    continue
+                dm = cpp_model._FIELD_DECL_RE.match(stmt.strip())
+                if not dm:
+                    continue
+                raw = re.sub(r"\s+", " ", dm.group(1)).strip()
+                key = (cls.name, dm.group(2))
+                if key not in raw_fields:
+                    raw_fields[key] = raw
+                    by_class.setdefault(cls.name, []).append(
+                        (dm.group(2), raw))
+    return raw_fields, by_class
+
+
+def structurally_wide(cls, by_class, registry, _seen=None):
+    """(field, raw) making `cls` wide, or None.  Transitive over fields."""
+    if _seen is None:
+        _seen = set()
+    if cls in _seen or cls not in by_class:
+        return None
+    _seen.add(cls)
+    for fld, raw in by_class[cls]:
+        if "*" in raw or "&" in raw:
+            continue
+        kind, cand = classify_wide(raw, registry)
+        if kind:
+            return (fld, raw)
+        if cand and structurally_wide(cand, by_class, registry, _seen):
+            return (fld, raw)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Hot-op extraction
+
+
+def _balanced_to_close(text, start):
+    """Index of the ')' matching the '(' at start-1 (start is after it)."""
+    depth = 1
+    i = start
+    while i < len(text):
+        c = text[i]
+        if c == "(":
+            depth += 1
+        elif c == ")":
+            depth -= 1
+            if depth == 0:
+                return i
+        i += 1
+    return -1
+
+
+def _split_args(text):
+    args = []
+    depth = 0
+    cur = []
+    for c in text:
+        if c in "([{":
+            depth += 1
+        elif c in ")]}":
+            depth -= 1
+        if c == "," and depth == 0:
+            args.append("".join(cur))
+            cur = []
+        else:
+            cur.append(c)
+    if "".join(cur).strip() or args:
+        args.append("".join(cur))
+    return args
+
+
+def callee_params(project, key, registry, cache):
+    """Per-position (wide-kind, candidate) for by-value params, else None."""
+    if key in cache:
+        return cache[key]
+    info = project.funcs[key]
+    out = []
+    if info.bodies:
+        rel, scope = info.bodies[0]
+        header = scope.header
+        last = None
+        for m in re.finditer(r"\b%s\s*\(" % re.escape(info.name), header):
+            last = m
+        if last is not None:
+            close = _balanced_to_close(header, last.end())
+            if close > 0:
+                for param in _split_args(header[last.end():close]):
+                    param = param.split("=", 1)[0].strip()
+                    pm = re.match(r"^(.*?)\s*\b([A-Za-z_]\w*)$", param,
+                                  re.S)
+                    if pm is None or "&" in pm.group(1) \
+                            or "*" in pm.group(1):
+                        out.append(None)
+                        continue
+                    out.append(classify_wide(pm.group(1), registry))
+    cache[key] = out
+    return out
+
+
+# Like cpp_model._LOCAL_DECL_TMPL but the trailing &/* sigil stays inside
+# the captured group: hpa must tell `SiteManager* site` (pointer local,
+# cheap to copy) apart from `SiteManager site` (a by-value disaster).
+_RAW_DECL_TMPL = (
+    r"\b((?:const\s+)?[A-Za-z_][\w:]*(?:\s*<[\w:\s,*&<>]*>)?\s*[&*]?)\s+"
+    r"%s\s*(?=[=;({:,)\[])")
+
+
+def resolve_raw_local(body_text, name):
+    """Raw declared type (sigil included) of a local; latest decl wins."""
+    best = None
+    for m in re.finditer(_RAW_DECL_TMPL % re.escape(name), body_text):
+        t = m.group(1).strip()
+        if t:
+            best = t
+    return best
+
+
+def raw_type_of_chain(project, raw_fields, chain, context_text, cls_name):
+    """Raw declared type of a bare lvalue chain like `txn.profile.keys`."""
+    parts = [re.sub(r"\[[^\]]*\]", "", p).strip()
+             for p in re.split(r"->|\.", chain) if p.strip()]
+    if not parts:
+        return None
+    if len(parts) == 1:
+        raw = resolve_raw_local(context_text, parts[0])
+        if raw is None:
+            raw = raw_fields.get((cls_name, parts[0]))
+        return raw
+    prefix = ".".join(parts[:-1])
+    recv = cpp_model.resolve_receiver_chain(project, prefix, context_text,
+                                            cls_name)
+    if recv is None:
+        return None
+    return raw_fields.get((recv, parts[-1]))
+
+
+def _macro_spans(blanked):
+    """Spans of DYNAMAST_*(...) macro invocations (file offsets).
+
+    Work inside invariant/annotation macro arguments is not a hot-path
+    cost: DYNAMAST_INVARIANT compiles to nothing unless invariants are
+    enabled, and even then its message is only built on failure.
+    """
+    spans = []
+    for m in re.finditer(r"\bDYNAMAST_\w+\s*\(", blanked):
+        close = _balanced_to_close(blanked, m.end())
+        if close > 0:
+            spans.append((m.start(), close + 1))
+    return spans
+
+
+def compute_facts_filtered(project):
+    """cpp_model.compute_facts minus ops/calls inside DYNAMAST macros.
+
+    Returns (facts, spans-by-file) so op extraction can reuse the spans.
+    """
+    spans_cache = {}
+    facts = {}
+    for key in sorted(project.funcs):
+        info = project.funcs[key]
+        merged = cpp_model.BodyFacts()
+        for rel, scope in info.bodies:
+            if is_exempt(rel):
+                continue
+            if rel not in spans_cache:
+                spans_cache[rel] = _macro_spans(project.blanked[rel])
+            spans = spans_cache[rel]
+
+            def outside(off):
+                return not any(s <= off < e for s, e in spans)
+            bf = cpp_model.extract_body_facts(project, rel, scope,
+                                              info.cls)
+            merged.ops.extend(o for o in bf.ops if outside(o[0]))
+            merged.calls.extend(c for c in bf.calls if outside(c[0]))
+            merged.lockers.extend((o, c, e, rel, scope)
+                                  for (o, c, e) in bf.lockers)
+        facts[key] = merged
+    return facts, spans_cache
+
+
+def extract_hot_ops(project, rel, fn_scope, cls_name, registry, raw_fields,
+                    param_cache, spans=()):
+    """Returns (ops, candidates): hpa cost ops performed directly by the
+    body, plus (offset, type) copy candidates for the unannotated rule."""
+    blanked = project.blanked[rel]
+    body = blanked[fn_scope.open + 1:fn_scope.close]
+    base = fn_scope.open + 1
+    if spans:
+        buf = list(body)
+        for s, e in spans:
+            for i in range(max(s - base, 0), min(e - base, len(buf))):
+                if buf[i] != "\n":
+                    buf[i] = " "
+        body = "".join(buf)
+    context_text = fn_scope.header + body
+    ops = []
+    candidates = []
+
+    def copy_op(offset, mech, raw, allow_ref=False):
+        kind, cand = classify_wide(raw, registry, allow_ref=allow_ref)
+        if kind:
+            ops.append((offset, "copy.%s.%s" % (mech, kind)))
+        elif cand:
+            candidates.append((offset, cand))
+
+    for m in _GROWTH_RE.finditer(body):
+        ops.append((base + m.start(), "alloc.container." + m.group(1)))
+    for m in _STRING_CTOR_RE.finditer(body):
+        close = _balanced_to_close(body, m.end())
+        if close > 0 and body[m.end():close].strip():
+            ops.append((base + m.start(), "alloc.string.ctor"))
+    for m in _CONCAT_RE.finditer(body):
+        ops.append((base + m.start(), "fmt.concat"))
+    for m in _LAMBDA_RE.finditer(body):
+        for item in m.group(1).split(","):
+            item = item.strip()
+            if (not item or item.startswith("&") or "=" in item
+                    or item in ("this", "*this")):
+                continue
+            if not re.fullmatch(r"\w+", item):
+                continue
+            raw = resolve_raw_local(context_text, item)
+            if raw is not None and "*" in raw:
+                continue    # pointer captures copy only the pointer
+            copy_op(base + m.start(), "capture", raw, allow_ref=True)
+    for m in _ASSIGN_COPY_RE.finditer(body):
+        prev = body[:m.start()].rstrip()
+        if prev.endswith("&") or prev.endswith("*"):
+            continue            # reference binding, not a copy
+        raw = raw_type_of_chain(project, raw_fields, m.group(2),
+                                context_text, cls_name)
+        copy_op(base + m.start(), "assign", raw)
+    for m in _RETURN_MEMBER_RE.finditer(body):
+        raw = raw_fields.get((cls_name, m.group(1)))
+        if raw is None:
+            continue
+        # Only a by-value return copies; check the declared return type.
+        name_m = None
+        for fm in re.finditer(r"[\w~]+\s*\($", fn_scope.header.rstrip()):
+            name_m = fm
+        ret_raw = fn_scope.header[:name_m.start()] if name_m else \
+            fn_scope.header
+        if "&" in ret_raw or "*" in ret_raw:
+            continue
+        copy_op(base + m.start(), "return", raw)
+    for m in cpp_model._CALL_RE.finditer(body):
+        name_path = re.sub(r"\s", "", m.group(2))
+        simple = name_path.rsplit("::", 1)[-1]
+        if (simple in cpp_model.CONTROL_KEYWORDS
+                or simple in cpp_model.LOCKER_TYPES
+                or simple.startswith("DYNAMAST")
+                or re.fullmatch(r"[A-Z][A-Z0-9_]*", simple)
+                or simple in cpp_model.BUILTIN_CALLS):
+            continue
+        key = cpp_model._resolve_call(project, m.group(1).strip(),
+                                      name_path, simple, context_text,
+                                      cls_name)
+        if key is None:
+            continue
+        params = callee_params(project, key, registry, param_cache)
+        if not params or not any(p and (p[0] or p[1]) for p in params):
+            continue
+        close = _balanced_to_close(body, m.end())
+        if close < 0:
+            continue
+        args = _split_args(body[m.end():close])
+        for i, arg in enumerate(args):
+            if i >= len(params) or params[i] is None:
+                continue
+            kind, cand = params[i]
+            if not kind and not cand:
+                continue
+            a = arg.strip()
+            if not _BARE_LVALUE_RE.fullmatch(a):
+                continue        # calls, moves, temporaries, literals
+            offset = base + m.start()
+            if kind:
+                ops.append((offset, "copy.param." + kind))
+            else:
+                candidates.append((offset, cand))
+    ops.sort()
+    candidates.sort()
+    return ops, candidates
+
+
+# ---------------------------------------------------------------------------
+# Roots, virtual dispatch, propagation
+
+
+def discover_roots(project):
+    return sorted(key for key, info in project.funcs.items()
+                  if info.hot_path)
+
+
+def build_derived_map(project):
+    derived = {}
+    for rel in sorted(project.scopes):
+        for s in project.scopes[rel]:
+            if s.kind != "class":
+                continue
+            m = re.search(r"(?:class|struct)\s+\w+\s*(?:final\s*)?"
+                          r":\s*([^;{]*)$", s.header)
+            if m is None:
+                continue
+            for base in m.group(1).split(","):
+                base = re.sub(r"\b(?:public|protected|private|virtual)\b",
+                              " ", base)
+                base = re.sub(r"<[^<>]*>", "", base)
+                base = base.strip().rsplit("::", 1)[-1].strip()
+                if base and base != s.name:
+                    derived.setdefault(base, set()).add(s.name)
+    return derived
+
+
+def _derived_closure(derived, cls):
+    out = set()
+    stack = [cls]
+    while stack:
+        for d in derived.get(stack.pop(), ()):
+            if d not in out:
+                out.add(d)
+                stack.append(d)
+    return out
+
+
+def augment_virtual_calls(project, facts, derived):
+    """Adds derived-class overrides for calls to body-less interfaces."""
+    for key in sorted(facts):
+        extra = []
+        for offset, callee in facts[key].calls:
+            cls, name = callee
+            if project.funcs[callee].bodies or not cls:
+                continue
+            for d in sorted(_derived_closure(derived, cls)):
+                dk = (d, name)
+                if dk in project.funcs and project.funcs[dk].bodies:
+                    extra.append((offset, dk))
+        if extra:
+            facts[key].calls.extend(extra)
+            facts[key].calls.sort()
+
+
+def compute_hot_ops(project, registry, raw_fields, spans_by_rel):
+    """(cls,name) -> [(offset, op)], plus unannotated-copy candidates."""
+    param_cache = {}
+    hot_ops = {}
+    candidates = {}        # key -> [(rel, line, type)]
+    for key in sorted(project.funcs):
+        info = project.funcs[key]
+        merged = []
+        cands = []
+        for rel, scope in info.bodies:
+            if is_exempt(rel):
+                continue
+            ops, cand = extract_hot_ops(project, rel, scope, info.cls,
+                                        registry, raw_fields, param_cache,
+                                        spans_by_rel.get(rel, ()))
+            merged.extend(ops)
+            cands.extend((rel, line_of(project.blanked[rel], off), t)
+                         for off, t in cand)
+        hot_ops[key] = merged
+        candidates[key] = cands
+    return hot_ops, candidates
+
+
+def hot_reachable(project, facts, roots):
+    """All functions reachable from any root (each root's own subtree)."""
+    root_set = set(roots)
+    reachable = set(roots)
+    stack = list(roots)
+    while stack:
+        key = stack.pop()
+        for _, callee in facts[key].calls:
+            if callee in root_set or callee in reachable:
+                continue
+            reachable.add(callee)
+            stack.append(callee)
+    return reachable
+
+
+def collect_root_edges(project, ops_map, roots):
+    """{(root, function, op): chain} from performer-tagged op strings."""
+    edges = {}
+    for rkey in roots:
+        rname = strip_root(project.funcs[rkey].qual)
+        for op_str, chain in sorted(ops_map[rkey].items()):
+            op, performer = op_str.rsplit("@", 1)
+            edges[(rname, performer, op)] = list(chain)
+    return edges
+
+
+def unannotated_copy_violations(project, candidates, reachable, by_class,
+                                registry):
+    out = []
+    seen = set()
+    for key in sorted(reachable):
+        info = project.funcs[key]
+        for rel, line, type_name in candidates.get(key, ()):
+            wide = structurally_wide(type_name, by_class, registry)
+            if wide is None:
+                continue
+            fld, raw = wide
+            item = (rel, line, type_name)
+            if item in seen:
+                continue
+            seen.add(item)
+            out.append(
+                "hpa: unannotated-copy: %s:%d: %s copies `%s` by value on "
+                "a hot path; the type is structurally wide (field `%s` is "
+                "`%s`) but is not in the DESIGN.md hpa wide-type registry "
+                "— add it there (and an allowlist justification if the "
+                "copy must stay) or pass/move a reference" %
+                (rel, line, strip_root(info.qual), type_name, fld, raw))
+    return sorted(out)
+
+
+# ---------------------------------------------------------------------------
+# Baseline and allowlist
+
+
+def edges_to_json(edges):
+    out = []
+    for (root, function, op) in sorted(edges):
+        out.append({
+            "root": root,
+            "function": function,
+            "op": op,
+            "chain": edges[(root, function, op)],
+        })
+    return out
+
+
+def profile_document(edges, allowlist):
+    return {
+        "version": 1,
+        "edges": edges_to_json(edges),
+        "allowlist": allowlist,
+    }
+
+
+def dump_json(doc):
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"
+
+
+def load_baseline(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except OSError:
+        return None
+    except ValueError as e:
+        raise SystemExit("hpa: %s is not valid JSON: %s" % (path, e))
+
+
+def allowlist_matches(entry, root, function, op):
+    if entry.get("op") != op:
+        return False
+    r = entry.get("root")
+    if r is not None and r != root:
+        return False
+    fn = entry.get("function")
+    return fn is None or fn == function
+
+
+def validate_allowlist(allowlist, root_names, edges):
+    problems = []
+    for i, entry in enumerate(allowlist):
+        where = "allowlist[%d] (%s / %s)" % (
+            i, entry.get("root") or "*", entry.get("op", "?"))
+        if not str(entry.get("justification", "")).strip():
+            problems.append("hpa: allowlist: %s has no justification" %
+                            where)
+        r = entry.get("root")
+        if r is not None and r not in root_names:
+            problems.append(
+                "hpa: allowlist: %s names root %r which is not a "
+                "DYNAMAST_HOT_PATH root" % (where, r))
+        if not any(allowlist_matches(entry, root, fn, op)
+                   for (root, fn, op) in edges):
+            problems.append(
+                "hpa: allowlist: %s matches no current edge (stale entry: "
+                "the hot path no longer performs this operation; delete "
+                "the entry)" % where)
+    return problems
+
+
+def format_edge(root, function, op, chain):
+    path = list(chain)
+    if not path or path[-1] != function:
+        path = path + [function]
+    return "%s: %s -> %s" % (root, " -> ".join(path), op)
+
+
+def diff_against_baseline(edges, baseline):
+    base_edges = {(e["root"], e["function"], e["op"])
+                  for e in baseline.get("edges", [])}
+    allowlist = baseline.get("allowlist", [])
+    new = sorted(k for k in edges if k not in base_edges)
+    gone = sorted(k for k in base_edges if k not in edges)
+    problems = []
+    for (root, function, op) in new:
+        covered = any(allowlist_matches(e, root, function, op)
+                      for e in allowlist)
+        chain = edges[(root, function, op)]
+        if covered:
+            problems.append(
+                "hpa: new-edge: %s\n  allowlisted; run scripts/hpa.py "
+                "--update to record it in %s" %
+                (format_edge(root, function, op, chain), BASELINE_NAME))
+        else:
+            problems.append(
+                "hpa: new-edge: %s\n  new allocation/copy/formatting cost "
+                "on the `%s` hot path. Hoist or remove it, or add an "
+                "allowlist entry with a justification to %s and run "
+                "scripts/hpa.py --update" %
+                (format_edge(root, function, op, chain), root,
+                 BASELINE_NAME))
+    for (root, function, op) in gone:
+        problems.append(
+            "hpa: missing-edge: %s: %s -> %s\n  the hot path got cheaper "
+            "(good); run scripts/hpa.py --update to ratchet the baseline "
+            "down" % (root, function, op))
+    return problems
+
+
+# ---------------------------------------------------------------------------
+# CLI
+
+
+def analyze(root):
+    project = cpp_model.load_project(root, tool="hpa")
+    wide_registry = parse_marked_registry(root, WIDE_REGISTRY_BEGIN,
+                                          WIDE_REGISTRY_END)
+    raw_fields, by_class = collect_raw_fields(project)
+    facts, spans_by_rel = compute_facts_filtered(project)
+    derived = build_derived_map(project)
+    augment_virtual_calls(project, facts, derived)
+    hot_ops, candidates = compute_hot_ops(project, wide_registry,
+                                          raw_fields, spans_by_rel)
+    roots = discover_roots(project)
+
+    def seeds(prj, key, merged):
+        me = strip_root(prj.funcs[key].qual)
+        out = ["%s@%s" % (op, me) for _, op in hot_ops[key]]
+        for _, op in merged.ops:
+            mapped = SHARED_OP_MAP.get(op)
+            if mapped is not None:
+                out.append("%s@%s" % (mapped, me))
+        out += ["lock:%s@%s" % (entry[1], me) for entry in merged.lockers]
+        return out
+
+    ops_map = cpp_model.propagate(project, facts, seeds,
+                                  barrier=frozenset(roots))
+    edges = collect_root_edges(project, ops_map, roots)
+    reachable = hot_reachable(project, facts, roots)
+    violations = unannotated_copy_violations(project, candidates,
+                                             reachable, by_class,
+                                             wide_registry)
+    root_names = [strip_root(project.funcs[k].qual) for k in roots]
+    return edges, violations, root_names
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        prog="hpa.py",
+        description="Hot-path cost analyzer (see module docstring).")
+    parser.add_argument("--root", default=None,
+                        help="repository root (default: script's parent)")
+    parser.add_argument("--baseline", default=None,
+                        help="baseline path (default: <root>/%s)" %
+                        BASELINE_NAME)
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument("--check", action="store_true",
+                      help="verify the profile against the baseline "
+                      "(default mode)")
+    mode.add_argument("--update", action="store_true",
+                      help="rewrite the baseline (refuses unjustified "
+                      "new edges)")
+    mode.add_argument("--dump", action="store_true",
+                      help="print the current profile JSON to stdout")
+    mode.add_argument("--list-roots", action="store_true",
+                      help="print the discovered DYNAMAST_HOT_PATH roots")
+    args = parser.parse_args(argv)
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    if not os.path.isdir(os.path.join(root, "src")):
+        print("hpa: no src/ under %s" % root, file=sys.stderr)
+        return 2
+    baseline_path = args.baseline or os.path.join(root, BASELINE_NAME)
+
+    edges, violations, root_names = analyze(root)
+    baseline = load_baseline(baseline_path)
+    allowlist = (baseline or {}).get("allowlist", [])
+
+    if args.list_roots:
+        for name in sorted(root_names):
+            print(name)
+        return 0
+
+    if args.dump:
+        sys.stdout.write(dump_json(profile_document(edges, allowlist)))
+        return 0
+
+    problems = list(violations)
+    problems += validate_allowlist(allowlist, set(root_names), edges)
+
+    if args.update:
+        new_unjustified = []
+        base_edges = {(e["root"], e["function"], e["op"])
+                      for e in (baseline or {}).get("edges", [])}
+        if baseline is not None:
+            for key in sorted(edges):
+                if key in base_edges:
+                    continue
+                r, fn, op = key
+                if not any(allowlist_matches(e, r, fn, op)
+                           for e in allowlist):
+                    new_unjustified.append(
+                        "hpa: new-edge: %s\n  refusing to bake an "
+                        "unjustified edge into the baseline; add an "
+                        "allowlist entry first" %
+                        format_edge(r, fn, op, edges[key]))
+        problems += new_unjustified
+        if problems:
+            print("\n".join(problems), file=sys.stderr)
+            return 1
+        with open(baseline_path, "w", encoding="utf-8") as f:
+            f.write(dump_json(profile_document(edges, allowlist)))
+        print("hpa: wrote %s (%d edges, %d allowlist entries)" %
+              (baseline_path, len(edges), len(allowlist)))
+        return 0
+
+    # --check (default)
+    if baseline is None:
+        problems.append(
+            "hpa: no-baseline: %s does not exist; run scripts/hpa.py "
+            "--update to create it" % baseline_path)
+        print("\n".join(problems), file=sys.stderr)
+        return 1
+    problems += diff_against_baseline(edges, baseline)
+    if problems:
+        print("\n".join(problems), file=sys.stderr)
+        print("hpa: %d problem(s)" % len(problems), file=sys.stderr)
+        return 1
+    print("hpa: baseline OK (%d edges across %d roots)" %
+          (len(edges), len({k[0] for k in edges})))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Canonical perf-trajectory run: the fixed benchmark configuration every
+# BENCH_NNNN.json point is measured with, so points are comparable
+# across PRs. Usage:
+#
+#   scripts/run_bench_point.sh NNNN [build-dir]
+#
+# Runs bench_ycsb_uniform and bench_ycsb_skew with pinned flags, then
+# distills the --metrics-out rows into BENCH_NNNN.json at the repo root
+# (commit it). Raw rows land in <build-dir>/bench-point/ and stay
+# uncommitted. Machine load skews absolute numbers — prefer comparing
+# points from the same class of machine, and read the trend
+# (scripts/bench_trend.py) rather than any single point.
+set -euo pipefail
+
+id="${1:?usage: run_bench_point.sh NNNN [build-dir]}"
+build="${2:-build}"
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+out="$repo/$build/bench-point"
+mkdir -p "$out"
+
+common=(--seconds=2 --warmup=1 --seed=31)
+
+"$repo/$build/bench/bench_ycsb_uniform" "${common[@]}" --clients=24 \
+  --metrics-out="$out/ycsb_uniform.jsonl"
+"$repo/$build/bench/bench_ycsb_skew" "${common[@]}" --clients=32 \
+  --metrics-out="$out/ycsb_skew.jsonl"
+
+python3 "$repo/scripts/bench_distill.py" \
+  --out "$repo/BENCH_${id}.json" \
+  "$out/ycsb_uniform.jsonl" "$out/ycsb_skew.jsonl"
+python3 "$repo/scripts/bench_trend.py"

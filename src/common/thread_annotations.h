@@ -107,4 +107,14 @@
 #define DYNAMAST_EXPENSIVE \
   DYNAMAST_THREAD_ANNOTATION_(annotate("dynamast_expensive"))
 
+/// DYNAMAST_HOT_PATH marks a function as a transaction-critical-path root
+/// for the hot-path cost analyzer (scripts/hpa.py; see DESIGN.md,
+/// "Hot-path cost analysis"). Everything reachable from a root is profiled
+/// for allocations, wide-type copies, string formatting, and tracked-lock
+/// acquisitions; the profile is ratcheted in HPA_BASELINE.json. The
+/// DESIGN.md hot-path-root registry table must list exactly the annotated
+/// roots (dynamast-lint rule 7).
+#define DYNAMAST_HOT_PATH \
+  DYNAMAST_THREAD_ANNOTATION_(annotate("dynamast_hot_path"))
+
 #endif  // DYNAMAST_COMMON_THREAD_ANNOTATIONS_H_

@@ -160,15 +160,15 @@ Status SiteSelector::RouteWrite(ClientId client,
                               out);
 }
 
+// tsa-escape(selector.partition): dynamic lock set — acquires the
+// write set's partition locks in sorted order inside loops, which TSA
+// cannot model; the runtime lock-rank checker (partition rank == id)
+// enforces the ordering instead.
+DYNAMAST_NO_THREAD_SAFETY_ANALYSIS
 Status SiteSelector::RouteWritePartitions(ClientId client,
                                           std::vector<PartitionId> partitions,
                                           const VersionVector& client_session,
-                                          RouteResult* out)
-    // tsa-escape(selector.partition): dynamic lock set — acquires the
-    // write set's partition locks in sorted order inside loops, which TSA
-    // cannot model; the runtime lock-rank checker (partition rank == id)
-    // enforces the ordering instead.
-    DYNAMAST_NO_THREAD_SAFETY_ANALYSIS {
+                                          RouteResult* out) {
   if (partitions.empty()) {
     return Status::InvalidArgument("write route with no partitions");
   }

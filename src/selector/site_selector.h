@@ -117,15 +117,16 @@ class SiteSelector {
 
   /// Routes by pre-computed partition set (callers that know partitions
   /// without keys, e.g. LEAP-style localization declarations).
-  Status RouteWritePartitions(ClientId client,
-                              std::vector<PartitionId> partitions,
-                              const VersionVector& client_session,
-                              RouteResult* out);
+  DYNAMAST_HOT_PATH Status
+  RouteWritePartitions(ClientId client, std::vector<PartitionId> partitions,
+                       const VersionVector& client_session,
+                       RouteResult* out);
 
   /// Routes a read-only transaction to a random session-fresh site
   /// (Section IV-B).
-  Status RouteRead(ClientId client, const VersionVector& client_session,
-                   SiteId* out_site) DYNAMAST_EXCLUDES(rng_mu_);
+  DYNAMAST_HOT_PATH Status
+  RouteRead(ClientId client, const VersionVector& client_session,
+            SiteId* out_site) DYNAMAST_EXCLUDES(rng_mu_);
 
   PartitionMap& partition_map() { return map_; }
   AccessStatistics& statistics() { return *stats_; }

@@ -97,7 +97,8 @@ class SiteManager {
   /// staged writes, appends the redo/propagation record to this site's
   /// log topic, advances svv, and releases locks. Returns the commit
   /// timestamp (transaction version vector) in `commit_version`.
-  Status Commit(Transaction* txn, VersionVector* commit_version)
+  DYNAMAST_HOT_PATH Status Commit(Transaction* txn,
+                                  VersionVector* commit_version)
       DYNAMAST_EXCLUDES(state_mu_);
 
   /// Drops staged writes and releases locks. `reason` feeds the
@@ -169,7 +170,7 @@ class SiteManager {
 
   // Applies one refresh/marker record from `origin` once Eq. 1 allows.
   // Returns false if shutting down.
-  bool ApplyRefreshRecord(const log::LogRecord& record)
+  DYNAMAST_HOT_PATH bool ApplyRefreshRecord(const log::LogRecord& record)
       DYNAMAST_EXCLUDES(state_mu_);
 
   // Refresh applier main loop for one origin topic.

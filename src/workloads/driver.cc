@@ -55,7 +55,7 @@ Driver::Report Driver::Run(core::SystemInterface& system, Workload& workload) {
       sched::ThreadGuard sched_guard("client/" + std::to_string(i));
       core::ClientState client;
       client.id = i + 1;
-      auto generator = workload.MakeClient(i);
+      std::unique_ptr<WorkloadClient> generator = workload.MakeClient(i);
       // Thread-local tallies, merged under the report mutex at the end.
       uint64_t committed = 0, errors = 0, remastered = 0, distributed = 0,
                retries = 0;

@@ -1,0 +1,9 @@
+// Fixture stand-in for the annotation macros (the lexical analyzer
+// reads the tokens on declarations; the defines themselves are blanked
+// as preprocessor lines).
+#ifndef FIXTURE_COMMON_ANNOTATIONS_H_
+#define FIXTURE_COMMON_ANNOTATIONS_H_
+
+#define DYNAMAST_HOT_PATH
+
+#endif  // FIXTURE_COMMON_ANNOTATIONS_H_

@@ -1,0 +1,14 @@
+#include "engine/engine.h"
+
+namespace engine {
+
+void Engine::Execute() {
+  Wide w = seed_;
+  Append(static_cast<int>(w.vals.size()));
+}
+
+void Engine::Append(int v) {
+  items_.push_back(v);
+}
+
+}  // namespace engine

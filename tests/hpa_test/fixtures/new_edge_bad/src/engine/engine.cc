@@ -1,0 +1,19 @@
+#include "engine/engine.h"
+
+namespace engine {
+
+void Engine::Execute() {
+  Wide w = seed_;
+  Append(static_cast<int>(w.vals.size()));
+  Format(1);
+}
+
+void Engine::Append(int v) {
+  items_.push_back(v);
+}
+
+std::string Engine::Format(int v) {
+  return std::to_string(v);
+}
+
+}  // namespace engine

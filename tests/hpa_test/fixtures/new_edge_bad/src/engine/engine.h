@@ -1,0 +1,31 @@
+// Fixture: the hot path grew a formatting call absent from the
+// committed baseline.
+#ifndef FIXTURE_ENGINE_ENGINE_H_
+#define FIXTURE_ENGINE_ENGINE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/annotations.h"
+
+namespace engine {
+
+struct Wide {
+  std::vector<int> vals;
+};
+
+class Engine {
+ public:
+  DYNAMAST_HOT_PATH void Execute();
+
+ private:
+  void Append(int v);
+  std::string Format(int v);
+
+  Wide seed_;
+  std::vector<int> items_;
+};
+
+}  // namespace engine
+
+#endif  // FIXTURE_ENGINE_ENGINE_H_

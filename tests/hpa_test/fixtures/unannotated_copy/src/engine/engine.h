@@ -1,0 +1,29 @@
+// Fixture: one hot-path root performing one container growth and one
+// registered wide-type copy.
+#ifndef FIXTURE_ENGINE_ENGINE_H_
+#define FIXTURE_ENGINE_ENGINE_H_
+
+#include <vector>
+
+#include "common/annotations.h"
+
+namespace engine {
+
+struct Wide {
+  std::vector<int> vals;
+};
+
+class Engine {
+ public:
+  DYNAMAST_HOT_PATH void Execute();
+
+ private:
+  void Append(int v);
+
+  Wide seed_;
+  std::vector<int> items_;
+};
+
+}  // namespace engine
+
+#endif  // FIXTURE_ENGINE_ENGINE_H_

@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""End-to-end tests for scripts/hpa.py.
+
+Runs the analyzer over the fixture trees in fixtures/ — a clean tree
+whose profile matches its baseline, plus one seeded scenario per
+analyzer rule (new hot-path cost edge, rotten allowlist, unannotated
+structurally-wide copy) — and asserts exit codes and messages.  Also
+asserts the profile dump is byte-identical across two runs (the
+committed baseline must be reproducible).
+"""
+
+import os
+import subprocess
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.dirname(os.path.dirname(HERE))
+HPA = os.path.join(REPO, "scripts", "hpa.py")
+FIXTURES = os.path.join(HERE, "fixtures")
+
+failures = []
+
+
+def run_hpa(root, args=()):
+    cmd = [sys.executable, HPA, "--root", os.path.join(FIXTURES, root)]
+    cmd += list(args)
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+def check(name, root, args, want_exit, want_substrings=(), forbid=()):
+    code, output = run_hpa(root, args)
+    problems = []
+    if code != want_exit:
+        problems.append(f"exit code {code}, wanted {want_exit}")
+    for want in want_substrings:
+        if want not in output:
+            problems.append(f"output lacks {want!r}")
+    for bad in forbid:
+        if bad in output:
+            problems.append(f"output unexpectedly contains {bad!r}")
+    if problems:
+        failures.append(name)
+        print(f"FAIL {name}: " + "; ".join(problems))
+        print("  --- hpa output ---")
+        for line in output.splitlines():
+            print(f"  {line}")
+    else:
+        print(f"ok   {name}")
+
+
+def check_deterministic(name, root):
+    code1, out1 = run_hpa(root, ("--dump",))
+    code2, out2 = run_hpa(root, ("--dump",))
+    if code1 != 0 or code2 != 0:
+        failures.append(name)
+        print(f"FAIL {name}: dump exit codes {code1}/{code2}")
+    elif out1 != out2:
+        failures.append(name)
+        print(f"FAIL {name}: two --dump runs differ")
+    else:
+        print(f"ok   {name}")
+
+
+def main():
+    check("clean tree matches its baseline", "clean", ("--check",),
+          want_exit=0,
+          want_substrings=("hpa: baseline OK (2 edges across 1 roots",),
+          forbid=("new-edge", "allowlist:", "unannotated-copy"))
+
+    check("root discovery sees the annotation", "clean", ("--list-roots",),
+          want_exit=0,
+          want_substrings=("engine::Engine::Execute",))
+
+    check_deterministic("profile dump is deterministic", "clean")
+
+    check("new edge fails naming root, chain and op", "new_edge_bad",
+          ("--check",), want_exit=1,
+          want_substrings=(
+              "hpa: new-edge: engine::Engine::Execute: "
+              "engine::Engine::Execute -> engine::Engine::Format -> "
+              "fmt.to_string",
+              "new allocation/copy/formatting cost on the "
+              "`engine::Engine::Execute` hot path",
+              "add an allowlist entry with a justification",
+          ),
+          forbid=("engine::Engine::Append",))
+
+    check("update refuses to bake an unjustified new edge", "new_edge_bad",
+          ("--update",), want_exit=1,
+          want_substrings=(
+              "hpa: new-edge: engine::Engine::Execute: "
+              "engine::Engine::Execute -> engine::Engine::Format -> "
+              "fmt.to_string",
+              "refusing to bake an unjustified edge into the baseline",
+          ))
+
+    check("allowlist: unjustified + unknown root + stale", "bad_allowlist",
+          ("--check",), want_exit=1,
+          want_substrings=(
+              "allowlist[0] (* / alloc.container.push_back) has no "
+              "justification",
+              "allowlist[1] (engine::Engine::Ghost / copy.assign.Wide) "
+              "names root 'engine::Engine::Ghost' which is not a "
+              "DYNAMAST_HOT_PATH root",
+              "allowlist[2] (* / alloc.malloc) matches no current edge "
+              "(stale entry",
+          ))
+
+    check("unregistered structurally-wide copy on a hot path",
+          "unannotated_copy", ("--check",), want_exit=1,
+          want_substrings=(
+              "hpa: unannotated-copy: src/engine/engine.cc:6: "
+              "engine::Engine::Execute copies `Wide` by value on a hot "
+              "path",
+              "field `vals` is `std::vector<int>`",
+          ),
+          forbid=("new-edge",))
+
+    if failures:
+        print(f"\n{len(failures)} hpa_test failure(s)", file=sys.stderr)
+        return 1
+    print("\nall hpa_test checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,7 @@
+// Fixture stand-in for the annotation macros.
+#ifndef FIXTURE_COMMON_ANNOTATIONS_H_
+#define FIXTURE_COMMON_ANNOTATIONS_H_
+
+#define DYNAMAST_HOT_PATH
+
+#endif  // FIXTURE_COMMON_ANNOTATIONS_H_

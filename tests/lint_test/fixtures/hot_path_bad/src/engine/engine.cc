@@ -1,0 +1,7 @@
+#include "engine/engine.h"
+
+namespace engine {
+
+void Engine::Execute() {}
+
+}  // namespace engine

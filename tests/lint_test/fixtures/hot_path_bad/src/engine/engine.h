@@ -1,0 +1,17 @@
+// Fixture: a DYNAMAST_HOT_PATH root missing from the DESIGN.md
+// hot-path-root registry (the registry instead lists a ghost).
+#ifndef FIXTURE_ENGINE_ENGINE_H_
+#define FIXTURE_ENGINE_ENGINE_H_
+
+#include "common/annotations.h"
+
+namespace engine {
+
+class Engine {
+ public:
+  DYNAMAST_HOT_PATH void Execute();
+};
+
+}  // namespace engine
+
+#endif  // FIXTURE_ENGINE_ENGINE_H_

@@ -102,6 +102,17 @@ def main():
           ),
           forbid=("bad.cc:43", "allowlist[0]"))
 
+    check("hot-path-root: unlisted annotation + stale row", "hot_path_bad",
+          ("hot-path-root",), want_exit=1,
+          want_substrings=(
+              "hot-path-root: src/engine/engine.cc:5: "
+              "`engine::Engine::Execute` is annotated DYNAMAST_HOT_PATH "
+              "but has no row",
+              "hot-path-root: DESIGN.md:9: registry row "
+              "`engine::Engine::Ghost` matches no DYNAMAST_HOT_PATH "
+              "annotation",
+          ))
+
     # Each bad fixture is bad in exactly one rule: the others stay quiet.
     check("lock_class_bad is clean for metric-naming", "lock_class_bad",
           ("metric-naming",), want_exit=0)
