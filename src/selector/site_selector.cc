@@ -375,9 +375,8 @@ Status SiteSelector::RouteRead(ClientId client,
   SiteId freshest = 0;
   uint64_t freshest_total = 0;
   for (SiteId s = 0; s < options_.num_sites; ++s) {
-    const VersionVector svv = sites_[s]->CurrentVersion();
-    if (svv.DominatesOrEquals(client_session)) fresh.push_back(s);
-    const uint64_t total = svv.Total();
+    uint64_t total = 0;
+    if (sites_[s]->FreshnessProbe(client_session, &total)) fresh.push_back(s);
     if (total >= freshest_total) {
       freshest_total = total;
       freshest = s;

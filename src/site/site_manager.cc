@@ -130,6 +130,13 @@ VersionVector SiteManager::CurrentVersion() const {
   return svv_;
 }
 
+bool SiteManager::FreshnessProbe(const VersionVector& session,
+                                 uint64_t* total) const {
+  MutexLock guard(state_mu_);
+  if (total != nullptr) *total = svv_.Total();
+  return svv_.DominatesOrEquals(session);
+}
+
 Status SiteManager::WaitForVersion(const VersionVector& min) const {
   const auto deadline =
       std::chrono::steady_clock::now() + options_.freshness_timeout;
@@ -415,17 +422,22 @@ Status SiteManager::Commit(Transaction* txn, VersionVector* commit_version) {
                            " regressed below begin snapshot " +
                            txn->begin_version_.ToString());
     record.tvv = tvv;
+    // Serialize before installation: the install loop below consumes the
+    // write values by move, so the propagation payload must be captured
+    // first. The append timestamp rides along so appliers can measure
+    // end-to-end refresh delay (the measured input to Eq. 4/5).
+    record.append_ts_us = metrics::NowMicros();
+    std::string payload = record.Serialize();
     // Install versions before publishing the new svv so no concurrent
-    // snapshot can observe seq without the versions being readable.
-    for (const log::WriteEntry& w : record.writes) {
-      InstallVersion(w.key, site_id(), seq, w.value, &installs);
+    // snapshot can observe seq without the versions being readable. The
+    // record is dead after serialization, so each value moves into the
+    // version store instead of copying.
+    for (log::WriteEntry& w : record.writes) {
+      InstallVersion(w.key, site_id(), seq, std::move(w.value), &installs);
     }
     // Append to the redo/propagation log inside the critical section so
-    // topic order equals commit order (appliers rely on it). The append
-    // timestamp rides along so appliers can measure end-to-end refresh
-    // delay (the measured input to Eq. 4/5).
-    record.append_ts_us = metrics::NowMicros();
-    logs_->TopicFor(site_id())->Append(record.Serialize());
+    // topic order equals commit order (appliers rely on it).
+    logs_->TopicFor(site_id())->Append(std::move(payload));
     svv_[site_id()] = seq;
     for (PartitionId p : txn->write_partitions_) {
       auto it = active_writers_.find(p);
@@ -623,7 +635,7 @@ Status SiteManager::Grant(const std::vector<PartitionId>& partitions,
 // Refresh application (Eq. 1)
 // ---------------------------------------------------------------------
 
-bool SiteManager::ApplyRefreshRecord(const log::LogRecord& record) {
+bool SiteManager::ApplyRefreshRecord(log::LogRecord record) {
   const SiteId origin = record.origin;
   const uint64_t seq = record.tvv[origin];
   // Span covers the Eq. 1 dependency wait plus version installation; tid
@@ -661,8 +673,8 @@ bool SiteManager::ApplyRefreshRecord(const log::LogRecord& record) {
                        "refresh from origin " + std::to_string(origin) +
                            " seq " + std::to_string(seq) +
                            " is not dense after svv " + svv_.ToString());
-    for (const log::WriteEntry& w : record.writes) {
-      InstallVersion(w.key, origin, seq, w.value, &installs);
+    for (log::WriteEntry& w : record.writes) {
+      InstallVersion(w.key, origin, seq, std::move(w.value), &installs);
     }
     // Markers carry no writes; applying them just advances the origin slot,
     // preserving the dense per-origin sequence.
@@ -720,8 +732,8 @@ void SiteManager::ApplierLoop(SiteId origin) {
     size_t applied_writes = 0;
     for (const log::LogRecord& r : batch) applied_writes += r.writes.size();
     ChargeDuration(options_.apply_op_cost * applied_writes);
-    for (const log::LogRecord& r : batch) {
-      if (!ApplyRefreshRecord(r)) return;
+    for (log::LogRecord& r : batch) {
+      if (!ApplyRefreshRecord(std::move(r))) return;
     }
   }
 }

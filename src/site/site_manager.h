@@ -84,6 +84,14 @@ class SiteManager {
   /// Current site version vector (copy).
   VersionVector CurrentVersion() const DYNAMAST_EXCLUDES(state_mu_);
 
+  /// Freshness probe for read routing: reports whether this site's svv
+  /// dominates `session` and (via `total`, if non-null) the svv element
+  /// sum used as the selector's freshness tiebreak. Equivalent to
+  /// `CurrentVersion().DominatesOrEquals(session)` plus `.Total()` but
+  /// takes one critical section and never copies the vector.
+  bool FreshnessProbe(const VersionVector& session, uint64_t* total) const
+      DYNAMAST_EXCLUDES(state_mu_);
+
   // ---- Transaction API -----------------------------------------------
 
   /// Opens a transaction: waits for the minimum begin version, checks
@@ -169,8 +177,10 @@ class SiteManager {
   friend class Transaction;
 
   // Applies one refresh/marker record from `origin` once Eq. 1 allows.
-  // Returns false if shutting down.
-  DYNAMAST_HOT_PATH bool ApplyRefreshRecord(const log::LogRecord& record)
+  // Takes the record by value: the applier is done with it afterwards, so
+  // the write values move straight into the version store. Returns false
+  // if shutting down.
+  DYNAMAST_HOT_PATH bool ApplyRefreshRecord(log::LogRecord record)
       DYNAMAST_EXCLUDES(state_mu_);
 
   // Refresh applier main loop for one origin topic.

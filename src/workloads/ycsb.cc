@@ -145,7 +145,10 @@ class YcsbClient final : public WorkloadClient {
     txn.profile.write_keys = keys;
     txn.profile.read_keys = keys;
     const size_t value_size = opt.value_size;
-    txn.logic = [keys, value_size](core::TxnContext& ctx) -> Status {
+    // The profile copies above are the last readers; the closure takes
+    // ownership of the key set instead of a third copy.
+    txn.logic = [keys = std::move(keys),
+                 value_size](core::TxnContext& ctx) -> Status {
       for (const RecordKey& key : keys) {
         std::string value;
         Status s = ctx.Get(key, &value);
@@ -180,7 +183,8 @@ class YcsbClient final : public WorkloadClient {
     txn.type = "scan";
     txn.profile.read_only = true;
     txn.profile.read_keys = keys;
-    txn.logic = [keys](core::TxnContext& ctx) -> Status {
+    // Profile copy above is the last reader; the closure takes ownership.
+    txn.logic = [keys = std::move(keys)](core::TxnContext& ctx) -> Status {
       uint64_t checksum = 0;
       std::string value;
       for (const RecordKey& key : keys) {

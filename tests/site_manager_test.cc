@@ -506,5 +506,65 @@ TEST_F(SiteFixture, ChargeOpsZeroIsFree) {
   EXPECT_LT(watch.ElapsedMicros(), 100000u);
 }
 
+// Regression for the serialize-before-install ordering in Commit: the
+// install loop consumes the write values by move, so the propagation
+// payload must be captured first. If serialization ever slides back
+// after the install loop, the logged record carries empty values and the
+// deserialize check below fails.
+TEST_F(SiteFixture, CommitLogsFullValuesDespiteMoveIntoVersionStore) {
+  const std::string big(512, 'x');
+  const VersionVector tvv = WriteKey(0, 1, big);
+  log::LogCursor cursor(logs_->TopicFor(0));
+  std::string raw;
+  ASSERT_TRUE(cursor.TryNext(&raw).ok());
+  log::LogRecord record;
+  ASSERT_TRUE(log::LogRecord::Deserialize(raw, &record).ok());
+  ASSERT_EQ(record.writes.size(), 1u);
+  EXPECT_EQ(record.writes[0].value, big);
+  EXPECT_EQ(record.tvv, tvv);
+  EXPECT_GT(record.append_ts_us, 0u);
+  // The moved-from value landed intact in the local version store too.
+  std::string value;
+  ASSERT_TRUE(sites_[0]->engine().Read(RecordKey{kTable, 1}, tvv, &value).ok());
+  EXPECT_EQ(value, big);
+}
+
+// Regression for ApplyRefreshRecord taking the record by value: the
+// applier moves each write value into the version store, which must not
+// disturb what remote readers observe (an empty-install bug would leave
+// "" here).
+TEST_F(SiteFixture, RefreshInstallsFullValuesAfterApplierMove) {
+  StartAll();
+  const std::string big(512, 'y');
+  const VersionVector tvv = WriteKey(0, 2, big);
+  ASSERT_TRUE(WaitFor(1, tvv));
+  std::string value;
+  ASSERT_TRUE(sites_[1]
+                  ->engine()
+                  .Read(RecordKey{kTable, 2}, sites_[1]->CurrentVersion(),
+                        &value)
+                  .ok());
+  EXPECT_EQ(value, big);
+}
+
+// FreshnessProbe must agree with the CurrentVersion()-based predicate it
+// replaced in read routing: same domination verdict, same element total,
+// without handing out a vector copy.
+TEST_F(SiteFixture, FreshnessProbeMatchesCurrentVersionSemantics) {
+  WriteKey(0, 1, "a");
+  WriteKey(0, 2, "b");
+  const VersionVector svv = sites_[0]->CurrentVersion();
+  uint64_t total = 0;
+  EXPECT_TRUE(sites_[0]->FreshnessProbe(svv, &total));
+  EXPECT_EQ(total, svv.Total());
+  VersionVector ahead = svv;
+  ahead[1] = ahead[1] + 1;
+  total = 0;
+  EXPECT_FALSE(sites_[0]->FreshnessProbe(ahead, &total));
+  EXPECT_EQ(total, svv.Total());
+  // The total out-param is optional.
+  EXPECT_TRUE(sites_[0]->FreshnessProbe(VersionVector(3), nullptr));
+}
+
 }  // namespace
 }  // namespace dynamast::site

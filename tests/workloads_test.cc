@@ -101,6 +101,43 @@ TEST(YcsbTest, ScanTransactionsReadConsecutivePartitions) {
   }
 }
 
+// Regression for moving the key set into the transaction closure: the
+// profile assignments must happen before the move, and the logic must
+// still iterate the full set. A reordering that moves `keys` before the
+// profile copies (or a double move) leaves one side empty.
+TEST(YcsbTest, TxnLogicOperatesOnDeclaredProfileKeys) {
+  class RecordingContext final : public core::TxnContext {
+   public:
+    Status Get(const RecordKey& key, std::string* value) override {
+      touched.push_back(key);
+      *value = YcsbWorkload::MakeValue(0, 8);
+      return Status::OK();
+    }
+    Status Put(const RecordKey&, std::string) override { return Status::OK(); }
+    Status Insert(const RecordKey&, std::string) override {
+      return Status::OK();
+    }
+    std::vector<RecordKey> touched;
+  };
+
+  auto options = SmallYcsb();
+  options.rmw_pct = 100;
+  YcsbWorkload rmw_workload(options);
+  WorkloadTxn rmw = rmw_workload.MakeClient(0)->Next();
+  ASSERT_FALSE(rmw.profile.write_keys.empty());
+  RecordingContext rmw_ctx;
+  ASSERT_TRUE(rmw.logic(rmw_ctx).ok());
+  EXPECT_EQ(rmw_ctx.touched, rmw.profile.write_keys);
+
+  options.rmw_pct = 0;
+  YcsbWorkload scan_workload(options);
+  WorkloadTxn scan = scan_workload.MakeClient(0)->Next();
+  ASSERT_FALSE(scan.profile.read_keys.empty());
+  RecordingContext scan_ctx;
+  ASSERT_TRUE(scan.logic(scan_ctx).ok());
+  EXPECT_EQ(scan_ctx.touched, scan.profile.read_keys);
+}
+
 TEST(YcsbTest, MixRespectsRmwPercentage) {
   auto options = SmallYcsb();
   options.rmw_pct = 50;
