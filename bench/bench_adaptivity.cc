@@ -29,6 +29,7 @@ int main(int argc, char** argv) {
   ParseFlags(argc, argv, &config);
   PrintHeader("E8 / Fig 5b: adaptivity to workload change (DynaMast)",
               config);
+  SetPoint("hotspot-shift");
   const auto change_at = std::chrono::milliseconds(
       static_cast<int64_t>(config.seconds * 1000 / 3));
 
@@ -72,8 +73,31 @@ int main(int argc, char** argv) {
         workload.ShuffleCorrelations(config.seed ^ 0xbeef);
         std::printf("  >> correlations shuffled (workload change)\n");
       });
+  // This bench drives its system directly (it needs the custom placement
+  // and mid-run shuffle), so it wires the RunOne telemetry paths by hand.
+  const bool metrics_on = !config.metrics_out.empty();
+  const bool timeline_on = !config.timeline_out.empty();
+  if (metrics_on || timeline_on) {
+    metrics::Registry::Global().ResetValues();
+    driver_options.metrics = &metrics::Registry::Global();
+  }
   Driver driver(driver_options);
+  std::unique_ptr<timeline::TimelineSampler> sampler;
+  if (timeline_on) {
+    sampler = bench::internal::MakeTimelineSampler(config, system.name());
+    sampler->Start();
+  }
   Driver::Report report = driver.Run(system, workload);
+
+  // End of run: every surviving mastership transition is final, so close
+  // all convergence episodes before reporting/snapshotting.
+  selector::ConvergenceTracker& convergence =
+      system.site_selector().convergence();
+  convergence.Flush(metrics::NowMicros(), /*force=*/true);
+  if (sampler != nullptr) {
+    sampler->Stop();
+    bench::internal::AppendTimelineRun(config, *sampler);
+  }
 
   const size_t change_bucket =
       static_cast<size_t>(change_at / std::chrono::milliseconds(1000));
@@ -102,6 +126,26 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(
                   system.site_selector().counters().remastered_txns.load()),
               100.0 * system.site_selector().counters().RemasterFraction());
+
+  // The ROADMAP's time-to-relocalize metric: first remote burst on a
+  // partition -> its mastership stabilizing at the accessing site.
+  const LatencyRecorder* relocalize =
+      metrics::Registry::Global().HistogramRecorder(
+          "selector_time_to_relocalize_us");
+  std::printf("time-to-relocalize: episodes=%llu",
+              static_cast<unsigned long long>(convergence.relocalized()));
+  if (relocalize != nullptr && relocalize->count() > 0) {
+    std::printf(" p50=%.1fms p90=%.1fms p99=%.1fms max=%.1fms",
+                relocalize->PercentileMicros(0.5) / 1000.0,
+                relocalize->PercentileMicros(0.9) / 1000.0,
+                relocalize->PercentileMicros(0.99) / 1000.0,
+                relocalize->MaxMicros() / 1000.0);
+  }
+  std::printf("\n");
+
+  if (metrics_on) {
+    bench::internal::AppendMetricsRow(config, system.name(), report);
+  }
   system.Shutdown();
   return 0;
 }

@@ -28,6 +28,12 @@
 //   --history-out=F enable history recording and dump each run's event
 //                   log to F (last run wins — combine with --systems=<one>
 //                   to audit it: si_checker --metrics=<metrics row> F)
+//   --timeline-out=F        sample the metrics registry every
+//                           --timeline-period-ms during each run and append
+//                           the rows to F as JSONL (one run label per
+//                           (system, point); summarize with
+//                           metrics_dump --timeline F)
+//   --timeline-period-ms=N  timeline sampling cadence (default 100)
 
 #include <chrono>
 #include <cstdio>
@@ -40,6 +46,7 @@
 
 #include "common/latency_recorder.h"
 #include "common/metrics.h"
+#include "common/timeline.h"
 #include "common/trace.h"
 #include "workloads/driver.h"
 #include "workloads/system_factory.h"
@@ -68,6 +75,10 @@ struct BenchConfig {
   /// When non-empty, RunOne records history and dumps it here (each run
   /// overwrites the file, so the dump always covers one coherent run).
   std::string history_out;
+  /// When non-empty, RunOne samples the global registry during each run
+  /// and appends the timeline rows here as JSONL.
+  std::string timeline_out;
+  uint32_t timeline_period_ms = 100;
 };
 
 // Telemetry surface state shared by the inline harness functions
@@ -77,6 +88,7 @@ inline const BenchConfig* g_config = nullptr;
 inline std::string g_bench_title = "bench";
 inline std::string g_point;
 inline bool g_metrics_file_started = false;
+inline bool g_timeline_file_started = false;
 inline std::vector<trace::TraceEvent> g_trace_events;
 inline std::map<uint32_t, std::string> g_trace_names;
 inline uint32_t g_trace_runs = 0;
@@ -131,6 +143,10 @@ inline void ParseFlags(int argc, char** argv, BenchConfig* config) {
       config->trace_out = v;
     } else if (const char* v = value("--history-out=")) {
       config->history_out = v;
+    } else if (const char* v = value("--timeline-out=")) {
+      config->timeline_out = v;
+    } else if (const char* v = value("--timeline-period-ms=")) {
+      config->timeline_period_ms = static_cast<uint32_t>(std::atoi(v));
     } else if (const char* v = value("--systems=")) {
       config->systems.clear();
       std::string list = v;
@@ -263,6 +279,42 @@ inline void AppendMetricsRow(const BenchConfig& config,
   std::fclose(f);
 }
 
+/// Truncates the timeline file on first use, then appends the sampler's
+/// rows (each RunOne call contributes one run label).
+inline void AppendTimelineRun(const BenchConfig& config,
+                              const timeline::TimelineSampler& sampler) {
+  if (!g_timeline_file_started) {
+    std::FILE* f = std::fopen(config.timeline_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", config.timeline_out.c_str());
+      std::exit(1);
+    }
+    std::fclose(f);
+    g_timeline_file_started = true;
+  }
+  const Status s = sampler.AppendJsonl(config.timeline_out);
+  if (!s.ok()) {
+    std::fprintf(stderr, "timeline dump failed: %s\n", s.ToString().c_str());
+    std::exit(1);
+  }
+  if (sampler.dropped_rows() > 0) {
+    std::fprintf(stderr, "timeline: %llu samples dropped (row bound)\n",
+                 static_cast<unsigned long long>(sampler.dropped_rows()));
+  }
+}
+
+/// Builds the run's timeline sampler (caller Start()s it around the
+/// measured region). Label convention: "<system>[/<point>]".
+inline std::unique_ptr<timeline::TimelineSampler> MakeTimelineSampler(
+    const BenchConfig& config, const std::string& system_name) {
+  timeline::TimelineSampler::Options options;
+  options.period = std::chrono::milliseconds(
+      config.timeline_period_ms == 0 ? 100 : config.timeline_period_ms);
+  options.run_label =
+      system_name + (g_point.empty() ? "" : "/" + g_point);
+  return std::make_unique<timeline::TimelineSampler>(std::move(options));
+}
+
 /// Folds one run's spans into the accumulated trace and rewrites the
 /// whole file: each run gets a pid block of its own (offset 100 per run)
 /// so lanes from different (system, point) runs do not collide.
@@ -312,14 +364,15 @@ inline RunResult RunOne(workloads::SystemKind kind,
   const bool metrics_on = config != nullptr && !config->metrics_out.empty();
   const bool trace_on = config != nullptr && !config->trace_out.empty();
   const bool history_on = config != nullptr && !config->history_out.empty();
+  const bool timeline_on = config != nullptr && !config->timeline_out.empty();
 
   workloads::DeploymentOptions effective_deployment = deployment;
   if (trace_on) effective_deployment.trace = true;
   if (history_on) effective_deployment.record_history = true;
   workloads::Driver::Options effective_driver = driver_options;
-  if (metrics_on) {
+  if (metrics_on || timeline_on) {
     // One registry snapshot per run: zero every series the process has
-    // registered so the emitted row covers exactly this run.
+    // registered so the emitted row (and timeline) covers exactly this run.
     metrics::Registry::Global().ResetValues();
     effective_driver.metrics = &metrics::Registry::Global();
   }
@@ -335,7 +388,16 @@ inline RunResult RunOne(workloads::SystemKind kind,
   }
   result.system->Seal();
   workloads::Driver driver(effective_driver);
+  std::unique_ptr<timeline::TimelineSampler> sampler;
+  if (timeline_on) {
+    sampler = internal::MakeTimelineSampler(*config, result.system->name());
+    sampler->Start();
+  }
   result.report = driver.Run(*result.system, workload);
+  if (sampler != nullptr) {
+    sampler->Stop();
+    internal::AppendTimelineRun(*config, *sampler);
+  }
   if (metrics_on) {
     internal::AppendMetricsRow(*config, result.system->name(), result.report);
   }

@@ -1,21 +1,43 @@
 #!/usr/bin/env python3
-"""Reports the perf trajectory: newest BENCH_*.json vs its predecessor.
+"""Perf-trajectory trend report and ratcheted regression gate.
 
-Prints per-(bench, point, system) throughput and p99 deltas. This is
-report-only — the check.sh `bench-trend` stage surfaces the trend in
-every run but never fails the build on it; perf regressions are gated
-structurally by scripts/hpa.py instead.
+Compares the newest committed BENCH_*.json point against its predecessor
+and prints per-(bench, point, system) throughput and p99 deltas. In
+``--check`` mode the deltas are also gated: a throughput drop beyond
+``--tput-drop-pct`` or a p99 rise beyond ``--p99-rise-pct`` fails the
+run unless the series is waived in BENCH_WAIVERS.json.
 
-Exit status: 0 when there are at least two points (deltas printed) or
-exactly one (baseline point reported); 1 when no BENCH_*.json exists
-(check.sh records the stage as SKIP).
+Waiver file (repo root, optional)::
+
+    {"version": 1,
+     "waivers": [
+       {"bench": "E1 ...",        # omitted key = wildcard
+        "point": "clients=12",
+        "system": "dynamast",
+        "metric": "throughput",   # "throughput" | "p99_us" | omitted = both
+        "through": "BENCH_0009.json",  # newest basename the waiver covers
+        "reason": "why this regression is accepted"}]}
+
+``reason`` and ``through`` are mandatory: a waiver is a dated, justified
+exception, not a mute button. Once the trajectory moves past ``through``
+the waiver stops matching and should be deleted.
+
+Exit status:
+  0  trend printed; in --check mode, no unwaived regression
+  1  --check mode only: at least one unwaived regression
+  2  usage error or malformed BENCH_*.json / BENCH_WAIVERS.json
+  3  no trajectory data (fewer than one point; check.sh records SKIP)
 """
 
+import argparse
 import glob
 import json
 import os
 import re
 import sys
+
+WAIVER_KEYS = {"bench", "point", "system", "metric", "through", "reason"}
+METRICS = ("throughput", "p99_us")
 
 
 def load_points(root):
@@ -39,25 +61,116 @@ def fmt_delta(new, old, invert=False):
     return "%s%.1f%%%s" % (arrow, pct, "" if good else " (worse)")
 
 
+def load_waivers(root, newest_basename):
+    """Returns the waivers applicable to `newest_basename`.
+
+    Raises ValueError on a malformed file: a waiver that cannot be
+    parsed must fail the gate loudly, not silently stop waiving.
+    """
+    path = os.path.join(root, "BENCH_WAIVERS.json")
+    if not os.path.exists(path):
+        return []
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("version") != 1:
+        raise ValueError("BENCH_WAIVERS.json: expected \"version\": 1")
+    waivers = doc.get("waivers")
+    if not isinstance(waivers, list):
+        raise ValueError("BENCH_WAIVERS.json: \"waivers\" must be a list")
+    active = []
+    for i, w in enumerate(waivers):
+        if not isinstance(w, dict):
+            raise ValueError("BENCH_WAIVERS.json: waiver %d is not an object"
+                             % i)
+        unknown = set(w) - WAIVER_KEYS
+        if unknown:
+            raise ValueError("BENCH_WAIVERS.json: waiver %d has unknown "
+                             "keys %s" % (i, sorted(unknown)))
+        if not w.get("reason"):
+            raise ValueError("BENCH_WAIVERS.json: waiver %d is missing the "
+                             "mandatory \"reason\"" % i)
+        through = w.get("through")
+        if not through:
+            raise ValueError("BENCH_WAIVERS.json: waiver %d is missing the "
+                             "mandatory \"through\" bound" % i)
+        if w.get("metric") not in (None,) + METRICS:
+            raise ValueError("BENCH_WAIVERS.json: waiver %d metric must be "
+                             "one of %s" % (i, list(METRICS)))
+        # Basenames sort like the trajectory (zero-padded); a waiver is
+        # active while the newest point is at or before its bound.
+        if newest_basename <= through:
+            active.append(w)
+    return active
+
+
+def waived(waivers, key, metric):
+    bench, point, system = key
+    for w in waivers:
+        if w.get("bench", bench) != bench:
+            continue
+        if w.get("point", point) != point:
+            continue
+        if w.get("system", system) != system:
+            continue
+        if w.get("metric", metric) != metric:
+            continue
+        return w
+    return None
+
+
 def main():
-    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    parser = argparse.ArgumentParser(
+        description="bench trajectory trend report / regression gate")
+    parser.add_argument("--check", action="store_true",
+                        help="gate mode: exit 1 on an unwaived regression")
+    parser.add_argument("--tput-drop-pct", type=float, default=30.0,
+                        help="max tolerated throughput drop (default 30)")
+    parser.add_argument("--p99-rise-pct", type=float, default=75.0,
+                        help="max tolerated p99 latency rise (default 75)")
+    parser.add_argument("--root", default=None,
+                        help="directory holding BENCH_*.json "
+                             "(default: repo root; used by test fixtures)")
+    args = parser.parse_args()
+    if args.tput_drop_pct < 0 or args.p99_rise_pct < 0:
+        print("bench-trend: thresholds must be non-negative", file=sys.stderr)
+        return 2
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
     paths = load_points(root)
     if not paths:
         print("bench-trend: no BENCH_*.json trajectory points yet")
-        return 1
+        return 3
     newest = paths[-1]
-    with open(newest, encoding="utf-8") as f:
-        new_doc = json.load(f)
+    try:
+        with open(newest, encoding="utf-8") as f:
+            new_doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print("bench-trend: %s: %s" % (newest, e), file=sys.stderr)
+        return 2
     if len(paths) == 1:
         print("bench-trend: first trajectory point %s (%d results)" %
               (os.path.basename(newest), len(new_doc.get("results", []))))
         return 0
     prev = paths[-2]
-    with open(prev, encoding="utf-8") as f:
-        prev_doc = json.load(f)
+    try:
+        with open(prev, encoding="utf-8") as f:
+            prev_doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print("bench-trend: %s: %s" % (prev, e), file=sys.stderr)
+        return 2
+    try:
+        waivers = load_waivers(root, os.path.basename(newest))
+    except (ValueError, json.JSONDecodeError, OSError) as e:
+        print("bench-trend: %s" % e, file=sys.stderr)
+        return 2
+
     new_idx, prev_idx = index(new_doc), index(prev_doc)
-    print("bench-trend: %s vs %s" %
-          (os.path.basename(newest), os.path.basename(prev)))
+    mode = "gate" if args.check else "report"
+    print("bench-trend (%s): %s vs %s" %
+          (mode, os.path.basename(newest), os.path.basename(prev)))
+    regressions = []
+    waived_count = 0
     for key in sorted(new_idx):
         n = new_idx[key]
         p = prev_idx.get(key)
@@ -72,8 +185,47 @@ def main():
             line += ", p99 %s" % fmt_delta(n.get("p99_us"), p.get("p99_us"),
                                            invert=True)
         print(line)
+        if not args.check:
+            continue
+        # Gate: throughput floor and p99 ceiling relative to the
+        # predecessor point, per series.
+        checks = []
+        nt, pt = n.get("throughput"), p.get("throughput")
+        if nt is not None and pt not in (0, None):
+            drop = (pt - nt) / pt * 100.0
+            if drop > args.tput_drop_pct:
+                checks.append(("throughput",
+                               "throughput dropped %.1f%% (limit %.0f%%)"
+                               % (drop, args.tput_drop_pct)))
+        n99, p99 = n.get("p99_us"), p.get("p99_us")
+        if n99 is not None and p99 not in (0, None):
+            rise = (n99 - p99) / p99 * 100.0
+            if rise > args.p99_rise_pct:
+                checks.append(("p99_us",
+                               "p99 rose %.1f%% (limit %.0f%%)"
+                               % (rise, args.p99_rise_pct)))
+        for metric, msg in checks:
+            w = waived(waivers, key, metric)
+            if w is not None:
+                waived_count += 1
+                print("    WAIVED [%s] %s -- %s (through %s)" %
+                      (metric, msg, w["reason"], w["through"]))
+            else:
+                regressions.append((key, metric, msg))
+                print("    REGRESSION [%s] %s" % (metric, msg))
     for key in sorted(set(prev_idx) - set(new_idx)):
         print("  %s/%s %s: series disappeared" % key)
+
+    if args.check:
+        if regressions:
+            print("bench-trend: FAIL -- %d unwaived regression(s); add a "
+                  "justified waiver to BENCH_WAIVERS.json only if the "
+                  "regression is intended" % len(regressions))
+            return 1
+        suffix = " (%d waived)" % waived_count if waived_count else ""
+        print("bench-trend: OK -- thresholds tput-drop<=%.0f%% "
+              "p99-rise<=%.0f%%%s" %
+              (args.tput_drop_pct, args.p99_rise_pct, suffix))
     return 0
 
 

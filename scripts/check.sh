@@ -17,8 +17,10 @@
 #                the ratchet against HPA_BASELINE.json, and a
 #                double-dump reproducibility check; on failure the
 #                current profile is left in build/hpa/ for diffing
-#   bench-trend  report-only: newest committed BENCH_*.json trajectory
-#                point vs its predecessor (throughput / p99 deltas)
+#   bench-trend  ratcheted perf gate: newest committed BENCH_*.json
+#                trajectory point vs its predecessor; fails on a
+#                throughput drop >30% or p99 rise >75% per series
+#                unless waived (with a reason) in BENCH_WAIVERS.json
 #   tsa          clang-tsa preset: src/ under -Werror=thread-safety,
 #                plus the tests/tsa_compile_fail negative-compile suite
 #   clang-tidy   .clang-tidy over src/ (compile_commands.json)
@@ -258,19 +260,24 @@ else
 fi
 
 # 5c. Bench trend -----------------------------------------------------------
-# Report-only: compares the newest committed BENCH_*.json perf-trajectory
-# point against its predecessor and prints per-(bench, system) throughput
-# and p99 deltas. Never fails the build — the ratchet for perf is the hpa
-# stage; this stage keeps the trajectory visible in every check.sh run.
+# Ratcheted perf gate: compares the newest committed BENCH_*.json
+# trajectory point against its predecessor and FAILS on a per-series
+# throughput drop or p99 rise beyond the thresholds, unless the series
+# carries a justified waiver in BENCH_WAIVERS.json. Exit 3 means "no
+# trajectory data" and records SKIP; the trend text is kept in
+# build/bench-trend/trend.txt for diffing (CI uploads it on failure).
 step "bench-trend"
 if command -v python3 >/dev/null 2>&1; then
-  if trend_note=$(python3 scripts/bench_trend.py 2>&1); then
-    echo "$trend_note"
-    record bench-trend PASS "$(echo "$trend_note" | head -1)"
-  else
-    echo "$trend_note"
-    record bench-trend SKIP "$(echo "$trend_note" | head -1)"
-  fi
+  mkdir -p build/bench-trend
+  trend_note=$(python3 scripts/bench_trend.py --check 2>&1)
+  trend_status=$?
+  echo "$trend_note"
+  echo "$trend_note" > build/bench-trend/trend.txt
+  case "$trend_status" in
+    0) record bench-trend PASS "$(echo "$trend_note" | head -1)" ;;
+    3) record bench-trend SKIP "$(echo "$trend_note" | head -1)" ;;
+    *) record bench-trend FAIL "$(echo "$trend_note" | tail -1)" ;;
+  esac
 else
   record bench-trend SKIP "python3 not installed"
 fi

@@ -31,6 +31,13 @@ because they span files or live in string literals:
                   registry row still corresponds to an annotated function
                   (the reviewed root list scripts/hpa.py profiles cannot
                   drift from the code).
+  lock-profile-label
+                  every literal `{"lock_class", "<name>"}` label passed to
+                  GetCounter/GetGauge/GetHistogram names a class in
+                  DESIGN.md's lock-class registry, so the contention
+                  profiler's lock_* series stay joinable against the
+                  registry table (a typo'd class would silently fork a
+                  series no lock ever feeds).
 
 Usage: dynamast-lint.py [--root DIR] [--rule RULE]...
 Exit status 0 when clean, 1 when violations were found, 2 on usage or
@@ -44,7 +51,7 @@ import re
 import sys
 
 RULES = ("lock-class", "sched-op", "history-pairing", "metric-naming",
-         "escape-justification", "hot-path-root")
+         "escape-justification", "hot-path-root", "lock-profile-label")
 
 SNAKE_RE = re.compile(r"^[a-z][a-z0-9_]*$")
 LOCK_CLASS_RE = re.compile(r"^[a-z][a-z0-9_]*\.[a-z][a-z0-9_]*$")
@@ -64,6 +71,8 @@ SCHED_OP_SCOPE_RE = re.compile(r"\bDYNAMAST_SCHED_OP_SCOPE\(\s*\w+\s*,\s*(k\w+)"
 
 METRIC_CALL_RE = re.compile(r"\bGet(Counter|Gauge|Histogram)\s*\(")
 LABEL_KEY_RE = re.compile(r"\{\s*\"([^\"]*)\"")
+# A literal lock_class label pair: {"lock_class", "site.state"}
+LOCK_CLASS_LABEL_RE = re.compile(r"\{\s*\"lock_class\"\s*,\s*\"([^\"]*)\"")
 
 ESCAPE_RE = re.compile(r"\bDYNAMAST_NO_THREAD_SAFETY_ANALYSIS\b")
 # `// tsa-escape(selector.partition): dynamic lock set — ...`
@@ -334,6 +343,28 @@ class Linter:
                                     "is not snake_case")
 
 
+    # -------------------------------------------------- lock-profile-label
+
+    def rule_lock_profile_label(self):
+        registry = self.parse_registry()
+        if not registry:
+            return  # tree-shape problem already reported under lock-class
+        for path in self.src_files():
+            text = self.read(path)
+            for m in METRIC_CALL_RE.finditer(text):
+                args = self.call_args(text, m.end() - 1)
+                for lm in LOCK_CLASS_LABEL_RE.finditer(args):
+                    cls = lm.group(1)
+                    if cls in registry:
+                        continue
+                    line = self.line_of(text, m.end() + lm.start())
+                    self.report(
+                        "lock-profile-label", path, line,
+                        f'lock_class label "{cls}" is not in the DESIGN.md '
+                        "lock-class registry (lock_* profiler series must "
+                        "be keyed by registered classes; a typo here forks "
+                        "a series no lock ever feeds)")
+
     # ----------------------------------------------- escape-justification
 
     def rule_escape_justification(self):
@@ -443,6 +474,7 @@ def main():
         "metric-naming": linter.rule_metric_naming,
         "escape-justification": linter.rule_escape_justification,
         "hot-path-root": linter.rule_hot_path_root,
+        "lock-profile-label": linter.rule_lock_profile_label,
     }
     for rule in rules:
         dispatch[rule]()

@@ -11,6 +11,10 @@
 #include "common/scheduler.h"
 #include "common/thread_annotations.h"
 
+#if defined(DYNAMAST_LOCK_PROFILE) && DYNAMAST_LOCK_PROFILE
+#include "common/lock_profile.h"
+#endif
+
 namespace dynamast {
 
 /// Lock-order and deadlock checking for the debug builds (see DESIGN.md,
@@ -250,12 +254,31 @@ class DYNAMAST_CAPABILITY("shared_mutex") PlainSharedMutex {
 
 }  // namespace lockdebug
 
+// Alias selection: DYNAMAST_LOCK_DEBUG picks the checked or pass-through
+// base; DYNAMAST_LOCK_PROFILE (see common/lock_profile.h) layers the
+// contention profiler over whichever base was picked. With the profiler
+// off the aliases are exactly the bases — zero cost, zero registry
+// families.
 #if defined(DYNAMAST_LOCK_DEBUG) && DYNAMAST_LOCK_DEBUG
-using DebugMutex = lockdebug::TrackedMutex;
-using DebugSharedMutex = lockdebug::TrackedSharedMutex;
+using BaseDebugMutex = lockdebug::TrackedMutex;
+using BaseDebugSharedMutex = lockdebug::TrackedSharedMutex;
 #else
-using DebugMutex = lockdebug::PlainMutex;
-using DebugSharedMutex = lockdebug::PlainSharedMutex;
+using BaseDebugMutex = lockdebug::PlainMutex;
+using BaseDebugSharedMutex = lockdebug::PlainSharedMutex;
+#endif
+
+#if defined(DYNAMAST_LOCK_PROFILE) && DYNAMAST_LOCK_PROFILE
+#if DYNAMAST_SCHED_FUZZ_ENABLED
+#error \
+    "DYNAMAST_LOCK_PROFILE is incompatible with DYNAMAST_SCHED_FUZZ: the " \
+    "profiler's try-first acquisition protocol would perturb the recorded " \
+    "scheduling decision stream."
+#endif
+using DebugMutex = lockprof::ProfiledMutex<BaseDebugMutex>;
+using DebugSharedMutex = lockprof::ProfiledSharedMutex<BaseDebugSharedMutex>;
+#else
+using DebugMutex = BaseDebugMutex;
+using DebugSharedMutex = BaseDebugSharedMutex;
 #endif
 
 /// Capability-annotated plain std::mutex, for infrastructure at or below

@@ -217,6 +217,49 @@ double Registry::GaugeValue(const std::string& name,
   return series != nullptr ? series->gauge->Value() : 0.0;
 }
 
+const LatencyRecorder* Registry::HistogramRecorder(const std::string& name,
+                                                   const Labels& labels) const {
+  const Series* series = FindSeries(name, labels, Type::kHistogram);
+  return series != nullptr ? &series->histogram->recorder() : nullptr;
+}
+
+std::vector<Registry::SampledValue> Registry::SampleValues() const {
+  RawMutexLock guard(mu_);
+  std::vector<SampledValue> out;
+  for (const auto& [name, family] : families_) {
+    for (const auto& [key, series] : family.series) {
+      SampledValue sample;
+      sample.key = name;
+      if (!series.labels.empty()) {
+        sample.key += '{';
+        bool first = true;
+        for (const auto& [k, v] : series.labels) {
+          if (!first) sample.key += ',';
+          first = false;
+          sample.key += k;
+          sample.key += '=';
+          sample.key += v;
+        }
+        sample.key += '}';
+      }
+      sample.type = family.type;
+      switch (family.type) {
+        case Type::kCounter:
+          sample.value = static_cast<double>(series.counter->Value());
+          break;
+        case Type::kGauge:
+          sample.value = series.gauge->Value();
+          break;
+        case Type::kHistogram:
+          sample.value = static_cast<double>(series.histogram->recorder().count());
+          break;
+      }
+      out.push_back(std::move(sample));
+    }
+  }
+  return out;
+}
+
 std::string Registry::SnapshotJson() const {
   RawMutexLock guard(mu_);
   std::string out = "{\"metrics\":[";

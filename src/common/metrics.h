@@ -147,6 +147,26 @@ class Registry {
   uint64_t CounterValue(const std::string& name, const Labels& labels = {}) const;
   double GaugeValue(const std::string& name, const Labels& labels = {}) const;
 
+  /// Read access to one histogram series' live recorder (null if absent),
+  /// for report printing without re-aggregating through SnapshotJson.
+  const LatencyRecorder* HistogramRecorder(const std::string& name,
+                                           const Labels& labels = {}) const;
+
+  /// One flattened sample for the timeline sampler: `key` is
+  /// "name{k=v,...}" with labels in sorted order (bare "name" when
+  /// label-less); `value` is the counter/gauge value, or the observation
+  /// count for histogram series.
+  struct SampledValue {
+    std::string key;
+    Type type = Type::kCounter;
+    double value = 0;
+  };
+
+  /// Samples every series in deterministic (family, label-key) order.
+  /// Timeline-sampler cadence, not the hot path.
+  DYNAMAST_EXPENSIVE std::vector<SampledValue> SampleValues() const
+      DYNAMAST_EXCLUDES(mu_);
+
   /// {"metrics":[{"name":...,"type":"counter","series":[{"labels":{...},
   /// "value":N},...]},...]}. Histogram series carry count/mean/p50/p90/
   /// p99/p999/max summaries.

@@ -1,0 +1,123 @@
+#include "common/timeline.h"
+
+#include <cstdio>
+#include <utility>
+
+namespace dynamast::timeline {
+
+TimelineSampler::TimelineSampler(Options options)
+    : options_(std::move(options)),
+      registry_(metrics::Registry::OrGlobal(options_.registry)) {
+  rows_.reserve(options_.max_rows < 1024 ? options_.max_rows : 1024);
+}
+
+TimelineSampler::~TimelineSampler() { Stop(); }
+
+void TimelineSampler::Start() {
+  if (thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> guard(stop_mu_);
+    stop_requested_ = false;
+  }
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void TimelineSampler::Stop() {
+  if (!thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> guard(stop_mu_);
+    stop_requested_ = true;
+  }
+  stop_cv_.notify_all();
+  thread_.join();
+  SampleOnce();  // final row: the end-of-run state is always captured
+}
+
+void TimelineSampler::Loop() {
+  while (true) {
+    {
+      std::unique_lock<std::mutex> guard(stop_mu_);
+      if (stop_cv_.wait_for(guard, options_.period,
+                            [this] { return stop_requested_; })) {
+        return;
+      }
+    }
+    SampleOnce();
+  }
+}
+
+void TimelineSampler::SampleOnce() {
+  // Sample outside the row lock: the registry walk is the expensive part.
+  std::vector<metrics::Registry::SampledValue> values =
+      registry_->SampleValues();
+  const uint64_t now_us = metrics::NowMicros();
+
+  RawMutexLock guard(mu_);
+  if (rows_.size() >= options_.max_rows) {
+    ++dropped_;
+    return;
+  }
+  Row row;
+  row.seq = next_seq_++;
+  // Strictly increasing timestamps even for back-to-back samples, so rows
+  // sort without tie-breaking.
+  row.ts_us = now_us > last_ts_us_ ? now_us : last_ts_us_ + 1;
+  last_ts_us_ = row.ts_us;
+  row.values = std::move(values);
+  rows_.push_back(std::move(row));
+}
+
+std::vector<TimelineSampler::Row> TimelineSampler::Rows() const {
+  RawMutexLock guard(mu_);
+  return rows_;
+}
+
+uint64_t TimelineSampler::dropped_rows() const {
+  RawMutexLock guard(mu_);
+  return dropped_;
+}
+
+std::string TimelineSampler::RowJson(const Row& row) const {
+  std::string out = "{\"schema\":\"dynamast.timeline.v1\",\"run\":\"";
+  out += metrics::JsonEscape(options_.run_label);
+  out += "\",\"seq\":";
+  out += std::to_string(row.seq);
+  out += ",\"ts_us\":";
+  out += std::to_string(row.ts_us);
+  out += ",\"values\":{";
+  bool first = true;
+  for (const auto& sample : row.values) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += metrics::JsonEscape(sample.key);
+    out += "\":";
+    if (sample.type == metrics::Registry::Type::kGauge) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.6g", sample.value);
+      out += buf;
+    } else {
+      // Counters and histogram counts are integral; print them exactly.
+      out += std::to_string(static_cast<uint64_t>(sample.value));
+    }
+  }
+  out += "}}";
+  return out;
+}
+
+Status TimelineSampler::AppendJsonl(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "a");
+  if (f == nullptr) {
+    return Status::Unavailable("cannot open timeline file: " + path);
+  }
+  const std::vector<Row> rows = Rows();
+  for (const Row& row : rows) {
+    const std::string line = RowJson(row);
+    std::fwrite(line.data(), 1, line.size(), f);
+    std::fputc('\n', f);
+  }
+  std::fclose(f);
+  return Status::OK();
+}
+
+}  // namespace dynamast::timeline

@@ -1,0 +1,104 @@
+#ifndef DYNAMAST_COMMON_TIMELINE_H_
+#define DYNAMAST_COMMON_TIMELINE_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/debug_mutex.h"
+#include "common/metrics.h"
+#include "common/status.h"
+
+namespace dynamast::timeline {
+
+/// Background time-series sampler over a metrics registry (see DESIGN.md,
+/// "Timelines & convergence tracking"). Every period it flattens the
+/// registry's counters, gauges and histogram counts into one bounded
+/// in-memory row; rows dump as JSONL, one object per sample:
+///
+///   {"schema":"dynamast.timeline.v1","run":"<label>","seq":1,
+///    "ts_us":12345,"values":{"site_commits_total{site=0}":42,...}}
+///
+/// `seq` is strictly increasing from 1 and `ts_us` (the metrics epoch
+/// clock) is made strictly increasing even for back-to-back samples, so
+/// consumers can sort and diff rows without tie-breaking. The row buffer
+/// is bounded: once `max_rows` samples are held, further samples are
+/// counted as dropped instead of growing memory — a timeline is a bench
+/// artifact, not an unbounded log.
+///
+/// The sampler thread uses plain std:: primitives (no DebugMutex, no
+/// scheduler hooks): like the registry it reads, it is infrastructure
+/// below the scheduler layer and must not perturb record/replay identity.
+class TimelineSampler {
+ public:
+  struct Options {
+    /// Registry to sample; null means metrics::Registry::Global().
+    metrics::Registry* registry = nullptr;
+    /// Sampling cadence of the background thread.
+    std::chrono::milliseconds period{250};
+    /// Row-buffer bound; samples past it are dropped (and counted).
+    size_t max_rows = 4096;
+    /// Stamped into every row ("<system>/<point>" by bench convention).
+    std::string run_label;
+  };
+
+  struct Row {
+    uint64_t seq = 0;
+    uint64_t ts_us = 0;
+    std::vector<metrics::Registry::SampledValue> values;
+  };
+
+  explicit TimelineSampler(Options options);
+  ~TimelineSampler();
+
+  TimelineSampler(const TimelineSampler&) = delete;
+  TimelineSampler& operator=(const TimelineSampler&) = delete;
+
+  /// Starts the background sampling thread. No-op if already running.
+  void Start();
+
+  /// Stops and joins the thread, taking one final sample first so short
+  /// runs always end with a fresh row. Idempotent.
+  void Stop();
+
+  /// Takes one sample now (the thread's cadence; also called directly by
+  /// deterministic tests).
+  void SampleOnce();
+
+  std::vector<Row> Rows() const;
+  uint64_t dropped_rows() const;
+
+  /// Appends all rows to `path` as JSONL (creating the file if needed).
+  Status AppendJsonl(const std::string& path) const;
+
+  /// One row rendered as its JSONL object (exposed for schema tests).
+  std::string RowJson(const Row& row) const;
+
+ private:
+  void Loop();
+
+  const Options options_;
+  metrics::Registry* const registry_;  // resolved, never null
+
+  mutable RawMutex mu_;
+  std::vector<Row> rows_ DYNAMAST_GUARDED_BY(mu_);
+  uint64_t next_seq_ DYNAMAST_GUARDED_BY(mu_) = 1;
+  uint64_t last_ts_us_ DYNAMAST_GUARDED_BY(mu_) = 0;
+  uint64_t dropped_ DYNAMAST_GUARDED_BY(mu_) = 0;
+
+  // Thread control; separate plain mutex/cv so Stop() wakes the sleeper
+  // immediately instead of waiting out the period.
+  std::mutex stop_mu_;
+  std::condition_variable stop_cv_;
+  bool stop_requested_ = false;
+  std::thread thread_;
+};
+
+}  // namespace dynamast::timeline
+
+#endif  // DYNAMAST_COMMON_TIMELINE_H_

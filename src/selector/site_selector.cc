@@ -33,6 +33,10 @@ SiteSelector::SiteSelector(const SelectorOptions& options,
       map_(partitioner->NumPartitions(), options.initial_master),
       strategy_(options.weights, options.num_sites),
       counters_(options.num_sites),
+      convergence_(partitioner->NumPartitions(),
+                   ConvergenceTracker::Options{
+                       options.relocalize_stability_window_us,
+                       options.metrics}),
       rng_(options.seed) {
   AccessStatistics::Options stats_options = options_.stats;
   stats_options.num_sites = options_.num_sites;
@@ -234,6 +238,10 @@ Status SiteSelector::RouteWritePartitions(ClientId client,
     return Status::OK();
   }
 
+  // Slow path proper: this write set is split across masters. The entry
+  // timestamp anchors the convergence tracker's episode windows.
+  const uint64_t slow_start_us = metrics::NowMicros();
+
   // Remastering decision (Eq. 8), evaluating every candidate site.
   RemasterDecisionInput input;
   input.write_partitions = partitions;
@@ -284,6 +292,8 @@ Status SiteSelector::RouteWritePartitions(ClientId client,
     map_.UnlockExclusive(*it);
   }
 
+  convergence_.OnSlowPathRoute(partitions, masters, dest, slow_start_us,
+                               metrics::NowMicros());
   MaybeSample(client, partitions);
   counters_.remastered_txns.fetch_add(1);
   counters_.partitions_remastered.fetch_add(moved);

@@ -17,6 +17,7 @@
 #include "common/version_vector.h"
 #include "net/sim_network.h"
 #include "selector/access_statistics.h"
+#include "selector/convergence_tracker.h"
 #include "selector/partition_map.h"
 #include "selector/strategy.h"
 #include "site/site_manager.h"
@@ -51,6 +52,10 @@ struct SelectorOptions {
   uint32_t max_samples_per_second = 2000;
   AccessStatistics::Options stats;
   uint64_t seed = 42;
+  /// Stability window for the time-to-relocalize tracker: a mastership
+  /// transition must stand unchallenged this long before the episode that
+  /// produced it counts as converged.
+  uint64_t relocalize_stability_window_us = 500'000;
   /// Metrics registry to export into; null disables selector metric export
   /// (series handles stay unresolved).
   metrics::Registry* metrics = nullptr;
@@ -133,6 +138,11 @@ class SiteSelector {
   RemasterStrategy& strategy() { return strategy_; }
   SelectorCounters& counters() { return counters_; }
 
+  /// Time-to-relocalize tracking over slow-path remastering decisions
+  /// (DESIGN.md, "Timelines & convergence tracking"). Benches Flush() it
+  /// before reporting.
+  ConvergenceTracker& convergence() { return convergence_; }
+
   /// Applies `initial_master` (or a custom placement) to both the map and
   /// the data sites. Call before starting the workload.
   void InstallPlacement(const std::vector<SiteId>& master_of_partition);
@@ -192,6 +202,7 @@ class SiteSelector {
   std::unique_ptr<AccessStatistics> stats_;
   RemasterStrategy strategy_;
   SelectorCounters counters_;
+  ConvergenceTracker convergence_;
 
   mutable DebugMutex rng_mu_{"selector.rng"};
   Random rng_ DYNAMAST_GUARDED_BY(rng_mu_);

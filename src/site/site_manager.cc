@@ -57,6 +57,8 @@ SiteManager::SiteManager(const SiteOptions& options,
   exported_.releases =
       metrics->GetCounter("site_releases_total", {{"site", site}});
   exported_.grants = metrics->GetCounter("site_grants_total", {{"site", site}});
+  exported_.mastership_transitions = metrics->GetCounter(
+      "site_mastership_transitions_total", {{"site", site}});
   exported_.pruned_versions =
       metrics->GetCounter("storage_pruned_versions_total", {{"site", site}});
   exported_.version_chain_len =
@@ -628,6 +630,12 @@ Status SiteManager::Grant(const std::vector<PartitionId>& partitions,
   }
   counters_.grants.fetch_add(1);
   if (exported_.grants != nullptr) exported_.grants->Increment();
+  // Each granted partition is one mastership transition (the convergence
+  // tracker's per-partition unit; si_checker reconciles this against the
+  // history's grant events).
+  if (exported_.mastership_transitions != nullptr) {
+    exported_.mastership_transitions->Increment(partitions.size());
+  }
   return Status::OK();
 }
 

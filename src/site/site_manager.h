@@ -241,6 +241,7 @@ class SiteManager {
     metrics::Histogram* refresh_delay_us = nullptr;
     metrics::Counter* releases = nullptr;
     metrics::Counter* grants = nullptr;
+    metrics::Counter* mastership_transitions = nullptr;
     metrics::Counter* pruned_versions = nullptr;
     metrics::Histogram* version_chain_len = nullptr;
   };

@@ -9,8 +9,10 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "tools/json_util.h"
@@ -22,7 +24,12 @@ using dynamast::tools::JsonValue;
 void Usage() {
   std::cerr << "usage: metrics_dump [options] <metrics-json-file>\n"
                "  --family=SUBSTR   only families whose name contains SUBSTR\n"
-               "  --nonzero         skip zero-valued counter/gauge series\n";
+               "  --nonzero         skip zero-valued counter/gauge series\n"
+               "  --timeline        input is bench --timeline-out JSONL: "
+               "summarize per-run\n"
+               "                    family deltas/rates (with --family, also "
+               "print the\n"
+               "                    per-sample trajectory of matching series)\n";
 }
 
 std::string FormatLabels(const JsonValue& series) {
@@ -81,18 +88,116 @@ void PrintSnapshot(const JsonValue& snapshot, const std::string& family_filter,
   }
 }
 
+// ---- --timeline mode --------------------------------------------------
+
+struct TimelineRun {
+  std::string label;
+  size_t samples = 0;
+  uint64_t first_ts_us = 0;
+  uint64_t last_ts_us = 0;
+  // Per flattened series key ("name{k=v,...}"): first and last value.
+  std::map<std::string, std::pair<double, double>> first_last;
+  // Per-sample (ts_us, key, value) for the --family trajectory print.
+  std::vector<std::tuple<uint64_t, std::string, double>> trajectory;
+};
+
+std::string FamilyOf(const std::string& key) {
+  const size_t brace = key.find('{');
+  return brace == std::string::npos ? key : key.substr(0, brace);
+}
+
+int RunTimelineMode(const std::vector<JsonValue>& rows,
+                    const std::string& family_filter, bool nonzero_only) {
+  std::vector<TimelineRun> runs;
+  std::map<std::string, size_t> run_index;
+  size_t skipped = 0;
+  for (const JsonValue& row : rows) {
+    if (row.GetString("schema") != "dynamast.timeline.v1") {
+      ++skipped;
+      continue;
+    }
+    const std::string label = row.GetString("run");
+    auto [it, inserted] = run_index.try_emplace(label, runs.size());
+    if (inserted) {
+      runs.emplace_back();
+      runs.back().label = label;
+    }
+    TimelineRun& run = runs[it->second];
+    const uint64_t ts = row.GetUint64("ts_us");
+    if (run.samples == 0) run.first_ts_us = ts;
+    run.last_ts_us = ts;
+    ++run.samples;
+    const JsonValue* values = row.Find("values");
+    if (values == nullptr || !values->is_object()) continue;
+    for (const auto& [key, value] : values->object) {
+      if (!value.is_number()) continue;
+      auto [series_it, first_seen] =
+          run.first_last.try_emplace(key, value.number, value.number);
+      if (!first_seen) series_it->second.second = value.number;
+      if (!family_filter.empty() &&
+          FamilyOf(key).find(family_filter) != std::string::npos) {
+        run.trajectory.emplace_back(ts, key, value.number);
+      }
+    }
+  }
+  if (skipped > 0) {
+    std::fprintf(stderr, "metrics_dump: skipped %zu non-timeline rows\n",
+                 skipped);
+  }
+  if (runs.empty()) {
+    std::cerr << "metrics_dump: no timeline rows "
+                 "(expected schema dynamast.timeline.v1)\n";
+    return 2;
+  }
+  for (const TimelineRun& run : runs) {
+    const double span_s =
+        static_cast<double>(run.last_ts_us - run.first_ts_us) / 1e6;
+    std::printf("== timeline run=%s samples=%zu span=%.2fs\n",
+                run.label.c_str(), run.samples, span_s);
+    // Family roll-up: sum of per-series deltas (counters and histogram
+    // counts are cumulative, so last-first is the run's activity; gauges
+    // show net movement).
+    std::map<std::string, double> family_delta;
+    for (const auto& [key, first_last] : run.first_last) {
+      family_delta[FamilyOf(key)] += first_last.second - first_last.first;
+    }
+    for (const auto& [family, delta] : family_delta) {
+      if (!family_filter.empty() &&
+          family.find(family_filter) == std::string::npos) {
+        continue;
+      }
+      if (nonzero_only && delta == 0) continue;
+      if (span_s > 0) {
+        std::printf("  %-44s delta=%-12g rate=%.1f/s\n", family.c_str(),
+                    delta, delta / span_s);
+      } else {
+        std::printf("  %-44s delta=%g\n", family.c_str(), delta);
+      }
+    }
+    for (const auto& [ts, key, value] : run.trajectory) {
+      std::printf("  t=+%.2fs %s = %g\n",
+                  static_cast<double>(ts - run.first_ts_us) / 1e6,
+                  key.c_str(), value);
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string path;
   std::string family_filter;
   bool nonzero_only = false;
+  bool timeline_mode = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--family=", 0) == 0) {
       family_filter = arg.substr(9);
     } else if (arg == "--nonzero") {
       nonzero_only = true;
+    } else if (arg == "--timeline") {
+      timeline_mode = true;
     } else if (arg == "-h" || arg == "--help") {
       Usage();
       return 0;
@@ -130,6 +235,9 @@ int main(int argc, char** argv) {
   if (rows.empty()) {
     std::cerr << "metrics_dump: no documents in " << path << "\n";
     return 2;
+  }
+  if (timeline_mode) {
+    return RunTimelineMode(rows, family_filter, nonzero_only);
   }
 
   for (const JsonValue& row : rows) {

@@ -503,6 +503,7 @@ Status ReconcileMetrics(const std::vector<history::HistoryEvent>& events,
   }
 
   uint64_t update_commits = 0, readonly_commits = 0, releases = 0, grants = 0;
+  uint64_t transitions = 0;
   for (const history::HistoryEvent& e : events) {
     switch (e.kind) {
       case history::EventKind::kCommit:
@@ -513,6 +514,9 @@ Status ReconcileMetrics(const std::vector<history::HistoryEvent>& events,
         break;
       case history::EventKind::kGrant:
         ++grants;
+        // Each granted partition is one mastership transition, matching
+        // the per-partition site_mastership_transitions_total unit.
+        transitions += e.partitions.size();
         break;
       case history::EventKind::kAbort:
         break;
@@ -526,6 +530,8 @@ Status ReconcileMetrics(const std::vector<history::HistoryEvent>& events,
        SumCounter(*snapshot, "site_commits_total", "kind", "readonly")},
       {"releases", releases, SumCounter(*snapshot, "site_releases_total")},
       {"grants", grants, SumCounter(*snapshot, "site_grants_total")},
+      {"partition_transitions", transitions,
+       SumCounter(*snapshot, "site_mastership_transitions_total")},
   };
   return Status::OK();
 }

@@ -126,7 +126,9 @@ AuditReport AuditHistory(const std::vector<history::HistoryEvent>& events,
 /// observability planes count the same ground truth, so exported counters
 /// must reconcile *exactly* with the event log — update commits vs
 /// site_commits_total{kind=update}, read-only commits vs kind=readonly,
-/// release / grant markers vs site_releases_total / site_grants_total.
+/// release / grant markers vs site_releases_total / site_grants_total,
+/// and per-partition mastership transitions (sum of granted partition
+/// counts) vs site_mastership_transitions_total.
 struct MetricsReconciliation {
   struct Line {
     std::string name;

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""End-to-end tests for the scripts/bench_trend.py regression gate.
+
+Runs the gate over the fixture trajectories in fixtures/ and asserts
+exit codes and messages for: a flat trajectory (pass), a regressed one
+(fail, both metrics), a waived regression (pass, WAIVED printed), an
+expired waiver (fail again), a malformed waiver file (usage error), a
+single-point trajectory (pass) and an empty directory (skip, exit 3).
+"""
+
+import os
+import subprocess
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.dirname(os.path.dirname(HERE))
+TREND = os.path.join(REPO, "scripts", "bench_trend.py")
+FIXTURES = os.path.join(HERE, "fixtures")
+
+failures = []
+
+
+def run_trend(root, extra=()):
+    cmd = [sys.executable, TREND, "--check",
+           "--root", os.path.join(FIXTURES, root)] + list(extra)
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+def check(name, root, want_exit, want_substrings=(), forbid=(), extra=()):
+    code, output = run_trend(root, extra)
+    problems = []
+    if code != want_exit:
+        problems.append(f"exit code {code}, wanted {want_exit}")
+    for want in want_substrings:
+        if want not in output:
+            problems.append(f"output lacks {want!r}")
+    for bad in forbid:
+        if bad in output:
+            problems.append(f"output unexpectedly contains {bad!r}")
+    if problems:
+        failures.append(name)
+        print(f"FAIL {name}: " + "; ".join(problems))
+        print("  --- gate output ---")
+        for line in output.splitlines():
+            print(f"  {line}")
+    else:
+        print(f"ok   {name}")
+
+
+def main():
+    check("flat trajectory passes", "flat", want_exit=0,
+          want_substrings=("bench-trend: OK",),
+          forbid=("REGRESSION", "WAIVED"))
+
+    check("regressed point fails on both metrics", "regressed", want_exit=1,
+          want_substrings=(
+              "REGRESSION [throughput] throughput dropped 50.0%",
+              "REGRESSION [p99_us] p99 rose 200.0%",
+              "bench-trend: FAIL",
+          ))
+
+    check("waived regression passes and is reported", "waived", want_exit=0,
+          want_substrings=(
+              "WAIVED [throughput]",
+              "WAIVED [p99_us]",
+              "intentional fixture regression",
+              "bench-trend: OK",
+          ),
+          forbid=("REGRESSION",))
+
+    check("expired waiver no longer covers the newest point",
+          "waiver_expired", want_exit=1,
+          want_substrings=("REGRESSION [throughput]",),
+          forbid=("WAIVED",))
+
+    check("waiver without a reason is a hard error", "malformed_waiver",
+          want_exit=2,
+          want_substrings=('missing the mandatory "reason"',))
+
+    check("single point is the baseline, passes", "single", want_exit=0,
+          want_substrings=("first trajectory point BENCH_0001.json",))
+
+    check("no trajectory data exits 3 (SKIP)", "empty", want_exit=3,
+          want_substrings=("no BENCH_*.json trajectory points",))
+
+    check("loose thresholds accept the regressed point", "regressed",
+          want_exit=0, extra=("--tput-drop-pct", "60",
+                              "--p99-rise-pct", "250"),
+          forbid=("REGRESSION",))
+
+    # Report (non --check) mode: rerun without the gate flag directly.
+    proc = subprocess.run(
+        [sys.executable, TREND, "--root",
+         os.path.join(FIXTURES, "regressed")],
+        capture_output=True, text=True)
+    if proc.returncode != 0 or "REGRESSION" in proc.stdout:
+        failures.append("report mode stays report-only")
+        print("FAIL report mode stays report-only: exit "
+              f"{proc.returncode}\n{proc.stdout}{proc.stderr}")
+    else:
+        print("ok   report mode stays report-only")
+
+    if failures:
+        print(f"\n{len(failures)} bench_trend_test failure(s)",
+              file=sys.stderr)
+        return 1
+    print("\nall bench_trend_test checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

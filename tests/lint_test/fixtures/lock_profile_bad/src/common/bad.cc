@@ -1,0 +1,10 @@
+// Fixture: one lock_class label naming a registered class (fine) and one
+// naming a class absent from the DESIGN.md registry (violation).
+#include "common/metrics.h"
+
+void Export(Registry* registry) {
+  good_ = registry->GetCounter("lock_acquires_total",
+                               {{"lock_class", "site.state"}});
+  bad_ = registry->GetHistogram("lock_wait_us",
+                                {{"lock_class", "site.ghost"}});
+}

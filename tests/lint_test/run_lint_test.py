@@ -113,11 +113,21 @@ def main():
               "annotation",
           ))
 
+    check("lock-profile-label: unregistered class in lock_class label",
+          "lock_profile_bad", ("lock-profile-label",), want_exit=1,
+          want_substrings=(
+              "lock-profile-label: src/common/bad.cc:9: "
+              'lock_class label "site.ghost"',
+          ),
+          forbid=('"site.state"',))
+
     # Each bad fixture is bad in exactly one rule: the others stay quiet.
     check("lock_class_bad is clean for metric-naming", "lock_class_bad",
           ("metric-naming",), want_exit=0)
     check("metric_bad is clean for history-pairing", "metric_bad",
           ("history-pairing",), want_exit=0)
+    check("lock_profile_bad is clean for metric-naming", "lock_profile_bad",
+          ("metric-naming",), want_exit=0)
 
     if failures:
         print(f"\n{len(failures)} lint_test failure(s)", file=sys.stderr)

@@ -1,0 +1,134 @@
+// Unit tests for the lock-contention profiler (common/lock_profile). The
+// ProfiledMutex templates are always compiled, so these run in every
+// configuration; what DYNAMAST_LOCK_PROFILE changes is only whether the
+// production DebugMutex aliases route through them — the last test pins
+// the zero-cost-when-off contract on the default build.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "common/debug_mutex.h"
+#include "common/lock_profile.h"
+#include "common/metrics.h"
+
+namespace dynamast::lockprof {
+namespace {
+
+class LockProfileTest : public ::testing::Test {
+ protected:
+  void SetUp() override { SetRegistryForTest(&registry_); }
+  void TearDown() override { SetRegistryForTest(nullptr); }
+
+  uint64_t Acquires(const char* cls) {
+    return registry_.CounterValue("lock_acquires_total",
+                                  {{"lock_class", cls}});
+  }
+  uint64_t Contended(const char* cls) {
+    return registry_.CounterValue("lock_contended_acquires_total",
+                                  {{"lock_class", cls}});
+  }
+  const LatencyRecorder* WaitUs(const char* cls) {
+    return registry_.HistogramRecorder("lock_wait_us",
+                                       {{"lock_class", cls}});
+  }
+  const LatencyRecorder* HoldUs(const char* cls) {
+    return registry_.HistogramRecorder("lock_hold_us",
+                                       {{"lock_class", cls}});
+  }
+
+  metrics::Registry registry_;
+};
+
+TEST_F(LockProfileTest, UncontendedAcquiresCountWithoutWaitSamples) {
+  ProfiledMutex<lockdebug::PlainMutex> mu("test.uncontended");
+  for (int i = 0; i < 5; ++i) {
+    mu.lock();
+    mu.unlock();
+  }
+  EXPECT_TRUE(mu.try_lock());
+  mu.unlock();
+
+  EXPECT_EQ(Acquires("test.uncontended"), 6u);
+  EXPECT_EQ(Contended("test.uncontended"), 0u);
+  const LatencyRecorder* wait = WaitUs("test.uncontended");
+  ASSERT_NE(wait, nullptr);
+  EXPECT_EQ(wait->count(), 0u);  // wait_us records contended waits only
+  const LatencyRecorder* hold = HoldUs("test.uncontended");
+  ASSERT_NE(hold, nullptr);
+  EXPECT_EQ(hold->count(), 6u);
+}
+
+TEST_F(LockProfileTest, ContendedAcquireRecordsMeasuredWait) {
+  ProfiledMutex<lockdebug::PlainMutex> mu("test.contended");
+  mu.lock();
+  std::thread blocked([&mu] {
+    mu.lock();  // must block until the holder releases
+    mu.unlock();
+  });
+  // Hold long enough that the blocked thread's wait lands well above the
+  // histogram's microsecond floor.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  mu.unlock();
+  blocked.join();
+
+  EXPECT_EQ(Acquires("test.contended"), 2u);
+  EXPECT_EQ(Contended("test.contended"), 1u);
+  const LatencyRecorder* wait = WaitUs("test.contended");
+  ASSERT_NE(wait, nullptr);
+  ASSERT_EQ(wait->count(), 1u);
+  EXPECT_GE(wait->MaxMicros(), 1000u);  // waited most of the 20ms hold
+  const LatencyRecorder* hold = HoldUs("test.contended");
+  ASSERT_NE(hold, nullptr);
+  EXPECT_EQ(hold->count(), 2u);
+  EXPECT_GE(hold->MaxMicros(), 1000u);
+}
+
+TEST_F(LockProfileTest, SharedMutexProfilesBothSides) {
+  ProfiledSharedMutex<lockdebug::PlainSharedMutex> mu("test.shared");
+  mu.lock_shared();
+  mu.unlock_shared();
+  ASSERT_TRUE(mu.try_lock_shared());
+  mu.unlock_shared();
+  mu.lock();
+  mu.unlock();
+
+  EXPECT_EQ(Acquires("test.shared"), 3u);
+  EXPECT_EQ(Contended("test.shared"), 0u);
+  // Hold segments are exclusive-only: the shared holds left no sample.
+  const LatencyRecorder* hold = HoldUs("test.shared");
+  ASSERT_NE(hold, nullptr);
+  EXPECT_EQ(hold->count(), 1u);
+}
+
+TEST_F(LockProfileTest, SameClassNameSharesOneSeries) {
+  ProfiledMutex<lockdebug::PlainMutex> a("test.pooled");
+  ProfiledMutex<lockdebug::PlainMutex> b("test.pooled");
+  a.lock();
+  a.unlock();
+  b.lock();
+  b.unlock();
+  EXPECT_EQ(Acquires("test.pooled"), 2u);
+}
+
+// The off-by-default contract: a default (non-DYNAMAST_LOCK_PROFILE)
+// build must export no lock_* families from production DebugMutex use —
+// the series exist only when the aliases route through the profiler.
+TEST(LockProfileOffTest, DefaultBuildExportsNoLockFamilies) {
+#if defined(DYNAMAST_LOCK_PROFILE) && DYNAMAST_LOCK_PROFILE
+  GTEST_SKIP() << "profile build: DebugMutex exports lock_* by design";
+#else
+  {
+    DebugMutex mu("site.state");
+    MutexLock hold(mu);
+  }
+  EXPECT_EQ(
+      metrics::Registry::Global().CounterValue(
+          "lock_acquires_total", {{"lock_class", "site.state"}}),
+      0u);
+#endif
+}
+
+}  // namespace
+}  // namespace dynamast::lockprof

@@ -91,6 +91,7 @@ TEST(ObservabilityTest, MetricsTraceAndHistoryAgreeExactly) {
   const std::vector<history::HistoryEvent> events =
       system.history()->Snapshot();
   uint64_t update_commits = 0, readonly_commits = 0, releases = 0, grants = 0;
+  uint64_t transitions = 0;
   for (const history::HistoryEvent& e : events) {
     switch (e.kind) {
       case history::EventKind::kCommit:
@@ -101,6 +102,7 @@ TEST(ObservabilityTest, MetricsTraceAndHistoryAgreeExactly) {
         break;
       case history::EventKind::kGrant:
         ++grants;
+        transitions += e.partitions.size();
         break;
       case history::EventKind::kAbort:
         break;
@@ -119,6 +121,22 @@ TEST(ObservabilityTest, MetricsTraceAndHistoryAgreeExactly) {
   EXPECT_EQ(SumOverSites(registry, "site_releases_total", kSites), releases);
   EXPECT_EQ(SumOverSites(registry, "site_grants_total", kSites), grants);
   EXPECT_EQ(releases, grants);  // markers come in release/grant pairs
+
+  // Convergence plane: every granted partition is one mastership
+  // transition, and transitions imply open relocalize windows that a
+  // forced flush must close into the time_to_relocalize histogram.
+  ASSERT_GT(transitions, 0u);
+  EXPECT_EQ(SumOverSites(registry, "site_mastership_transitions_total",
+                         kSites),
+            transitions);
+  system.site_selector().convergence().Flush(metrics::NowMicros(),
+                                             /*force=*/true);
+  EXPECT_GT(system.site_selector().convergence().relocalized(), 0u);
+  const LatencyRecorder* relocalize =
+      registry.HistogramRecorder("selector_time_to_relocalize_us");
+  ASSERT_NE(relocalize, nullptr);
+  EXPECT_EQ(relocalize->count(),
+            system.site_selector().convergence().relocalized());
 
   // Every authored record (update commit or marker) is applied at each of
   // the other sites exactly once.

@@ -1,0 +1,166 @@
+// Unit tests for the timeline sampler (common/timeline): bounded row
+// buffer with drop accounting, strictly-increasing seq/ts, cumulative
+// counter values per sample, the JSONL v1 schema via a round-trip
+// through the tools JSON reader, and the background-thread lifecycle.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/timeline.h"
+#include "tools/json_util.h"
+
+namespace dynamast::timeline {
+namespace {
+
+std::string TempPath(const char* name) {
+  const char* dir = std::getenv("TMPDIR");
+  return std::string(dir != nullptr ? dir : "/tmp") + "/" + name;
+}
+
+TEST(TimelineTest, BoundedBufferDropsAndStampsMonotonically) {
+  metrics::Registry registry;
+  metrics::Counter* commits = registry.GetCounter("commits_total");
+  metrics::Gauge* backlog = registry.GetGauge("backlog");
+
+  TimelineSampler::Options opts;
+  opts.registry = &registry;
+  opts.max_rows = 5;
+  opts.run_label = "test/bounded";
+  TimelineSampler sampler(opts);
+
+  for (int i = 0; i < 8; ++i) {
+    commits->Increment(10);
+    backlog->Set(static_cast<double>(i));
+    sampler.SampleOnce();
+  }
+
+  const std::vector<TimelineSampler::Row> rows = sampler.Rows();
+  ASSERT_EQ(rows.size(), 5u);
+  EXPECT_EQ(sampler.dropped_rows(), 3u);
+  uint64_t last_seq = 0, last_ts = 0;
+  uint64_t last_commits = 0;
+  for (const TimelineSampler::Row& row : rows) {
+    EXPECT_GT(row.seq, last_seq);
+    EXPECT_GT(row.ts_us, last_ts);
+    last_seq = row.seq;
+    last_ts = row.ts_us;
+    bool saw_commits = false;
+    for (const metrics::Registry::SampledValue& v : row.values) {
+      if (v.key == "commits_total") {
+        saw_commits = true;
+        EXPECT_GT(v.value, static_cast<double>(last_commits));
+        last_commits = static_cast<uint64_t>(v.value);
+      }
+    }
+    EXPECT_TRUE(saw_commits);
+  }
+  EXPECT_EQ(rows.front().seq, 1u);
+  EXPECT_EQ(last_commits, 50u);  // 5 retained samples x +10 each
+}
+
+TEST(TimelineTest, JsonlRoundTripsThroughToolsReader) {
+  metrics::Registry registry;
+  registry.GetCounter("site_commits_total", {{"site", "0"}})->Increment(7);
+  registry.GetGauge("queue_depth")->Set(2.5);
+  registry.GetHistogram("lat_us")->Observe(100);
+  registry.GetHistogram("lat_us")->Observe(300);
+
+  TimelineSampler::Options opts;
+  opts.registry = &registry;
+  opts.run_label = "dynamast/hotspot-shift";
+  TimelineSampler sampler(opts);
+  sampler.SampleOnce();
+  sampler.SampleOnce();
+
+  const std::string path = TempPath("timeline_test.jsonl");
+  std::remove(path.c_str());
+  ASSERT_TRUE(sampler.AppendJsonl(path).ok());
+
+  std::string contents;
+  {
+    std::FILE* f = std::fopen(path.c_str(), "r");
+    ASSERT_NE(f, nullptr);
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+      contents.append(buf, n);
+    }
+    std::fclose(f);
+  }
+  std::vector<tools::JsonValue> docs;
+  ASSERT_TRUE(tools::ParseJsonLines(contents, &docs).ok());
+  ASSERT_EQ(docs.size(), 2u);
+  uint64_t prev_seq = 0;
+  for (const tools::JsonValue& doc : docs) {
+    EXPECT_EQ(doc.GetString("schema"), "dynamast.timeline.v1");
+    EXPECT_EQ(doc.GetString("run"), "dynamast/hotspot-shift");
+    EXPECT_GT(doc.GetUint64("seq"), prev_seq);
+    prev_seq = doc.GetUint64("seq");
+    const tools::JsonValue* values = doc.Find("values");
+    ASSERT_NE(values, nullptr);
+    ASSERT_TRUE(values->is_object());
+    bool commits = false, gauge = false, hist = false;
+    for (const auto& [key, value] : values->object) {
+      ASSERT_TRUE(value.is_number()) << key;
+      if (key == "site_commits_total{site=0}") {
+        commits = true;
+        EXPECT_EQ(value.number, 7.0);
+      } else if (key == "queue_depth") {
+        gauge = true;
+        EXPECT_DOUBLE_EQ(value.number, 2.5);
+      } else if (key == "lat_us") {
+        hist = true;
+        EXPECT_EQ(value.number, 2.0);  // histogram samples as its count
+      }
+    }
+    EXPECT_TRUE(commits && gauge && hist);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TimelineTest, BackgroundThreadSamplesAndStopTakesFinalRow) {
+  metrics::Registry registry;
+  metrics::Counter* ticks = registry.GetCounter("ticks_total");
+
+  TimelineSampler::Options opts;
+  opts.registry = &registry;
+  opts.period = std::chrono::milliseconds(5);
+  opts.run_label = "test/thread";
+  TimelineSampler sampler(opts);
+  sampler.Start();
+  sampler.Start();  // idempotent
+  for (int i = 0; i < 10; ++i) {
+    ticks->Increment();
+    std::this_thread::sleep_for(std::chrono::milliseconds(3));
+  }
+  sampler.Stop();
+  sampler.Stop();  // idempotent
+
+  const std::vector<TimelineSampler::Row> rows = sampler.Rows();
+  // Stop() always takes a final sample, so the last row is fresh: it must
+  // carry the fully-incremented counter.
+  ASSERT_GE(rows.size(), 1u);
+  bool found = false;
+  for (const metrics::Registry::SampledValue& v : rows.back().values) {
+    if (v.key == "ticks_total") {
+      found = true;
+      EXPECT_EQ(v.value, 10.0);
+    }
+  }
+  EXPECT_TRUE(found);
+  uint64_t last_ts = 0;
+  for (const TimelineSampler::Row& row : rows) {
+    EXPECT_GT(row.ts_us, last_ts);
+    last_ts = row.ts_us;
+  }
+}
+
+}  // namespace
+}  // namespace dynamast::timeline
