@@ -1,0 +1,1183 @@
+#!/usr/bin/env python3
+"""ama.py - atomics & memory-order analyzer for the DynaMast tree.
+
+Every ``std::atomic`` in the tree carries an implicit protocol: which
+memory orders its operations need, which release-stores pair with which
+acquire-loads, and whether its loads publish pointers that a reclaimer
+could free.  TSan and the DPOR explorer only check the interleavings
+that actually execute; ama checks the declared protocol on every path,
+statically, and ratchets the whole atomic surface before the lock-free
+storage work grows it.
+
+How it works
+------------
+The lexical C++ front end (comment/string blanking, scope
+reconstruction, declaration model, receiver resolution) is shared with
+csa.py and hpa.py and lives in ``cpp_model.py``; ama layers the atomic
+semantics on top:
+
+1.  Every atomic **field** is discovered: class members, namespace-scope
+    globals, and function-local/static atomics, including atomics
+    wrapped in smart pointers and containers
+    (``shared_ptr<atomic<T>>``, ``vector<atomic<T>>``,
+    ``array<Shard, N>`` whose element holds atomics).  Each field gets a
+    stable id such as ``metrics::Counter::Shard::value`` or
+    ``workloads::Driver::Run::stop``.
+2.  Every atomic **operation** (load/store/RMW/CAS, ``++``/``--``,
+    direct assignment) is resolved to its field through locals,
+    parameters, range-for bindings, ``auto`` bindings, and member
+    chains, with its explicit memory order parsed from the argument
+    list (no order = the defaulted ``seq_cst``, recorded as
+    ``default``).
+3.  The DESIGN.md **atomic-field registry** (between
+    ``<!-- atomic-field-registry:begin/end -->`` markers) assigns each
+    field a role, and the role assigns each operation its legal orders:
+
+    ``stat-counter``  monotonic tallies nothing synchronizes on: every
+                      operation must be ``relaxed``.
+    ``flag``          state another thread observes: ``acquire`` loads,
+                      ``release`` stores, ``acq_rel`` RMWs.
+    ``seqno``         version/sequence publication: ``release`` store /
+                      ``acquire`` load, and a release-store with no
+                      acquire-side load anywhere in the tree is an
+                      ``unpaired-release`` error.
+    ``publication``   pointer-typed handoff: same orders as ``flag``,
+                      the value type must be a pointer, and every load
+                      must sit inside a ``DYNAMAST_EPOCH_PROTECTED``
+                      region (or be allowlisted) so reclamation is
+                      provably deferred.
+
+The rules
+---------
+``unregistered-atomic``   an atomic field with no registry row (hard).
+``unknown-role``          a registry role outside the closed set (hard).
+``publication-not-pointer``  a publication-role field whose value type
+                          is not a pointer (hard).
+``unresolved-atomic``     an explicit memory_order argument on a
+                          receiver that resolves to no known field
+                          (hard - the model must not silently drop
+                          ordered operations).
+``defaulted-order``       a registered field operated on with the
+                          defaulted seq_cst order (allowlistable).
+``role-order``            an explicit order the field's role forbids
+                          (allowlistable).
+``unpaired-release``      a release-store on a flag/seqno/publication
+                          field with no acquire-side load anywhere in
+                          the TU set (allowlistable).
+``epoch-unprotected``     a publication load outside any
+                          ``DYNAMAST_EPOCH_PROTECTED`` region
+                          (allowlistable).
+``counter-update-race``   a non-RMW store to a stat-counter in a
+                          function that also loads it - a classic
+                          load-then-store lost update; use an RMW
+                          (allowlistable).
+
+The ratchet
+-----------
+``AMA_BASELINE.json`` (committed at the repo root) freezes the edge set
+``(field, function, op, orders)``.  ``--check`` recomputes it and fails
+on any new or missing edge, on any unsuppressed violation, and on any
+allowlist entry that is unjustified, names an unregistered field, uses
+a rule that is not allowlistable, or matches no current violation
+(stale).  ``--update`` refuses to rewrite the baseline while violations
+are unresolved, then writes deterministically (sorted keys, two-space
+indent) so consecutive runs are byte-identical.
+
+Known limitations (by construction, all deterministic): atomics reached
+through raw pointers or references passed across functions are not
+tracked; ``(*p).load()`` spellings are invisible (the tree uses ``->``);
+``std::atomic_load(&x)`` free-function spellings are not used here and
+not modeled.  Unlike csa/hpa, the scheduler/DPOR internals are NOT
+exempt - their atomics are exactly the ones worth auditing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import sys
+from dataclasses import dataclass, field as dc_field
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import cpp_model
+from cpp_model import line_of, strip_root
+
+BASELINE_NAME = "AMA_BASELINE.json"
+REGISTRY_BEGIN = "<!-- atomic-field-registry:begin -->"
+REGISTRY_END = "<!-- atomic-field-registry:end -->"
+
+ROLES = ("stat-counter", "flag", "seqno", "publication")
+ALLOWLISTABLE = ("defaulted-order", "role-order", "unpaired-release",
+                 "epoch-unprotected", "counter-update-race")
+
+# method -> op kind (None = no memory-order semantics worth checking)
+ATOMIC_METHODS = {
+    "load": "load",
+    "wait": "load",
+    "store": "store",
+    "clear": "store",
+    "exchange": "rmw",
+    "fetch_add": "rmw",
+    "fetch_sub": "rmw",
+    "fetch_and": "rmw",
+    "fetch_or": "rmw",
+    "fetch_xor": "rmw",
+    "test_and_set": "rmw",
+    "compare_exchange_weak": "cas",
+    "compare_exchange_strong": "cas",
+    "notify_one": None,
+    "notify_all": None,
+}
+
+# role -> op kind -> allowed primary orders.  seq_cst is never on the
+# menu: a field whose protocol genuinely needs seq_cst would get its own
+# role; everything in this tree is pairwise acquire/release or weaker.
+ROLE_ORDERS = {
+    "stat-counter": {
+        "load": {"relaxed"},
+        "store": {"relaxed"},
+        "rmw": {"relaxed"},
+        "cas": {"relaxed"},
+    },
+    "flag": {
+        "load": {"acquire"},
+        "store": {"release"},
+        "rmw": {"acq_rel"},
+        "cas": {"acq_rel", "acquire", "release"},
+    },
+    "seqno": {
+        "load": {"acquire"},
+        "store": {"release"},
+        "rmw": {"acq_rel", "release"},
+        "cas": {"acq_rel", "release"},
+    },
+    "publication": {
+        "load": {"acquire"},
+        "store": {"release"},
+        "rmw": {"acq_rel", "release"},
+        "cas": {"acq_rel", "release", "acquire"},
+    },
+}
+
+ACQUIRE_SIDE = {"acquire", "acq_rel", "seq_cst", "default"}
+RELEASE_SIDE = {"release", "acq_rel"}
+
+CONTAINERS = ("vector", "array", "deque")
+POINTERS = ("unique_ptr", "shared_ptr")
+
+_DECL_KEYWORDS = {
+    "return", "delete", "throw", "new", "case", "goto", "else", "using",
+    "typedef", "break", "continue", "co_return", "co_await", "public",
+    "private", "protected", "template", "friend", "operator", "namespace",
+    "static_assert", "if", "for", "while", "switch", "do", "sizeof",
+}
+
+_CHAIN = r"(?:\w+(?:\[[^\]]*\])?\s*(?:->|\.)\s*)*\w+(?:\[[^\]]*\])?"
+
+_OP_RE = re.compile(
+    r"(%s)\s*(->|\.)\s*(%s)\s*\(" % (_CHAIN,
+                                     "|".join(sorted(ATOMIC_METHODS))))
+_ORDER_RE = re.compile(r"\bmemory_order(?:\s*::\s*|_)\s*(\w+)")
+_INCDEC_PRE_RE = re.compile(r"(\+\+|--)\s*(%s)" % _CHAIN)
+_INCDEC_POST_RE = re.compile(r"(%s)\s*(\+\+|--)" % _CHAIN)
+_ASSIGN_RE = re.compile(r"(%s)\s*([+\-|&^]?=)(?![=])" % _CHAIN)
+_EPOCH_RE = re.compile(r"\bDYNAMAST_EPOCH_PROTECTED\b")
+_PTR_ALIAS_RE = re.compile(r"\busing\s+(\w+)\s*=\s*[^;=()]*\(\s*\*\s*\)")
+
+# Declaration with its raw (unsimplified) type text.  The type keeps its
+# full template spelling so wrapper layers (shared_ptr<atomic<T>>,
+# array<Shard, N>) survive where cpp_model.simplify_type would collapse
+# them to a single name.
+_RAW_TYPE = r"(?:[\w:]+\s+)*[\w:]+(?:\s*<.*>)?"
+_MEMBER_DECL_RE = re.compile(
+    r"^(%s)[\s*&]+(\w+)\s*(?:\{.*\}|=.*)?$" % _RAW_TYPE, re.S)
+_LOCAL_DECL_RE = re.compile(
+    r"(?:^|[;{}()])\s*"
+    r"(?:(?:const|static|thread_local|constexpr|mutable)\s+)*"
+    r"((?:std\s*::\s*)?[\w:]+(?:\s*<[\w:\s,*&<>()]*>)?)"
+    r"\s*[&*]*\s+(\w+)\s*(?=[=;({:,)\[])")
+_RANGE_FOR_RE = re.compile(
+    r"\bfor\s*\(\s*(?:const\s+)?"
+    r"([\w:]+(?:\s*<[\w:\s,*&<>()]*>)?|auto)"
+    r"\s*[&*]*\s*(\w+)\s*:\s*([^();]+?)\s*\)")
+_AUTO_BIND_RE = re.compile(
+    r"(?:^|[;{}])\s*(?:const\s+)?auto\s*[&*]*\s+(\w+)\s*=\s*([^;]+);")
+
+ATOMIC_TYPEDEFS = {
+    "bool": "bool", "char": "char", "int": "int", "uint": "unsigned int",
+    "long": "long", "llong": "long long", "size_t": "size_t",
+    "int32_t": "int32_t", "int64_t": "int64_t",
+    "uint32_t": "uint32_t", "uint64_t": "uint64_t",
+}
+
+
+# ---------------------------------------------------------------------------
+# Type peeling
+
+
+def _split_top(args):
+    """Splits template-argument text at top-level commas."""
+    out, depth, start = [], 0, 0
+    for i, c in enumerate(args):
+        if c in "<(":
+            depth += 1
+        elif c in ">)":
+            depth -= 1
+        elif c == "," and depth == 0:
+            out.append(args[start:i])
+            start = i + 1
+    out.append(args[start:])
+    return [a.strip() for a in out]
+
+
+def _norm_type(t):
+    t = re.sub(r"\b(?:const|volatile|mutable|static|inline|constexpr|"
+               r"thread_local|typename)\b", " ", t)
+    t = re.sub(r"\s+", " ", t).strip()
+    while t.endswith("&"):
+        t = t[:-1].strip()
+    t = re.sub(r"^std\s*::\s*", "", t)
+    return t
+
+
+def peel(type_text):
+    """One wrapper layer of a raw type: (kind, inner).
+
+    kind: 'container' | 'pointer' | 'value' (optional<T>) | 'atomic' |
+    'class' (inner = simple class name) | None (unparseable).
+    """
+    t = _norm_type(type_text)
+    if not t:
+        return (None, "")
+    if t.endswith("*"):
+        return ("pointer", t[:-1].strip())
+    m = re.match(r"([\w:]+)\s*<(.*)>$", t, re.S)
+    if m:
+        name = m.group(1).rsplit("::", 1)[-1]
+        args = _split_top(m.group(2))
+        if name in CONTAINERS:
+            return ("container", args[0])
+        if name in POINTERS:
+            return ("pointer", args[0])
+        if name == "optional":
+            return ("value", args[0])
+        if name == "atomic":
+            return ("atomic", args[0])
+        return ("class", name)
+    m = re.match(r"atomic_(\w+)$", t)
+    if m and m.group(1) in ATOMIC_TYPEDEFS:
+        return ("atomic", ATOMIC_TYPEDEFS[m.group(1)])
+    simple = t.rsplit("::", 1)[-1].split()[-1] if t.split() else ""
+    if re.fullmatch(r"\w+", simple):
+        return ("class", simple)
+    return (None, "")
+
+
+def atomic_value_type(raw):
+    """Inner T when `raw` is an atomic under wrapper layers, else None."""
+    t = raw
+    for _ in range(6):
+        kind, inner = peel(t)
+        if kind == "atomic":
+            return inner
+        if kind in ("container", "pointer", "value"):
+            t = inner
+            continue
+        return None
+    return None
+
+
+def is_atomic_raw(raw):
+    return peel(raw)[0] == "atomic"
+
+
+def _owns_atomic(raw):
+    """True when `raw` holds an atomic by value (directly or inside
+    containers).  Pointer layers (shared_ptr<atomic<T>> parameters and
+    the like) alias an atomic owned elsewhere - the owner is the field
+    that must be registered, not every handle to it."""
+    t = raw
+    for _ in range(6):
+        kind, inner = peel(t)
+        if kind == "atomic":
+            return True
+        if kind in ("container", "value"):
+            t = inner
+            continue
+        return False
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Discovery
+
+
+@dataclass
+class AtomicField:
+    fid: str            # registry id, e.g. metrics::Counter::Shard::value
+    cls: str            # innermost owning class simple name ('' if none)
+    name: str           # field / variable simple name
+    file: str
+    line: int
+    raw: str            # full declared type text
+    value_type: str     # T of the underlying atomic<T>
+    is_pointer: bool    # T is a pointer (or a function-pointer alias)
+
+
+@dataclass
+class OpSite:
+    field: "AtomicField|None"   # None => unresolved receiver
+    func: str                   # holder function (stripped qual)
+    op: str                     # method name, '++', '--', '=', '+=', ...
+    kind: str                   # load | store | rmw | cas | none
+    orders: tuple               # ('relaxed',) / ('default',) / cas pair
+    file: str
+    line: int
+    in_epoch: bool
+    receiver: str = ""          # text, for unresolved diagnostics
+
+
+@dataclass
+class Model:
+    project: object
+    fields: list = dc_field(default_factory=list)
+    by_cls: dict = dc_field(default_factory=dict)     # (cls,name) -> field
+    by_global: dict = dc_field(default_factory=dict)  # name -> field (ns)
+    by_name: dict = dc_field(default_factory=dict)    # name -> field|None
+    member_raw: dict = dc_field(default_factory=dict)  # (cls,name) -> raw
+    global_raw: dict = dc_field(default_factory=dict)  # name -> raw type
+    ptr_aliases: set = dc_field(default_factory=set)
+    sites: list = dc_field(default_factory=list)
+
+
+def _scope_ns(scope):
+    """Namespace path of `scope` including scope itself if a namespace."""
+    parts = []
+    s = scope
+    while s is not None:
+        if s.kind == "namespace" and s.name:
+            parts.append(s.name)
+        s = s.parent
+    return "::".join(reversed(parts))
+
+
+def _class_chain(scope):
+    """Names of the class scopes enclosing (and including) `scope`."""
+    parts = []
+    s = scope
+    while s is not None:
+        if s.kind == "class":
+            parts.append(s.name)
+        s = s.parent
+    return list(reversed(parts))
+
+
+def _field_id(scope, name):
+    ns = _scope_ns(scope)
+    classes = _class_chain(scope)
+    qual = "::".join([p for p in [ns] + classes if p] + [name])
+    return strip_root(qual)
+
+
+def _fn_qual(fn_scope):
+    ns = _scope_ns(fn_scope)
+    classes = _class_chain(fn_scope)
+    name = fn_scope.name
+    if "::" in name:
+        # Out-of-line Class::Method: the name already carries the class.
+        qual = "::".join([p for p in [ns] if p] + [name])
+    else:
+        qual = "::".join([p for p in [ns] + classes if p] + [name])
+    return strip_root(qual)
+
+
+def _register(model, f):
+    model.fields.append(f)
+    if f.cls:
+        model.by_cls.setdefault((f.cls, f.name), f)
+    if f.name in model.by_name:
+        model.by_name[f.name] = None        # ambiguous
+    else:
+        model.by_name[f.name] = f
+
+
+def _make_field(model, scope, rel, line, raw, name, fid):
+    value = atomic_value_type(raw)
+    ptr = value.rstrip().endswith("*") or \
+        _norm_type(value).rsplit("::", 1)[-1] in model.ptr_aliases
+    classes = _class_chain(scope)
+    return AtomicField(fid=fid, cls=classes[-1] if classes else "",
+                      name=name, file=rel, line=line, raw=raw,
+                      value_type=_norm_type(value), is_pointer=ptr)
+
+
+def collect_ptr_aliases(model):
+    for rel in sorted(model.project.blanked):
+        for m in _PTR_ALIAS_RE.finditer(model.project.blanked[rel]):
+            model.ptr_aliases.add(m.group(1))
+
+
+def discover_fields(model):
+    """Class members and namespace-scope atomics (locals come later)."""
+    project = model.project
+    for rel in sorted(project.files):
+        blanked = project.blanked[rel]
+        for scope in project.scopes[rel]:
+            if scope.kind not in ("class", "namespace"):
+                continue
+            for start, stmt in cpp_model.iter_statements(blanked, scope):
+                stmt = re.sub(r"\b(?:public|private|protected)\s*:", " ",
+                              stmt)
+                stmt = re.sub(r"\bDYNAMAST_\w+\s*\([^()]*\)", " ", stmt)
+                s = stmt.strip()
+                if not s or "(" in s.split("<")[0].split("{")[0]:
+                    # A paren before any template/initializer opens a
+                    # method declaration, not a field.
+                    continue
+                dm = _MEMBER_DECL_RE.match(s)
+                if not dm:
+                    continue
+                first = re.split(r"[\s:<]", dm.group(1).strip())[0]
+                if first in _DECL_KEYWORDS:
+                    continue
+                raw, name = dm.group(1).strip(), dm.group(2)
+                if "(" in re.sub(r"<[^<>]*(?:<[^<>]*>[^<>]*)*>", "", raw):
+                    continue                # function declaration
+                nm = re.search(r"\b%s\b" % re.escape(name),
+                               blanked[start:scope.close])
+                line = line_of(blanked, start + (nm.start() if nm else 0))
+                if scope.kind == "class":
+                    model.member_raw.setdefault((scope.name, name), raw)
+                    if atomic_value_type(raw) is not None:
+                        fid = _field_id(scope, name)
+                        f = _make_field(model, scope, rel, line, raw,
+                                        name, fid)
+                        model.by_cls.setdefault((scope.name, name), f)
+                        _register_unique(model, f)
+                else:
+                    model.global_raw.setdefault(name, raw)
+                    if atomic_value_type(raw) is not None:
+                        fid = _field_id(scope.parent, name) \
+                            if False else _global_fid(scope, name)
+                        f = AtomicField(
+                            fid=fid, cls="", name=name, file=rel,
+                            line=line, raw=raw,
+                            value_type=_norm_type(
+                                atomic_value_type(raw)),
+                            is_pointer=_is_ptr_value(
+                                model, atomic_value_type(raw)))
+                        model.by_global.setdefault(name, f)
+                        _register_unique(model, f)
+
+
+def _is_ptr_value(model, value):
+    return value.rstrip().endswith("*") or \
+        _norm_type(value).rsplit("::", 1)[-1] in model.ptr_aliases
+
+
+def _global_fid(scope, name):
+    ns = _scope_ns(scope)
+    return strip_root("::".join([p for p in [ns] if p] + [name]))
+
+
+def _register_unique(model, f):
+    # Deduplicate: a header parsed once can still hit the same decl via
+    # class + namespace passes; key on fid.
+    for existing in model.fields:
+        if existing.fid == f.fid:
+            return
+    model.fields.append(f)
+    if f.name in model.by_name:
+        if model.by_name[f.name] is not f:
+            model.by_name[f.name] = None    # ambiguous
+    else:
+        model.by_name[f.name] = f
+
+
+# ---------------------------------------------------------------------------
+# Per-function resolution context
+
+
+class FnCtx:
+    def __init__(self, model, rel, fn_scope):
+        self.model = model
+        self.rel = rel
+        self.fn = fn_scope
+        blanked = model.project.blanked[rel]
+        self.body = blanked[fn_scope.open + 1:fn_scope.close]
+        self.base = fn_scope.open + 1
+        self.text = fn_scope.header + self.body
+        self.qual = _fn_qual(fn_scope)
+        self.classes = _class_chain(fn_scope)
+        if "::" in fn_scope.name:
+            self.classes = self.classes + [fn_scope.name.split("::")[-2]]
+        self.locals_raw = {}       # name -> raw type text
+        self.local_atomics = {}    # name -> AtomicField
+        self.bindings = {}         # name -> ('raw', text)|('field', f)
+        self._collect_locals()
+        self._collect_bindings()
+        self.epochs = []
+        for m in _EPOCH_RE.finditer(self.body):
+            off = self.base + m.start()
+            end = cpp_model.enclosing_block_end(blanked, off, fn_scope.close)
+            self.epochs.append((off, end))
+
+    def _collect_locals(self):
+        model = self.model
+        for m in _LOCAL_DECL_RE.finditer(self.text):
+            raw, name = m.group(1), m.group(2)
+            first = re.split(r"[\s:<]", raw.strip())[0]
+            if first in _DECL_KEYWORDS or first == "auto":
+                continue
+            self.locals_raw[name] = raw
+            if _owns_atomic(raw) and name not in self.local_atomics:
+                # Offset of the declaration inside the body (header
+                # declarations - atomic parameters - use the open line).
+                off = m.start(1) - len(self.fn.header)
+                line = line_of(model.project.blanked[self.rel],
+                               self.base + max(off, 0))
+                fid = self.qual + "::" + name
+                f = AtomicField(
+                    fid=fid, cls="", name=name, file=self.rel, line=line,
+                    raw=raw,
+                    value_type=_norm_type(atomic_value_type(raw)),
+                    is_pointer=_is_ptr_value(model,
+                                             atomic_value_type(raw)))
+                self.local_atomics[name] = f
+                _register_unique(model, f)
+
+    def _collect_bindings(self):
+        # Prefix the open brace the body slice drops, so the statement
+        # anchor in _AUTO_BIND_RE can match the body's first statement.
+        text = "{" + self.body
+        for m in _RANGE_FOR_RE.finditer(text):
+            declared, name, container = m.group(1), m.group(2), m.group(3)
+            if declared != "auto":
+                continue               # explicit type: locals_raw has it
+            ent = self._resolve_entity(container.strip())
+            if ent is None:
+                continue
+            raw, f = ent
+            kind, inner = peel(raw)
+            if kind == "container":
+                self.bindings[name] = (inner, f)
+        for m in _AUTO_BIND_RE.finditer(text):
+            name, expr = m.group(1), m.group(2).strip()
+            if not re.fullmatch(_CHAIN, expr):
+                continue
+            ent = self._resolve_entity(expr)
+            if ent is not None:
+                self.bindings[name] = ent
+
+    # -- chain machinery ---------------------------------------------------
+
+    def _lookup_first(self, name, indexed, allow_name_fallback):
+        """(raw, AtomicField|None) for the head of a chain, or None."""
+        model = self.model
+        if name == "this" and self.classes:
+            return (self.classes[-1], None)
+        if name in self.local_atomics:
+            f = self.local_atomics[name]
+            return (f.raw, f)
+        if name in self.bindings:
+            raw, f = self.bindings[name]
+            if f is None and is_atomic_raw(raw):
+                # element of an atomic-bearing container: identity is
+                # the container field, tracked by the binding creator
+                pass
+            return (raw, f)
+        if name in self.locals_raw:
+            return (self.locals_raw[name], None)
+        for cls in reversed(self.classes):
+            if (cls, name) in model.member_raw:
+                return (model.member_raw[(cls, name)],
+                        model.by_cls.get((cls, name)))
+        if name in model.global_raw:
+            return (model.global_raw[name], model.by_global.get(name))
+        if allow_name_fallback:
+            f = model.by_name.get(name)
+            if f is not None:
+                return (f.raw, f)
+        return None
+
+    def _apply_access(self, raw, f, indexed, sep):
+        """Peels wrapper layers for `[...]` and `->` accesses."""
+        for _ in range(indexed):
+            kind, inner = peel(raw)
+            if kind in ("container", "pointer"):
+                raw = inner
+            else:
+                return None
+        if sep == "->":
+            kind, inner = peel(raw)
+            if kind in ("pointer", "value"):
+                raw = inner
+            elif kind == "class":
+                pass                       # raw pointer, star was eaten
+            else:
+                return None
+        return (raw, f)
+
+    def _resolve_entity(self, chain, allow_name_fallback=False):
+        """Resolves a member chain to (raw type, AtomicField|None)."""
+        toks = []
+        for m in re.finditer(r"(\w+)((?:\[[^\]]*\])*)\s*(->|\.|$)", chain):
+            if not m.group(1):
+                continue
+            toks.append((m.group(1),
+                         m.group(2).count("["),
+                         m.group(3) or ""))
+            if not m.group(3):
+                break
+        if not toks:
+            return None
+        name, indexed, sep = toks[0]
+        ent = self._lookup_first(name, indexed, allow_name_fallback)
+        if ent is None:
+            return None
+        raw, f = ent
+        ent = self._apply_access(raw, f, indexed, sep if sep in
+                                 ("->",) else "")
+        if ent is None:
+            return None
+        raw, f = ent
+        for name, indexed, sep in toks[1:]:
+            kind, cls = peel(raw)
+            if kind != "class":
+                return None
+            member = None
+            if (cls, name) in self.model.member_raw:
+                member = self.model.member_raw[(cls, name)]
+            if member is None:
+                return None
+            f = self.model.by_cls.get((cls, name))
+            ent = self._apply_access(member, f, indexed,
+                                     sep if sep in ("->",) else "")
+            if ent is None:
+                return None
+            raw, f = ent
+        return (raw, f)
+
+    def resolve_method_receiver(self, chain, sep):
+        """AtomicField for `chain.method(...)`, or None."""
+        ent = self._resolve_entity(chain, allow_name_fallback=True)
+        if ent is None:
+            return None
+        raw, f = ent
+        if sep == "->":
+            kind, inner = peel(raw)
+            if kind in ("pointer", "value"):
+                raw = inner
+        if is_atomic_raw(raw):
+            return f
+        return None
+
+    def resolve_lvalue(self, chain):
+        """AtomicField when `chain` IS an atomic lvalue (no unwrap)."""
+        ent = self._resolve_entity(chain, allow_name_fallback=False)
+        if ent is None:
+            return None
+        raw, f = ent
+        if is_atomic_raw(raw):
+            return f
+        return None
+
+    def in_epoch(self, offset):
+        return any(s < offset < e for (s, e) in self.epochs)
+
+
+# ---------------------------------------------------------------------------
+# Operation extraction
+
+
+def _call_args(text, open_paren):
+    depth = 0
+    for i in range(open_paren, len(text)):
+        if text[i] == "(":
+            depth += 1
+        elif text[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return text[open_paren + 1:i]
+    return text[open_paren + 1:]
+
+
+def _stmt_start(body, offset):
+    best = 0
+    for ch in ";{}":
+        p = body.rfind(ch, 0, offset)
+        if p + 1 > best:
+            best = p + 1
+    return best
+
+
+def extract_ops(model):
+    project = model.project
+    for rel in sorted(project.files):
+        blanked = project.blanked[rel]
+        for fn in (s for s in project.scopes[rel]
+                   if s.kind == "function"):
+            ctx = FnCtx(model, rel, fn)
+            _extract_fn_ops(model, ctx)
+
+
+def _extract_fn_ops(model, ctx):
+    blanked = model.project.blanked[ctx.rel]
+    body, base = ctx.body, ctx.base
+
+    def add(field, op, kind, orders, offset, receiver=""):
+        model.sites.append(OpSite(
+            field=field, func=ctx.qual, op=op, kind=kind,
+            orders=tuple(orders), file=ctx.rel,
+            line=line_of(blanked, base + offset),
+            in_epoch=ctx.in_epoch(base + offset), receiver=receiver))
+
+    for m in _OP_RE.finditer(body):
+        chain, sep, method = m.group(1), m.group(2), m.group(3)
+        args = _call_args(body, m.end() - 1)
+        orders = _ORDER_RE.findall(args)
+        f = ctx.resolve_method_receiver(chain, sep)
+        if f is None:
+            if orders:
+                add(None, method, "unresolved", orders, m.start(),
+                    receiver=re.sub(r"\s+", "", chain))
+            continue
+        kind = ATOMIC_METHODS[method]
+        if kind is None:
+            add(f, method, "none", (), m.start())
+            continue
+        if not orders:
+            orders = ["default"]
+        if kind == "cas" and len(orders) > 2:
+            orders = orders[:2]
+        if kind != "cas" and len(orders) > 1:
+            orders = orders[:1]
+        add(f, method, kind, orders, m.start())
+
+    claimed = set()
+    for m in _INCDEC_PRE_RE.finditer(body):
+        f = ctx.resolve_lvalue(m.group(2))
+        if f is not None:
+            add(f, m.group(1), "rmw", ["default"], m.start())
+            claimed.add(m.start(2))
+    for m in _INCDEC_POST_RE.finditer(body):
+        if m.start(1) in claimed:
+            continue
+        f = ctx.resolve_lvalue(m.group(1))
+        if f is not None:
+            add(f, m.group(2), "rmw", ["default"], m.start())
+    for m in _ASSIGN_RE.finditer(body):
+        lead = body[_stmt_start(body, m.start(1)):m.start(1)]
+        if re.search(r"[>\w&*.]\s*$", lead):
+            continue            # a declaration (type precedes the name)
+        f = ctx.resolve_lvalue(m.group(1))
+        if f is None:
+            continue
+        op = m.group(2)
+        kind = "store" if op == "=" else "rmw"
+        add(f, op, kind, ["default"], m.start())
+
+
+# ---------------------------------------------------------------------------
+# Registry, rules, violations
+
+
+def parse_registry(root):
+    """{field id: role} from DESIGN.md's atomic-field registry table."""
+    design = os.path.join(root, "DESIGN.md")
+    entries = {}
+    try:
+        with open(design, "r", encoding="utf-8") as f:
+            text = f.read()
+    except OSError:
+        return entries
+    begin = text.find(REGISTRY_BEGIN)
+    end = text.find(REGISTRY_END)
+    if begin < 0 or end < 0:
+        return entries
+    for row in text[begin:end].splitlines():
+        m = re.match(r"\|\s*`([^`]+)`\s*\|\s*([^|]+?)\s*\|", row)
+        if m:
+            entries[m.group(1)] = m.group(2).strip("`")
+    return entries
+
+
+@dataclass
+class Violation:
+    rule: str
+    field: str          # field id ('' only for unresolved receivers)
+    func: str | None    # None for field-level rules
+    message: str
+
+
+def _order_str(orders):
+    return ",".join(orders) if orders else "-"
+
+
+def compute_violations(model, registry):
+    out = []
+    fields_by_id = {f.fid: f for f in model.fields}
+
+    for f in sorted(model.fields, key=lambda f: f.fid):
+        if f.fid not in registry:
+            out.append(Violation(
+                "unregistered-atomic", f.fid, None,
+                "ama: unregistered-atomic: %s:%d: atomic field `%s` has "
+                "no row in the DESIGN.md atomic-field registry (assign "
+                "it a role: %s)" %
+                (f.file, f.line, f.fid, ", ".join(ROLES))))
+
+    for fid in sorted(registry):
+        role = registry[fid]
+        if role not in ROLES:
+            out.append(Violation(
+                "unknown-role", fid, None,
+                "ama: unknown-role: DESIGN.md: registry row `%s` "
+                "declares role %r, which is not in the closed role set "
+                "(%s)" % (fid, role, ", ".join(ROLES))))
+            continue
+        f = fields_by_id.get(fid)
+        if f is not None and role == "publication" and not f.is_pointer:
+            out.append(Violation(
+                "publication-not-pointer", fid, None,
+                "ama: publication-not-pointer: %s:%d: `%s` has role "
+                "publication but its value type `%s` is not a pointer "
+                "(the epoch-protection rules only make sense for "
+                "reclaimable pointees)" %
+                (f.file, f.line, fid, f.value_type)))
+
+    sites = sorted(model.sites, key=lambda s: (s.file, s.line, s.op))
+    for s in sites:
+        if s.field is None:
+            out.append(Violation(
+                "unresolved-atomic", "", s.func,
+                "ama: unresolved-atomic: %s:%d: `%s.%s` passes an "
+                "explicit memory_order but the receiver does not "
+                "resolve to a known atomic field (extend the model or "
+                "simplify the expression - ordered operations must not "
+                "escape the audit)" %
+                (s.file, s.line, s.receiver, s.op)))
+            continue
+        role = registry.get(s.field.fid)
+        if role not in ROLE_ORDERS or s.kind == "none":
+            continue
+        if "default" in s.orders:
+            want = sorted(ROLE_ORDERS[role].get(s.kind, ()))
+            out.append(Violation(
+                "defaulted-order", s.field.fid, s.func,
+                "ama: defaulted-order: %s:%d: %s on `%s` (role %s) uses "
+                "the defaulted seq_cst order; spell it explicitly "
+                "(role allows: %s)" %
+                (s.file, s.line, s.op, s.field.fid, role,
+                 ", ".join(want) or "-")))
+            continue
+        allowed = ROLE_ORDERS[role].get(s.kind, set())
+        primary = s.orders[0] if s.orders else "default"
+        bad = primary not in allowed
+        if not bad and s.kind == "cas" and len(s.orders) == 2:
+            fail_ok = {"relaxed"} if role == "stat-counter" \
+                else {"relaxed", "acquire"}
+            bad = s.orders[1] not in fail_ok
+        if bad:
+            out.append(Violation(
+                "role-order", s.field.fid, s.func,
+                "ama: role-order: %s:%d: %s on `%s` uses %s but role %s "
+                "allows {%s} for %s operations" %
+                (s.file, s.line, s.op, s.field.fid,
+                 _order_str(s.orders), role, ", ".join(sorted(allowed)),
+                 s.kind)))
+        if role == "publication" and s.kind == "load" and not s.in_epoch:
+            out.append(Violation(
+                "epoch-unprotected", s.field.fid, s.func,
+                "ama: epoch-unprotected: %s:%d: load of publication "
+                "field `%s` outside a DYNAMAST_EPOCH_PROTECTED region "
+                "(the pointee could be reclaimed under the reader)" %
+                (s.file, s.line, s.field.fid)))
+
+    # counter-update-race: a plain store in a function that also loads.
+    by_fn_field = {}
+    for s in sites:
+        if s.field is None:
+            continue
+        by_fn_field.setdefault((s.field.fid, s.func), []).append(s)
+    for (fid, func) in sorted(by_fn_field):
+        if registry.get(fid) != "stat-counter":
+            continue
+        group = by_fn_field[(fid, func)]
+        loads = [s for s in group if s.kind == "load"]
+        stores = [s for s in group if s.kind == "store"]
+        if loads and stores:
+            s = stores[0]
+            out.append(Violation(
+                "counter-update-race", fid, func,
+                "ama: counter-update-race: %s:%d: %s both loads and "
+                "plain-stores counter `%s` - a lost-update window; use "
+                "a fetch_add/fetch_sub RMW" %
+                (s.file, s.line, func, fid)))
+
+    # unpaired-release: release-store with no acquire-side load anywhere.
+    per_field = {}
+    for s in sites:
+        if s.field is not None:
+            per_field.setdefault(s.field.fid, []).append(s)
+    for fid in sorted(per_field):
+        role = registry.get(fid)
+        if role not in ("flag", "seqno", "publication"):
+            continue
+        group = per_field[fid]
+        releases = [s for s in group
+                    if s.kind in ("store", "rmw", "cas")
+                    and s.orders and s.orders[0] in RELEASE_SIDE]
+        acquires = [s for s in group
+                    if s.kind in ("load", "rmw", "cas")
+                    and (not s.orders or s.orders[0] in ACQUIRE_SIDE)]
+        if releases and not acquires:
+            s = releases[0]
+            out.append(Violation(
+                "unpaired-release", fid, None,
+                "ama: unpaired-release: %s:%d: `%s` (role %s) is "
+                "release-stored in %s but no acquire-side load exists "
+                "anywhere in the tree (nothing can synchronize with "
+                "the store)" % (s.file, s.line, fid, role, s.func)))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Edges, baseline, allowlist
+
+
+def collect_edges(model):
+    """{(field, function, op, orders-tuple)} over all resolved sites."""
+    edges = set()
+    for s in model.sites:
+        if s.field is None:
+            continue
+        edges.add((s.field.fid, s.func, s.op, tuple(s.orders)))
+    return edges
+
+
+def format_edge(key):
+    fid, func, op, orders = key
+    return "%s: %s -> %s[%s]" % (fid, func, op, _order_str(orders))
+
+
+def edges_to_json(edges):
+    out = []
+    for (fid, func, op, orders) in sorted(edges):
+        out.append({
+            "field": fid,
+            "function": func,
+            "op": op,
+            "orders": list(orders),
+        })
+    return out
+
+
+def profile_document(edges, allowlist):
+    return {
+        "version": 1,
+        "edges": edges_to_json(edges),
+        "allowlist": allowlist,
+    }
+
+
+def dump_json(doc):
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"
+
+
+def load_baseline(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except OSError:
+        return None
+    except ValueError as e:
+        raise SystemExit("ama: %s is not valid JSON: %s" % (path, e))
+
+
+def allowlist_matches(entry, violation):
+    if entry.get("rule") != violation.rule:
+        return False
+    if entry.get("field") != violation.field:
+        return False
+    fn = entry.get("function")
+    return fn is None or fn == violation.func
+
+
+def validate_allowlist(allowlist, registry, violations):
+    problems = []
+    for i, entry in enumerate(allowlist):
+        where = "allowlist[%d] (%s / %s)" % (
+            i, entry.get("rule", "?"), entry.get("field", "?"))
+        if not str(entry.get("justification", "")).strip():
+            problems.append("ama: allowlist: %s has no justification" %
+                            where)
+        rule = entry.get("rule", "")
+        if rule not in ALLOWLISTABLE:
+            problems.append(
+                "ama: allowlist: %s names rule %r which is not "
+                "allowlistable (only: %s)" %
+                (where, rule, ", ".join(ALLOWLISTABLE)))
+        fid = entry.get("field", "")
+        if fid not in registry:
+            problems.append(
+                "ama: allowlist: %s names field %r which is not in the "
+                "DESIGN.md atomic-field registry" % (where, fid))
+        if not any(allowlist_matches(entry, v) for v in violations):
+            problems.append(
+                "ama: allowlist: %s matches no current violation (stale "
+                "entry: the operation was fixed or removed; delete the "
+                "entry)" % where)
+    return problems
+
+
+def split_violations(violations, allowlist):
+    """(hard, unsuppressed-soft) message lists."""
+    hard, soft = [], []
+    for v in violations:
+        if v.rule not in ALLOWLISTABLE:
+            hard.append(v.message)
+        elif not any(allowlist_matches(e, v) for e in allowlist):
+            soft.append(
+                v.message + "\n  fix the site, or add an allowlist "
+                "entry {rule, field, justification} to %s" %
+                BASELINE_NAME)
+    return hard, soft
+
+
+def diff_against_baseline(edges, baseline):
+    base_edges = {(e["field"], e["function"], e["op"],
+                   tuple(e.get("orders", [])))
+                  for e in baseline.get("edges", [])}
+    new = sorted(k for k in edges if k not in base_edges)
+    gone = sorted(k for k in base_edges if k not in edges)
+    problems = []
+    for key in new:
+        problems.append(
+            "ama: new-edge: %s\n  new atomic traffic; review the order "
+            "against the field's registry role, then run scripts/ama.py "
+            "--update to record it in %s" % (format_edge(key),
+                                             BASELINE_NAME))
+    for key in gone:
+        problems.append(
+            "ama: missing-edge: %s\n  the atomic surface shrank (good); "
+            "run scripts/ama.py --update to ratchet the baseline down" %
+            format_edge(key))
+    return problems
+
+
+# ---------------------------------------------------------------------------
+# CLI
+
+
+def analyze(root):
+    project = cpp_model.load_project(root, tool="ama")
+    model = Model(project=project)
+    collect_ptr_aliases(model)
+    discover_fields(model)
+    extract_ops(model)
+    return model
+
+
+def discover_atomics(project):
+    """Field discovery only - dynamast-lint's atomic-registry rule uses
+    this to detect stale registry rows without re-implementing the
+    declaration model."""
+    model = Model(project=project)
+    collect_ptr_aliases(model)
+    discover_fields(model)
+    # Function-local atomics are discovered as a side effect of building
+    # each function's resolution context.
+    for rel in sorted(project.files):
+        for fn in (s for s in project.scopes[rel]
+                   if s.kind == "function"):
+            FnCtx(model, rel, fn)
+    return model.fields
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        prog="ama.py",
+        description="Atomics & memory-order analyzer (see module "
+        "docstring).")
+    parser.add_argument("--root", default=None,
+                        help="repository root (default: script's parent)")
+    parser.add_argument("--baseline", default=None,
+                        help="baseline path (default: <root>/%s)" %
+                        BASELINE_NAME)
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument("--check", action="store_true",
+                      help="verify the profile against the baseline "
+                      "(default mode)")
+    mode.add_argument("--update", action="store_true",
+                      help="rewrite the baseline (refuses while "
+                      "violations are unresolved)")
+    mode.add_argument("--dump", action="store_true",
+                      help="print the current profile JSON to stdout")
+    mode.add_argument("--list-fields", action="store_true",
+                      help="print every discovered atomic field id")
+    args = parser.parse_args(argv)
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    if not os.path.isdir(os.path.join(root, "src")):
+        print("ama: no src/ under %s" % root, file=sys.stderr)
+        return 2
+    baseline_path = args.baseline or os.path.join(root, BASELINE_NAME)
+
+    model = analyze(root)
+    registry = parse_registry(root)
+    violations = compute_violations(model, registry)
+    edges = collect_edges(model)
+    baseline = load_baseline(baseline_path)
+    allowlist = (baseline or {}).get("allowlist", [])
+
+    if args.list_fields:
+        for f in sorted(model.fields, key=lambda f: f.fid):
+            role = registry.get(f.fid, "<unregistered>")
+            print("%-55s %-12s %s:%d" % (f.fid, role, f.file, f.line))
+        return 0
+
+    if args.dump:
+        sys.stdout.write(dump_json(profile_document(edges, allowlist)))
+        return 0
+
+    hard, soft = split_violations(violations, allowlist)
+    problems = hard + soft
+    problems += validate_allowlist(allowlist, registry, violations)
+
+    if args.update:
+        if problems:
+            problems.append(
+                "ama: refusing to update the baseline while violations "
+                "or allowlist problems are unresolved")
+            print("\n".join(problems), file=sys.stderr)
+            return 1
+        with open(baseline_path, "w", encoding="utf-8") as f:
+            f.write(dump_json(profile_document(edges, allowlist)))
+        print("ama: wrote %s (%d edges across %d atomic fields, %d "
+              "allowlist entries)" %
+              (baseline_path, len(edges), len({k[0] for k in edges}),
+               len(allowlist)))
+        return 0
+
+    # --check (default)
+    if baseline is None:
+        print("ama: no-baseline: %s does not exist; run scripts/ama.py "
+              "--update to create it" % baseline_path, file=sys.stderr)
+        return 1
+    problems += diff_against_baseline(edges, baseline)
+    if problems:
+        print("\n".join(problems), file=sys.stderr)
+        print("ama: %d problem(s)" % len(problems), file=sys.stderr)
+        return 1
+    print("ama: baseline OK (%d edges across %d atomic fields)" %
+          (len(edges), len({k[0] for k in edges})))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -8,7 +8,8 @@
 #   lint-project scripts/dynamast-lint.py project-invariant linter
 #                (lock-class registry, sched-op pairing, history
 #                commit/abort pairing, metric naming, tsa-escape and
-#                CSA-allowlist justifications, hot-path-root registry)
+#                CSA-allowlist justifications, hot-path-root registry,
+#                atomic-field registry)
 #   csa          scripts/csa.py critical-section cost analyzer: fixture
 #                suite, the ratchet against CSA_BASELINE.json, and a
 #                double-dump reproducibility check; on failure the
@@ -17,6 +18,10 @@
 #                the ratchet against HPA_BASELINE.json, and a
 #                double-dump reproducibility check; on failure the
 #                current profile is left in build/hpa/ for diffing
+#   ama          scripts/ama.py atomics & memory-order analyzer: fixture
+#                suite, the ratchet against AMA_BASELINE.json, and a
+#                double-dump reproducibility check; on failure the
+#                current profile is left in build/ama/ for diffing
 #   bench-trend  ratcheted perf gate: newest committed BENCH_*.json
 #                trajectory point vs its predecessor; fails on a
 #                throughput drop >30% or p99 rise >75% per series
@@ -259,7 +264,41 @@ else
   record hpa SKIP "python3 not installed"
 fi
 
-# 5c. Bench trend -----------------------------------------------------------
+# 5c. Atomics & memory-order analyzer ---------------------------------------
+# Same shape as csa/hpa: fixture suite, ratchet against AMA_BASELINE.json,
+# double-dump reproducibility. On a ratchet failure the current profile
+# lands in build/ama/ for diffing against the committed baseline.
+ama_stage() {
+  local out="build/ama"
+  mkdir -p "$out"
+  python3 tests/ama_test/run_ama_test.py || return 1
+  python3 scripts/ama.py --check || {
+    python3 scripts/ama.py --dump > "$out/profile.json" 2>/dev/null
+    echo "check.sh: ama ratchet failed; current profile in $out/profile.json" >&2
+    return 1
+  }
+  python3 scripts/ama.py --dump > "$out/profile.json"
+  python3 scripts/ama.py --dump > "$out/profile.2.json"
+  if ! cmp -s "$out/profile.json" "$out/profile.2.json"; then
+    echo "check.sh: ama profile dump is not reproducible" >&2
+    return 1
+  fi
+  rm -f "$out/profile.2.json"
+}
+
+step "ama"
+if command -v python3 >/dev/null 2>&1; then
+  if ama_stage; then
+    record ama PASS
+  else
+    record ama FAIL
+  fi
+else
+  echo "check.sh: python3 not found; skipping" >&2
+  record ama SKIP "python3 not installed"
+fi
+
+# 5d. Bench trend -----------------------------------------------------------
 # Ratcheted perf gate: compares the newest committed BENCH_*.json
 # trajectory point against its predecessor and FAILS on a per-series
 # throughput drop or p99 rise beyond the thresholds, unless the series

@@ -119,6 +119,12 @@ def blank_text(text):
                 out[i] = out[i + 1] = " "
                 i += 2
         elif c == '"' or c == "'":
+            if c == "'" and i > 0 and text[i - 1].isalnum() \
+                    and i + 1 < n and (text[i + 1].isalnum()
+                                       or text[i + 1] == "'"):
+                # C++14 digit separator (500'000), not a char literal.
+                i += 1
+                continue
             quote = c
             i += 1
             while i < n and text[i] != quote:
@@ -190,9 +196,10 @@ class Scope:
 
 _CLASS_HEADER_RE = re.compile(
     r"(?:template\s*<[^{};]*>\s*)?(?:class|struct)\s+"
+    r"(?:alignas\s*\([^()]*\)\s*)?"
     r"(?:DYNAMAST_\w+\s*\([^()]*\)\s*)?(\w+)\s*(?:final\s*)?"
     r"(?::[^{;]*)?$")
-_NAMESPACE_RE = re.compile(r"namespace\s+([\w:]+)?\s*$")
+_NAMESPACE_RE = re.compile(r"namespace\s*([\w:]+)?\s*$")
 _FN_NAME_RE = re.compile(r"([\w~]+(?:\s*::\s*[\w~]+)*)\s*\($")
 _SPECIFIER_TAIL = {"const", "noexcept", "override", "final", "mutable",
                    "try", "->"}

@@ -38,6 +38,11 @@ because they span files or live in string literals:
                   profiler's lock_* series stay joinable against the
                   registry table (a typo'd class would silently fork a
                   series no lock ever feeds).
+  atomic-registry every row in DESIGN.md's atomic-field registry table
+                  names a real std::atomic field in src/ (stale-row
+                  detection) and declares a role from scripts/ama.py's
+                  closed role set, so the memory-order protocol table
+                  cannot drift from the code it governs.
 
 Usage: dynamast-lint.py [--root DIR] [--rule RULE]...
 Exit status 0 when clean, 1 when violations were found, 2 on usage or
@@ -51,7 +56,8 @@ import re
 import sys
 
 RULES = ("lock-class", "sched-op", "history-pairing", "metric-naming",
-         "escape-justification", "hot-path-root", "lock-profile-label")
+         "escape-justification", "hot-path-root", "lock-profile-label",
+         "atomic-registry")
 
 SNAKE_RE = re.compile(r"^[a-z][a-z0-9_]*$")
 LOCK_CLASS_RE = re.compile(r"^[a-z][a-z0-9_]*\.[a-z][a-z0-9_]*$")
@@ -61,6 +67,9 @@ REGISTRY_END = "<!-- lock-class-registry:end -->"
 
 HOT_PATH_REGISTRY_BEGIN = "<!-- hot-path-root-registry:begin -->"
 HOT_PATH_REGISTRY_END = "<!-- hot-path-root-registry:end -->"
+
+ATOMIC_REGISTRY_BEGIN = "<!-- atomic-field-registry:begin -->"
+ATOMIC_REGISTRY_END = "<!-- atomic-field-registry:end -->"
 
 # `mutable DebugMutex mu_{"site.state"};`, `DebugSharedMutex mu{"x.y"};`
 MUTEX_DECL_RE = re.compile(
@@ -301,6 +310,48 @@ class Linter:
                 "annotation in src/ (stale entry: the root was removed or "
                 "renamed; update the table)")
 
+    # ---------------------------------------------------- atomic-registry
+
+    def rule_atomic_registry(self):
+        """DESIGN.md's atomic-field registry rows are real and well-roled."""
+        design = os.path.join(self.root, "DESIGN.md")
+        if not os.path.exists(design):
+            return  # trees without a DESIGN.md have nothing to check
+        text = self.read(design)
+        begin = text.find(ATOMIC_REGISTRY_BEGIN)
+        end = text.find(ATOMIC_REGISTRY_END)
+        if not 0 <= begin < end:
+            return  # no atomic-field registry in this tree
+
+        sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+        import ama  # shared role set + atomic discovery
+        import cpp_model
+
+        rows = {}
+        begin_line = self.line_of(text, begin)
+        for i, row in enumerate(text[begin:end].splitlines()):
+            m = re.match(r"\|\s*`([^`]+)`\s*\|\s*([^|]+?)\s*\|", row)
+            if m:
+                rows[m.group(1)] = (m.group(2).strip("`"), begin_line + i)
+
+        for fid in sorted(rows):
+            role, line = rows[fid]
+            if role not in ama.ROLES:
+                self.report(
+                    "atomic-registry", design, line,
+                    f"registry row `{fid}` declares role `{role}`, which "
+                    "is not in the closed role set "
+                    f"({', '.join(ama.ROLES)})")
+
+        project = cpp_model.load_project(self.root, tool="dynamast-lint")
+        fields = {f.fid for f in ama.discover_atomics(project)}
+        for fid in sorted(set(rows) - fields):
+            self.report(
+                "atomic-registry", design, rows[fid][1],
+                f"registry row `{fid}` matches no atomic field in src/ "
+                "(stale entry: the field was removed or renamed; update "
+                "the table)")
+
     # ------------------------------------------------------- metric-naming
 
     @staticmethod
@@ -475,6 +526,7 @@ def main():
         "escape-justification": linter.rule_escape_justification,
         "hot-path-root": linter.rule_hot_path_root,
         "lock-profile-label": linter.rule_lock_profile_label,
+        "atomic-registry": linter.rule_atomic_registry,
     }
     for rule in rules:
         dispatch[rule]()

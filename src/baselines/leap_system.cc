@@ -117,8 +117,8 @@ Status LeapSystem::ShipPartition(PartitionId partition, SiteId src,
   cluster_.network().Send(net::TrafficClass::kDataShipping, bytes);
 
   dest_site->SetMasterOf(partition, true);
-  partitions_shipped_.fetch_add(1);
-  bytes_shipped_.fetch_add(bytes);
+  partitions_shipped_.fetch_add(1, std::memory_order_relaxed);
+  bytes_shipped_.fetch_add(bytes, std::memory_order_relaxed);
   return Status::OK();
 }
 

@@ -56,8 +56,8 @@ class LeapSystem final : public core::SystemInterface {
 
   core::Cluster& cluster() { return cluster_; }
 
-  uint64_t partitions_shipped() const { return partitions_shipped_.load(); }
-  uint64_t bytes_shipped() const { return bytes_shipped_.load(); }
+  uint64_t partitions_shipped() const { return partitions_shipped_.load(std::memory_order_relaxed); }
+  uint64_t bytes_shipped() const { return bytes_shipped_.load(std::memory_order_relaxed); }
   SiteId OwnerOf(PartitionId p) const { return ownership_.MasterOfLocked(p); }
 
  private:

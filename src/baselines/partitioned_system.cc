@@ -218,13 +218,13 @@ Status PartitionedSystem::Execute(core::ClientState& client,
   // remote-read machinery even when the write set is single-sited.
   if (participants.size() == 1 && participants[0] == coordinator &&
       options_.replicated) {
-    single_site_txns_.fetch_add(1);
+    single_site_txns_.fetch_add(1, std::memory_order_relaxed);
     return ExecuteLocalWrite(client, profile, logic, coordinator, result);
   }
   if (participants.size() == 1 && participants[0] == coordinator) {
-    single_site_txns_.fetch_add(1);
+    single_site_txns_.fetch_add(1, std::memory_order_relaxed);
   } else {
-    distributed_txns_.fetch_add(1);
+    distributed_txns_.fetch_add(1, std::memory_order_relaxed);
   }
   result->distributed = participants.size() > 1;
   return ExecuteDistributedWrite(client, profile, logic, coordinator,
@@ -434,10 +434,10 @@ Status PartitionedSystem::ExecuteRead(core::ClientState& client,
     coordinator = static_cast<SiteId>(rng_.Uniform(cluster_.num_sites()));
   }
   if (owner_counts.size() > 1) {
-    distributed_txns_.fetch_add(1);
+    distributed_txns_.fetch_add(1, std::memory_order_relaxed);
     result->distributed = true;
   } else {
-    single_site_txns_.fetch_add(1);
+    single_site_txns_.fetch_add(1, std::memory_order_relaxed);
   }
 
   net.RoundTrip(net::TrafficClass::kClientRequest, kRpcRequestBytes,

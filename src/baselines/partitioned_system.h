@@ -90,8 +90,8 @@ class PartitionedSystem final : public core::SystemInterface {
 
   core::Cluster& cluster() { return cluster_; }
 
-  uint64_t distributed_txns() const { return distributed_txns_.load(); }
-  uint64_t single_site_txns() const { return single_site_txns_.load(); }
+  uint64_t distributed_txns() const { return distributed_txns_.load(std::memory_order_relaxed); }
+  uint64_t single_site_txns() const { return single_site_txns_.load(std::memory_order_relaxed); }
 
  private:
   friend class CoordinatedTxnContext;

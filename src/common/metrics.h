@@ -55,6 +55,8 @@ class Counter {
  private:
   static constexpr size_t kNumShards = 16;
   struct alignas(64) Shard {
+    // Role `stat-counter` in the DESIGN.md atomic-field registry: every
+    // operation is relaxed; nothing synchronizes on a tally.
     std::atomic<uint64_t> value{0};
   };
   // Each thread hashes to a fixed shard (assigned round-robin on first
@@ -80,6 +82,7 @@ class Gauge {
  private:
   static uint64_t ToBits(double v);
   static double FromBits(uint64_t bits);
+  // Role `stat-counter` (AMA registry): last-value bits, relaxed-only.
   std::atomic<uint64_t> bits_{0};
 };
 

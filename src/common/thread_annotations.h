@@ -117,4 +117,18 @@
 #define DYNAMAST_HOT_PATH \
   DYNAMAST_THREAD_ANNOTATION_(annotate("dynamast_hot_path"))
 
+/// DYNAMAST_EPOCH_PROTECTED() opens an epoch-protected region for the
+/// atomics & memory-order analyzer (scripts/ama.py; see DESIGN.md,
+/// "Atomics & memory-order analysis"): from the macro to the end of the
+/// enclosing block, loads of `publication`-role atomic fields (pointer
+/// handoffs whose pointee a reclaimer could free) are considered safe
+/// because reclamation is deferred. Today's publication fields point at
+/// never-freed objects and are allowlisted instead; the lock-free
+/// storage arc (ROADMAP) will make this the required spelling around
+/// epoch-guarded reads. Statement-style no-op at runtime - it exists so
+/// the static pass can see the region boundaries.
+#define DYNAMAST_EPOCH_PROTECTED() \
+  do {                             \
+  } while (0)
+
 #endif  // DYNAMAST_COMMON_THREAD_ANNOTATIONS_H_

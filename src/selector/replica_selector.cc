@@ -17,7 +17,7 @@ void ReplicaSiteSelector::Sync() {
   }
   MutexLock guard(cache_mu_);
   cached_master_ = std::move(fresh);
-  syncs_.fetch_add(1);
+  syncs_.fetch_add(1, std::memory_order_relaxed);
 }
 
 Status ReplicaSiteSelector::TryRouteWrite(
@@ -52,12 +52,12 @@ Status ReplicaSiteSelector::TryRouteWritePartitions(
       } else if (site != owner) {
         // Distributed master copies (per the cache): only the master
         // selector may remaster.
-        fallbacks_.fetch_add(1);
+        fallbacks_.fetch_add(1, std::memory_order_relaxed);
         return Status::Unavailable("write set requires remastering");
       }
     }
   }
-  local_routes_.fetch_add(1);
+  local_routes_.fetch_add(1, std::memory_order_relaxed);
   out->site = site;
   out->min_begin_version = client_session;
   out->remastered = false;

@@ -61,9 +61,9 @@ class ReplicaSiteSelector {
     return master_->RouteRead(client, client_session, out_site);
   }
 
-  uint64_t local_routes() const { return local_routes_.load(); }
-  uint64_t fallbacks() const { return fallbacks_.load(); }
-  uint64_t syncs() const { return syncs_.load(); }
+  uint64_t local_routes() const { return local_routes_.load(std::memory_order_relaxed); }
+  uint64_t fallbacks() const { return fallbacks_.load(std::memory_order_relaxed); }
+  uint64_t syncs() const { return syncs_.load(std::memory_order_relaxed); }
 
  private:
   SiteSelector* master_;

@@ -179,7 +179,7 @@ Status SiteSelector::RouteWritePartitions(ClientId client,
   std::sort(partitions.begin(), partitions.end());
   partitions.erase(std::unique(partitions.begin(), partitions.end()),
                    partitions.end());
-  counters_.write_routes.fetch_add(1);
+  counters_.write_routes.fetch_add(1, std::memory_order_relaxed);
   if (exported_.routes_write != nullptr) exported_.routes_write->Increment();
 
   // Fast path: shared locks in sorted order; single-master write sets
@@ -197,7 +197,7 @@ Status SiteSelector::RouteWritePartitions(ClientId client,
       map_.UnlockShared(*it);
     }
     MaybeSample(client, partitions);
-    counters_.routed_to_site[site]->fetch_add(1);
+    counters_.routed_to_site[site]->fetch_add(1, std::memory_order_relaxed);
     if (!exported_.routed_to_site.empty()) {
       exported_.routed_to_site[site]->Increment();
     }
@@ -227,7 +227,7 @@ Status SiteSelector::RouteWritePartitions(ClientId client,
       map_.UnlockExclusive(*it);
     }
     MaybeSample(client, partitions);
-    counters_.routed_to_site[site]->fetch_add(1);
+    counters_.routed_to_site[site]->fetch_add(1, std::memory_order_relaxed);
     if (!exported_.routed_to_site.empty()) {
       exported_.routed_to_site[site]->Increment();
     }
@@ -295,9 +295,9 @@ Status SiteSelector::RouteWritePartitions(ClientId client,
   convergence_.OnSlowPathRoute(partitions, masters, dest, slow_start_us,
                                metrics::NowMicros());
   MaybeSample(client, partitions);
-  counters_.remastered_txns.fetch_add(1);
-  counters_.partitions_remastered.fetch_add(moved);
-  counters_.routed_to_site[dest]->fetch_add(1);
+  counters_.remastered_txns.fetch_add(1, std::memory_order_relaxed);
+  counters_.partitions_remastered.fetch_add(moved, std::memory_order_relaxed);
+  counters_.routed_to_site[dest]->fetch_add(1, std::memory_order_relaxed);
   if (exported_.remaster_txns != nullptr) {
     exported_.remaster_txns->Increment();
     exported_.partitions_moved->Increment(moved);
@@ -375,7 +375,7 @@ Status SiteSelector::RouteRead(ClientId client,
                                const VersionVector& client_session,
                                SiteId* out_site) {
   (void)client;
-  counters_.read_routes.fetch_add(1);
+  counters_.read_routes.fetch_add(1, std::memory_order_relaxed);
   if (exported_.routes_read != nullptr) exported_.routes_read->Increment();
   // Gather sites satisfying the session freshness guarantee; pick one at
   // random (Section IV-B: minimizes blocking and spreads load). If none

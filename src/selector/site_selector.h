@@ -91,9 +91,9 @@ struct SelectorCounters {
     }
   }
   double RemasterFraction() const {
-    const uint64_t routes = write_routes.load();
+    const uint64_t routes = write_routes.load(std::memory_order_relaxed);
     return routes == 0 ? 0.0
-                       : static_cast<double>(remastered_txns.load()) /
+                       : static_cast<double>(remastered_txns.load(std::memory_order_relaxed)) /
                              static_cast<double>(routes);
   }
 };

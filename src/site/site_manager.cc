@@ -92,7 +92,7 @@ void SiteManager::FlushInstallMetrics(const InstallBatch& batch) {
 }
 
 void SiteManager::CountAbort(const Status& reason) {
-  counters_.aborts.fetch_add(1);
+  counters_.aborts.fetch_add(1, std::memory_order_relaxed);
   const size_t code = static_cast<size_t>(reason.code());
   if (code < kNumStatusCodes && exported_.aborts_by_reason[code] != nullptr) {
     exported_.aborts_by_reason[code]->Increment();
@@ -116,7 +116,7 @@ void SiteManager::Start() {
 }
 
 void SiteManager::Stop() {
-  if (stopping_.exchange(true)) {
+  if (stopping_.exchange(true, std::memory_order_acq_rel)) {
     // Already stopping; just join if needed.
   }
   state_cv_.notify_all();
@@ -144,7 +144,7 @@ Status SiteManager::WaitForVersion(const VersionVector& min) const {
       std::chrono::steady_clock::now() + options_.freshness_timeout;
   MutexLock lock(state_mu_);
   while (!svv_.DominatesOrEquals(min)) {
-    if (stopping_.load()) return Status::Unavailable("site stopping");
+    if (stopping_.load(std::memory_order_acquire)) return Status::Unavailable("site stopping");
     if (state_cv_.wait_until(state_mu_, deadline) == std::cv_status::timeout &&
         !svv_.DominatesOrEquals(min)) {
       return Status::TimedOut("freshness wait: site at " + svv_.ToString() +
@@ -183,7 +183,7 @@ Status SiteManager::BeginTransaction(const TxnOptions& opts, Transaction* txn) {
   }
 
   txn->site_ = this;
-  txn->id_ = next_txn_id_.fetch_add(1);
+  txn->id_ = next_txn_id_.fetch_add(1, std::memory_order_relaxed);
   txn->read_only_ = opts.read_only;
   txn->client_ = opts.client;
   txn->client_txn_ = opts.client_txn;
@@ -461,7 +461,7 @@ Status SiteManager::Commit(Transaction* txn, VersionVector* commit_version) {
 
   FlushInstallMetrics(installs);
   engine_.lock_manager().ReleaseAll(txn->locked_keys_, txn->id_);
-  counters_.local_commits.fetch_add(1);
+  counters_.local_commits.fetch_add(1, std::memory_order_relaxed);
   if (exported_.commits_update != nullptr) {
     exported_.commits_update->Increment();
   }
@@ -555,7 +555,7 @@ Status SiteManager::Release(const std::vector<PartitionId>& partitions,
       return true;
     };
     while (!drained()) {
-      if (stopping_.load()) {
+      if (stopping_.load(std::memory_order_acquire)) {
         for (PartitionId p : partitions) mastered_.insert(p);
         return Status::Unavailable("site stopping");
       }
@@ -579,7 +579,7 @@ Status SiteManager::Release(const std::vector<PartitionId>& partitions,
       history_->Record(std::move(event));
     }
   }
-  counters_.releases.fetch_add(1);
+  counters_.releases.fetch_add(1, std::memory_order_relaxed);
   if (exported_.releases != nullptr) exported_.releases->Increment();
   return Status::OK();
 }
@@ -628,7 +628,7 @@ Status SiteManager::Grant(const std::vector<PartitionId>& partitions,
     }
     for (PartitionId p : partitions) mastered_.insert(p);
   }
-  counters_.grants.fetch_add(1);
+  counters_.grants.fetch_add(1, std::memory_order_relaxed);
   if (exported_.grants != nullptr) exported_.grants->Increment();
   // Each granted partition is one mastership transition (the convergence
   // tracker's per-partition unit; si_checker reconciles this against the
@@ -667,7 +667,7 @@ bool SiteManager::ApplyRefreshRecord(log::LogRecord record) {
       return true;
     };
     while (!applicable()) {
-      if (stopping_.load()) return false;
+      if (stopping_.load(std::memory_order_acquire)) return false;
       state_cv_.wait_for(state_mu_, kApplierPollInterval);
     }
     // Update application rule (Eq. 1): the record is the next in its
@@ -693,7 +693,7 @@ bool SiteManager::ApplyRefreshRecord(log::LogRecord record) {
   // visible to waiters, and the histogram leaf locks stay out of the
   // applier's critical section.
   FlushInstallMetrics(installs);
-  counters_.refresh_applied.fetch_add(1);
+  counters_.refresh_applied.fetch_add(1, std::memory_order_relaxed);
   if (exported_.refresh_applied != nullptr) {
     exported_.refresh_applied->Increment();
   }
@@ -712,7 +712,7 @@ void SiteManager::ApplierLoop(SiteId origin) {
   log::LogCursor cursor(logs_->TopicFor(origin));
   std::vector<log::LogRecord> batch;
   std::string raw;
-  while (!stopping_.load()) {
+  while (!stopping_.load(std::memory_order_acquire)) {
     batch.clear();
     size_t batch_bytes = 0;
     // One blocking read, then drain whatever else is available (consumer

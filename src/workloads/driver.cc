@@ -65,7 +65,7 @@ Driver::Report Driver::Run(core::SystemInterface& system, Workload& workload) {
 
       uint64_t executed = 0;
       while (fixed_ops ? executed < ops_budget
-                       : !stop.load(std::memory_order_relaxed)) {
+                       : !stop.load(std::memory_order_acquire)) {
         ++executed;
         WorkloadTxn txn = generator->Next();
         core::TxnResult result;
@@ -135,7 +135,7 @@ Driver::Report Driver::Run(core::SystemInterface& system, Workload& workload) {
         action();
       }
       std::this_thread::sleep_until(end);
-      stop.store(true);
+      stop.store(true, std::memory_order_release);
     });
     sched::ScopedBlocked blocked;
     controller.join();
@@ -148,7 +148,7 @@ Driver::Report Driver::Run(core::SystemInterface& system, Workload& workload) {
 
   if (timeline_buckets > 0) {
     report.timeline.reserve(timeline_buckets);
-    for (const auto& bucket : timeline) report.timeline.push_back(bucket.load());
+    for (const auto& bucket : timeline) report.timeline.push_back(bucket.load(std::memory_order_relaxed));
   }
 
   // Driver-level metric export: bumped once per run from the merged

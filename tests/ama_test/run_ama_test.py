@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""End-to-end tests for scripts/ama.py.
+
+Runs the analyzer over the fixture trees in fixtures/ — a clean tree
+whose atomic traffic matches its baseline, plus one seeded scenario per
+rule family (unregistered atomic, new edge + defaulted order,
+unjustified/unregistered/stale allowlist entries, unpaired
+release-store) — and asserts exit codes and messages.  Also asserts
+the profile dump is byte-identical across two runs (the committed
+baseline must be reproducible).
+"""
+
+import os
+import subprocess
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.dirname(os.path.dirname(HERE))
+AMA = os.path.join(REPO, "scripts", "ama.py")
+FIXTURES = os.path.join(HERE, "fixtures")
+
+failures = []
+
+
+def run_ama(root, args=()):
+    cmd = [sys.executable, AMA, "--root", os.path.join(FIXTURES, root)]
+    cmd += list(args)
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+def check(name, root, args, want_exit, want_substrings=(), forbid=()):
+    code, output = run_ama(root, args)
+    problems = []
+    if code != want_exit:
+        problems.append(f"exit code {code}, wanted {want_exit}")
+    for want in want_substrings:
+        if want not in output:
+            problems.append(f"output lacks {want!r}")
+    for bad in forbid:
+        if bad in output:
+            problems.append(f"output unexpectedly contains {bad!r}")
+    if problems:
+        failures.append(name)
+        print(f"FAIL {name}: " + "; ".join(problems))
+        print("  --- ama output ---")
+        for line in output.splitlines():
+            print(f"  {line}")
+    else:
+        print(f"ok   {name}")
+
+
+def check_deterministic(name, root):
+    code1, out1 = run_ama(root, ("--dump",))
+    code2, out2 = run_ama(root, ("--dump",))
+    if code1 != 0 or code2 != 0:
+        failures.append(name)
+        print(f"FAIL {name}: dump exit codes {code1}/{code2}")
+    elif out1 != out2:
+        failures.append(name)
+        print(f"FAIL {name}: two --dump runs differ")
+    else:
+        print(f"ok   {name}")
+
+
+def main():
+    check("clean tree matches its baseline", "clean", ("--check",),
+          want_exit=0,
+          want_substrings=("ama: baseline OK (7 edges",),
+          forbid=("new-edge", "allowlist:", "unregistered-atomic"))
+
+    check_deterministic("profile dump is deterministic", "clean")
+
+    check("unregistered atomic fails naming field and roles",
+          "unregistered_atomic", ("--check",), want_exit=1,
+          want_substrings=(
+              "ama: unregistered-atomic: src/core/state.h:41: atomic "
+              "field `core::State::scratch_` has no row in the "
+              "DESIGN.md atomic-field registry",
+              "assign it a role: stat-counter, flag, seqno, publication",
+          ),
+          forbid=("new-edge", "core::State::running_"))
+
+    check("new edges and a defaulted order fail the check", "new_edge_bad",
+          ("--check",), want_exit=1,
+          want_substrings=(
+              "ama: new-edge: core::Telemetry::hits: "
+              "core::State::MarkAndTotal -> fetch_add[relaxed]",
+              "ama: new-edge: core::State::running_: core::State::Stop "
+              "-> store[default]",
+              "ama: defaulted-order: src/core/state.cc:11: store on "
+              "`core::State::running_` (role flag) uses the defaulted "
+              "seq_cst order",
+              "run scripts/ama.py --update to record it",
+          ),
+          forbid=("core::State::Banner",))
+
+    check("update refuses while a violation is unresolved", "new_edge_bad",
+          ("--update",), want_exit=1,
+          want_substrings=(
+              "ama: defaulted-order: src/core/state.cc:11:",
+              "ama: refusing to update the baseline while violations "
+              "or allowlist problems are unresolved",
+          ))
+
+    check("allowlist: unjustified + unregistered + stale", "bad_allowlist",
+          ("--check",), want_exit=1,
+          want_substrings=(
+              "allowlist[0] (role-order / core::State::running_) has "
+              "no justification",
+              "allowlist[1] (epoch-unprotected / core::State::ghost_) "
+              "names field 'core::State::ghost_' which is not in the "
+              "DESIGN.md atomic-field registry",
+              "allowlist[2] (epoch-unprotected / core::State::banner_) "
+              "matches no current violation (stale entry",
+          ))
+
+    check("release-store with no acquire side anywhere", "unpaired_release",
+          ("--check",), want_exit=1,
+          want_substrings=(
+              "ama: unpaired-release: src/core/state.h:39: "
+              "`core::State::version_` (role seqno) is release-stored "
+              "in core::State::Bump but no acquire-side load exists "
+              "anywhere in the tree",
+          ),
+          forbid=("new-edge",))
+
+    if failures:
+        print(f"\n{len(failures)} ama_test failure(s)", file=sys.stderr)
+        return 1
+    print("\nall ama_test checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

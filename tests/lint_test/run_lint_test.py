@@ -121,6 +121,18 @@ def main():
           ),
           forbid=('"site.state"',))
 
+    check("atomic-registry: bad role + stale row", "atomic_bad",
+          ("atomic-registry",), want_exit=1,
+          want_substrings=(
+              "atomic-registry: DESIGN.md:10: registry row "
+              "`core::Counters::hits` declares role `tally`, which is "
+              "not in the closed role set "
+              "(stat-counter, flag, seqno, publication)",
+              "atomic-registry: DESIGN.md:11: registry row "
+              "`core::Counters::ghost_` matches no atomic field in src/ "
+              "(stale entry",
+          ))
+
     # Each bad fixture is bad in exactly one rule: the others stay quiet.
     check("lock_class_bad is clean for metric-naming", "lock_class_bad",
           ("metric-naming",), want_exit=0)
